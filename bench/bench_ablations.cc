@@ -1,0 +1,277 @@
+// Ablations for the design decisions DESIGN.md calls out. These are not
+// paper figures; they justify the modelling choices behind them.
+//
+//  A. IGrid list layout: fragmented (what the paper measured and
+//     criticizes) vs idealized contiguous lists.
+//  B. Disk head model: per-cursor read-ahead (default) vs a single
+//     unbuffered head — the AD algorithm's 2d interleaved cursors only
+//     enjoy sequential I/O thanks to per-cursor buffering.
+//  C. VA-file resolution: bits per dimension vs pruning power.
+//  D. Page size: 1 KB / 4 KB / 16 KB.
+//  E. Column organization for disk AD: sorted runs (ColumnStore) vs
+//     per-dimension B+-trees (index traversals + leaf walks).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace knmatch;
+
+void AblationIGridLayout() {
+  std::printf("--- A. IGrid inverted-list layout ---\n");
+  Dataset db = datagen::MakeTextureLike(9, 30000);
+  eval::TablePrinter table(
+      {"layout", "seq pages", "rnd pages", "io time (s)"});
+  for (const bool fragmented : {true, false}) {
+    DiskSimulator disk;
+    IGridIndex igrid(db, IGridOptions{.fragmented = fragmented}, &disk);
+    auto queries = bench::SampleQueries(db, bench::kQueriesPerConfig, 71);
+    uint64_t seq = 0, rnd = 0;
+    double io = 0;
+    for (const auto& q : queries) {
+      auto cost =
+          eval::MeasureQuery(&disk, [&] { igrid.Search(q, 20).value(); });
+      seq += cost.sequential_pages;
+      rnd += cost.random_pages;
+      io += cost.io_seconds;
+    }
+    const double nq = static_cast<double>(queries.size());
+    table.AddRow({fragmented ? "fragmented (paper)" : "contiguous (ideal)",
+                  eval::Fmt(static_cast<double>(seq) / nq, 0),
+                  eval::Fmt(static_cast<double>(rnd) / nq, 0),
+                  eval::Fmt(io / nq)});
+  }
+  table.Print(std::cout);
+  std::printf("\n");
+}
+
+void AblationDiskHeadModel() {
+  std::printf("--- B. disk head model (AD vs scan, texture 30k) ---\n");
+  Dataset db = datagen::MakeTextureLike(9, 30000);
+  eval::TablePrinter table(
+      {"model", "AD io (s)", "scan io (s)", "AD wins?"});
+  for (const bool single_head : {false, true}) {
+    DiskConfig config;
+    config.single_head = single_head;
+    DiskSimulator disk(config);
+    RowStore rows(db, &disk);
+    ColumnStore columns(db, &disk);
+    DiskAdSearcher ad(columns);
+    DiskScan scan(rows);
+    auto queries = bench::SampleQueries(db, bench::kQueriesPerConfig, 72);
+    double ad_io = 0, scan_io = 0;
+    for (const auto& q : queries) {
+      ad_io += eval::MeasureQuery(&disk, [&] {
+                 ad.FrequentKnMatch(q, 4, 8, 20).value();
+               }).io_seconds;
+      scan_io += eval::MeasureQuery(&disk, [&] {
+                   scan.FrequentKnMatch(q, 4, 8, 20).value();
+                 }).io_seconds;
+    }
+    table.AddRow({single_head ? "single head (no buffers)"
+                              : "per-cursor buffers (default)",
+                  eval::Fmt(ad_io / 5), eval::Fmt(scan_io / 5),
+                  ad_io < scan_io ? "yes" : "no"});
+  }
+  table.Print(std::cout);
+  std::printf("note: without per-cursor buffering the AD cursors thrash "
+              "the head; the paper's sequential-forward-search claim "
+              "presumes buffered cursors.\n\n");
+}
+
+void AblationVaBits() {
+  std::printf("--- C. VA-file bits per dimension (texture 30k) ---\n");
+  Dataset db = datagen::MakeTextureLike(9, 30000);
+  DiskSimulator disk;
+  RowStore rows(db, &disk);
+  auto queries = bench::SampleQueries(db, bench::kQueriesPerConfig, 73);
+  eval::TablePrinter table(
+      {"bits", "VA pages", "refined %", "io time (s)"});
+  for (const unsigned bits : {2u, 4u, 6u, 8u, 10u}) {
+    VaFile va(db, &disk, bits);
+    VaKnMatchSearcher searcher(va, rows);
+    uint64_t refined = 0;
+    double io = 0;
+    for (const auto& q : queries) {
+      auto cost = eval::MeasureQuery(&disk, [&] {
+        refined +=
+            searcher.FrequentKnMatch(q, 4, 8, 20).value().points_refined;
+      });
+      io += cost.io_seconds;
+    }
+    const double nq = static_cast<double>(queries.size());
+    table.AddRow({std::to_string(bits), std::to_string(va.num_pages()),
+                  eval::Fmt(100.0 * static_cast<double>(refined) /
+                                (nq * static_cast<double>(db.size())),
+                            1),
+                  eval::Fmt(io / nq)});
+  }
+  table.Print(std::cout);
+  std::printf("\n");
+}
+
+void AblationPageSize() {
+  std::printf("--- D. page size (uniform 30k x 16) ---\n");
+  Dataset db = datagen::MakeUniform(30000, 16, 74);
+  eval::TablePrinter table({"page", "AD io (s)", "scan io (s)"});
+  for (const size_t page : {size_t{1024}, size_t{4096}, size_t{16384}}) {
+    DiskConfig config;
+    config.page_size = page;
+    DiskSimulator disk(config);
+    RowStore rows(db, &disk);
+    ColumnStore columns(db, &disk);
+    DiskAdSearcher ad(columns);
+    DiskScan scan(rows);
+    auto queries = bench::SampleQueries(db, bench::kQueriesPerConfig, 75);
+    double ad_io = 0, scan_io = 0;
+    for (const auto& q : queries) {
+      ad_io += eval::MeasureQuery(&disk, [&] {
+                 ad.FrequentKnMatch(q, 4, 8, 20).value();
+               }).io_seconds;
+      scan_io += eval::MeasureQuery(&disk, [&] {
+                   scan.FrequentKnMatch(q, 4, 8, 20).value();
+                 }).io_seconds;
+    }
+    table.AddRow({std::to_string(page), eval::Fmt(ad_io / 5),
+                  eval::Fmt(scan_io / 5)});
+  }
+  table.Print(std::cout);
+  std::printf("note: the page-time model is per page, so larger pages "
+              "mean fewer charged reads for both methods; the AD/scan "
+              "ratio is what matters.\n\n");
+}
+
+void AblationColumnOrganization() {
+  std::printf("--- E. disk AD column organization (texture 30k) ---\n");
+  Dataset db = datagen::MakeTextureLike(9, 30000);
+  DiskSimulator disk;
+  ColumnStore columns(db, &disk);
+  BTreeColumns btrees(db, &disk);
+  DiskAdSearcher runs_ad(columns);
+  BTreeAdSearcher btree_ad(btrees);
+  auto queries = bench::SampleQueries(db, bench::kQueriesPerConfig, 76);
+
+  eval::TablePrinter table({"organization", "pages/query", "io time (s)",
+                            "answers identical?"});
+  uint64_t runs_pages = 0, btree_pages = 0;
+  double runs_io = 0, btree_io = 0;
+  bool identical = true;
+  for (const auto& q : queries) {
+    FrequentKnMatchResult a, b;
+    auto cost = eval::MeasureQuery(
+        &disk, [&] { a = runs_ad.FrequentKnMatch(q, 4, 8, 20).value(); });
+    runs_pages += cost.total_pages();
+    runs_io += cost.io_seconds;
+    cost = eval::MeasureQuery(
+        &disk, [&] { b = btree_ad.FrequentKnMatch(q, 4, 8, 20).value(); });
+    btree_pages += cost.total_pages();
+    btree_io += cost.io_seconds;
+    identical &= a.matches == b.matches;
+  }
+  const double nq = static_cast<double>(queries.size());
+  table.AddRow({"sorted runs (ColumnStore)",
+                eval::Fmt(static_cast<double>(runs_pages) / nq, 0),
+                eval::Fmt(runs_io / nq), identical ? "yes" : "NO"});
+  table.AddRow({"B+-trees (updatable)",
+                eval::Fmt(static_cast<double>(btree_pages) / nq, 0),
+                eval::Fmt(btree_io / nq), identical ? "yes" : "NO"});
+  table.Print(std::cout);
+  std::printf("note: B+-trees add root-to-leaf traversals per query and "
+              "pack leaves less densely, in exchange for incremental "
+              "updates.\n");
+}
+
+void AblationBufferPool() {
+  std::printf("--- F. buffer pool (AD, texture 30k, 5 repeated queries) "
+              "---\n");
+  Dataset db = datagen::MakeTextureLike(9, 30000);
+  auto queries = bench::SampleQueries(db, bench::kQueriesPerConfig, 77);
+  eval::TablePrinter table({"pool pages", "pages charged", "buffer hits",
+                            "io time (s), all queries"});
+  for (const size_t pool : {size_t{0}, size_t{64}, size_t{512},
+                            size_t{4096}}) {
+    DiskConfig config;
+    config.buffer_pool_pages = pool;
+    DiskSimulator disk(config);
+    ColumnStore columns(db, &disk);
+    DiskAdSearcher ad(columns);
+    disk.ResetCounters();
+    disk.DropBufferPool();
+    double io = 0;
+    uint64_t pages = 0, hits = 0;
+    // Same query repeated plus neighbors: a warm pool absorbs the
+    // shared hot columns.
+    for (const auto& q : queries) {
+      for (int repeat = 0; repeat < 2; ++repeat) {
+        auto cost = eval::MeasureQuery(&disk, [&] {
+          ad.FrequentKnMatch(q, 4, 8, 20).value();
+        });
+        io += cost.io_seconds;
+        pages += cost.total_pages();
+        hits += disk.buffer_hits();
+      }
+    }
+    table.AddRow({std::to_string(pool), eval::Fmt(pages),
+                  eval::Fmt(hits), eval::Fmt(io)});
+  }
+  table.Print(std::cout);
+  std::printf("note: the AD working set for a repeated query is the "
+              "columns' hot center; a pool that holds it makes repeats "
+              "nearly free.\n");
+}
+
+void AblationCostEstimation() {
+  std::printf("--- G. AD cost estimation: measured vs analytic "
+              "(histograms) vs sampled ---\n");
+  eval::TablePrinter table({"dataset", "n", "measured attr %",
+                            "analytic %", "sampled %"});
+  for (const bool skewed : {false, true}) {
+    Dataset db = skewed ? datagen::MakeTextureLike(9, 20000)
+                        : datagen::MakeUniform(20000, 16, 78);
+    AdSearcher searcher(db);
+    eval::SelectivityEstimator analytic(db, 64);
+    eval::QueryAdvisor sampler(db);
+    auto queries = bench::SampleQueries(db, 3, 79);
+    for (const size_t n : {size_t{4}, size_t{8}, size_t{12}}) {
+      double measured = 0, est_a = 0, est_s = 0;
+      for (const auto& q : queries) {
+        measured += static_cast<double>(
+                        searcher.KnMatch(q, n, 20).value()
+                            .attributes_retrieved) /
+                    (static_cast<double>(db.size()) *
+                     static_cast<double>(db.dims()));
+        est_a += analytic.EstimateAdAttributeFraction(q, n, 20);
+        est_s += sampler.Estimate(q, n, n, 20)
+                     .value()
+                     .ad_attribute_fraction;
+      }
+      const double nq = static_cast<double>(queries.size());
+      table.AddRow({db.name(), std::to_string(n),
+                    eval::Fmt(100 * measured / nq, 1),
+                    eval::Fmt(100 * est_a / nq, 1),
+                    eval::Fmt(100 * est_s / nq, 1)});
+    }
+  }
+  table.Print(std::cout);
+  std::printf("note: the analytic estimator assumes per-dimension "
+              "independence (classic optimizer statistics); sampling "
+              "needs no assumption but costs a small query per "
+              "estimate.\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablations for DESIGN.md's modelling decisions",
+                     "no single paper figure; supports Figs. 10-15");
+  AblationIGridLayout();
+  AblationDiskHeadModel();
+  AblationVaBits();
+  AblationPageSize();
+  AblationColumnOrganization();
+  AblationBufferPool();
+  AblationCostEstimation();
+  return 0;
+}

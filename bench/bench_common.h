@@ -1,0 +1,55 @@
+#ifndef KNMATCH_BENCH_BENCH_COMMON_H_
+#define KNMATCH_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the table/figure reproduction binaries. Every
+// binary prints (1) the paper's reported numbers where it states them,
+// and (2) the numbers measured on this implementation's synthetic
+// replicas, in the same units and layout as the paper's table/figure.
+
+#include <cstdio>
+#include <iostream>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "knmatch.h"
+
+namespace knmatch::bench {
+
+/// Queries per configuration. The paper averages over many queries; a
+/// handful keeps the whole suite fast while smoothing noise.
+inline constexpr size_t kQueriesPerConfig = 5;
+
+/// Extracts query vectors (copies) for sampled dataset points.
+inline std::vector<std::vector<Value>> SampleQueries(const Dataset& db,
+                                                     size_t count,
+                                                     uint64_t seed) {
+  std::vector<std::vector<Value>> queries;
+  for (const PointId pid : eval::SampleQueryPids(db, count, seed)) {
+    auto p = db.point(pid);
+    queries.emplace_back(p.begin(), p.end());
+  }
+  return queries;
+}
+
+/// The frequent-search n-range used by the efficiency experiments,
+/// following Section 5.2.1's tuning: n0 = 4 (or less for tiny d), n1
+/// around d/2.
+inline std::pair<size_t, size_t> DefaultNRange(size_t dims) {
+  const size_t n0 = std::min<size_t>(4, dims);
+  const size_t n1 = std::max(n0, dims / 2);
+  return {n0, n1};
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("==============================================================="
+              "=\n%s\n(reproduces %s)\n"
+              "================================================================"
+              "\n\n",
+              title, paper_ref);
+}
+
+}  // namespace knmatch::bench
+
+#endif  // KNMATCH_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,88 @@
+// Extension experiment: the "meaningfulness" analysis of Beyer et al.
+// [8], which the paper's related work builds on. As dimensionality
+// grows, the relative contrast (D_max - D_min) / D_min between the
+// farthest and nearest neighbor vanishes for aggregated distances on
+// i.i.d. data — nearest-neighbor queries stop being meaningful — while
+// clustered data keeps its contrast. We additionally measure the
+// contrast of the n-match difference (n = d/2): counting near-matches
+// instead of summing all differences preserves substantially more
+// contrast at high d on clustered data.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace knmatch;
+
+struct Contrast {
+  double l2 = 0;
+  double nmatch = 0;
+};
+
+Contrast MeasureContrast(const Dataset& db, uint64_t seed) {
+  Contrast sum;
+  auto queries = bench::SampleQueries(db, 5, seed);
+  std::vector<Value> diffs;
+  for (const auto& q : queries) {
+    double l2_min = 1e300, l2_max = 0;
+    double nm_min = 1e300, nm_max = 0;
+    const size_t n = db.dims() / 2;
+    for (PointId pid = 0; pid < db.size(); ++pid) {
+      const double l2 =
+          MetricDistance(db.point(pid), q, Metric::kEuclidean);
+      if (l2 == 0) continue;  // the query itself
+      const double nm = NMatchDifference(db.point(pid), q, n);
+      l2_min = std::min(l2_min, l2);
+      l2_max = std::max(l2_max, l2);
+      if (nm > 0) {
+        nm_min = std::min(nm_min, nm);
+        nm_max = std::max(nm_max, nm);
+      }
+    }
+    sum.l2 += (l2_max - l2_min) / l2_min;
+    sum.nmatch += (nm_max - nm_min) / nm_min;
+  }
+  sum.l2 /= static_cast<double>(queries.size());
+  sum.nmatch /= static_cast<double>(queries.size());
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Extension: relative contrast vs dimensionality (Beyer et al.)",
+      "Section 6 related-work discussion of [8]; not a paper figure");
+
+  eval::TablePrinter table({"d", "uniform L2", "uniform n-match",
+                            "clustered L2", "clustered n-match"});
+  for (const size_t d : {size_t{2}, size_t{8}, size_t{32}, size_t{128}}) {
+    Dataset uniform = datagen::MakeUniform(5000, d, 500 + d);
+    datagen::ClusteredSpec spec;
+    spec.cardinality = 5000;
+    spec.dims = d;
+    spec.num_classes = 8;
+    spec.cluster_sigma = 0.05;
+    spec.noise_dim_fraction = 0.2;
+    spec.outlier_prob = 0.02;
+    spec.seed = 600 + d;
+    Dataset clustered = datagen::MakeClustered(spec);
+
+    const Contrast u = MeasureContrast(uniform, 42);
+    const Contrast c = MeasureContrast(clustered, 42);
+    table.AddRow({std::to_string(d), eval::Fmt(u.l2, 2),
+                  eval::Fmt(u.nmatch, 2), eval::Fmt(c.l2, 2),
+                  eval::Fmt(c.nmatch, 2)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nexpected shape: uniform-data L2 contrast collapses with d "
+      "([8]'s result); clustered data keeps contrast (also [8]); the "
+      "n-match difference holds markedly more contrast on clustered "
+      "data at high d — the statistical-evidence argument of Section "
+      "2.1.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Extension experiment (beyond the paper's qualitative Tables 2/3):
+// quantitative partial-similarity retrieval on the COIL-100-like data.
+//
+// Ground truth: the generator assigns every object a (color, texture,
+// shape) prototype triple; two objects sharing at least one prototype
+// are partial matches (they agree closely on >= 18 of 54 features).
+// For every object as query we retrieve its top-5 neighbors with each
+// method and measure precision@5 against that ground truth.
+//
+// To make the task discriminative, every attribute is independently
+// corrupted with probability 6% to an extreme value — the "bad pixels,
+// wrong readings or noise" of the paper's introduction. A corrupted
+// dimension adds a large term to any aggregated distance but is simply
+// skipped by matching-based scores.
+//
+// Expected: matching-based methods (k-n-match at subspace-sized n,
+// frequent k-n-match, DPF) rank planted partial matches above
+// accidentally-close full-space neighbors; Euclidean kNN and IGrid
+// degrade under corruption.
+
+#include <array>
+#include <cstdio>
+#include <functional>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace knmatch;
+using datagen::CoilAssignment;
+
+bool SharesPrototype(const CoilAssignment& a, const CoilAssignment& b) {
+  return a.color == b.color || a.texture == b.texture ||
+         a.shape == b.shape;
+}
+
+using Ranker = std::function<std::vector<PointId>(
+    std::span<const Value> query, size_t k)>;
+
+double PrecisionAt(size_t k, const Dataset& db,
+                   const std::vector<CoilAssignment>& truth,
+                   const Ranker& ranker) {
+  size_t relevant_returned = 0;
+  size_t returned = 0;
+  for (PointId qpid = 0; qpid < db.size(); ++qpid) {
+    std::vector<PointId> ids = ranker(db.point(qpid), k + 1);
+    std::erase(ids, qpid);
+    if (ids.size() > k) ids.resize(k);
+    for (const PointId pid : ids) {
+      ++returned;
+      if (SharesPrototype(truth[qpid], truth[pid])) ++relevant_returned;
+    }
+  }
+  return static_cast<double>(relevant_returned) /
+         static_cast<double>(returned);
+}
+
+std::vector<PointId> PidsOf(const std::vector<Neighbor>& matches) {
+  std::vector<PointId> ids;
+  for (const Neighbor& nb : matches) ids.push_back(nb.pid);
+  return ids;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Extension: precision@5 for partial-similarity retrieval "
+      "(COIL-100-like, planted ground truth)",
+      "extends Tables 2/3 quantitatively; not a paper figure");
+
+  std::vector<CoilAssignment> truth;
+  Dataset clean = datagen::MakeCoilLike(7, &truth);
+
+  // Inject sporadic extreme readings (bad pixels).
+  Rng rng(2026);
+  Matrix corrupted(clean.size(), clean.dims());
+  size_t corrupted_count = 0;
+  for (PointId pid = 0; pid < clean.size(); ++pid) {
+    for (size_t dim = 0; dim < clean.dims(); ++dim) {
+      Value v = clean.at(pid, dim);
+      if (rng.Bernoulli(0.06)) {
+        v = rng.Bernoulli(0.5) ? rng.Uniform(0.0, 0.03)
+                               : rng.Uniform(0.97, 1.0);
+        ++corrupted_count;
+      }
+      corrupted.at(pid, dim) = v;
+    }
+  }
+  Dataset db(std::move(corrupted));
+  std::printf("corrupted %zu of %zu attributes (%.1f%%)\n\n",
+              corrupted_count, clean.size() * clean.dims(),
+              100.0 * static_cast<double>(corrupted_count) /
+                  static_cast<double>(clean.size() * clean.dims()));
+  AdSearcher searcher(db);
+  IGridIndex igrid(db);
+
+  eval::TablePrinter table({"method", "precision@5"});
+  const auto add = [&](const std::string& name, const Ranker& ranker) {
+    table.AddRow({name, eval::Fmt(PrecisionAt(5, db, truth, ranker))});
+  };
+
+  add("kNN (Euclidean)", [&](std::span<const Value> q, size_t k) {
+    return PidsOf(KnnScan(db, q, k).value().matches);
+  });
+  add("kNN (L1)", [&](std::span<const Value> q, size_t k) {
+    return PidsOf(KnnScan(db, q, k, Metric::kManhattan).value().matches);
+  });
+  add("IGrid", [&](std::span<const Value> q, size_t k) {
+    return PidsOf(igrid.Search(q, k).value().matches);
+  });
+  add("DPF (n=18)", [&](std::span<const Value> q, size_t k) {
+    return PidsOf(DpfKnn(db, q, 18, k).value().matches);
+  });
+  add("k-n-match (n=18)", [&](std::span<const Value> q, size_t k) {
+    return PidsOf(searcher.KnMatch(q, 18, k).value().matches);
+  });
+  add("k-n-match (n=36)", [&](std::span<const Value> q, size_t k) {
+    return PidsOf(searcher.KnMatch(q, 36, k).value().matches);
+  });
+  add("freq. k-n-match [5,50]", [&](std::span<const Value> q, size_t k) {
+    return PidsOf(searcher.FrequentKnMatch(q, 5, 50, k).value().matches);
+  });
+  table.Print(std::cout);
+
+  std::printf("\nexpected shape: the matching-based rows sit at or above "
+              "the aggregation-based rows (planted subspace matches are "
+              "exactly what n-match uncovers).\n");
+  return 0;
+}

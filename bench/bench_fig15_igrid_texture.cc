@@ -1,0 +1,75 @@
+// Figure 15: comparison with IGrid on the (replica) texture dataset.
+//
+// (a) response time vs n1 for scan / FKNMatchAD / IGrid (IGrid and the
+//     scan do not depend on n1): the paper finds FKNMatchAD beats both
+//     even at n1 = d = 16;
+// (b) % of attributes retrieved by AD vs n1: thanks to the data's high
+//     skew, only ~25% of the attributes are retrieved even at n1 = 16.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace knmatch;
+  bench::PrintHeader("Figure 15: comparison with IGrid on texture data",
+                     "Section 5.2.3, Figure 15(a)/(b)");
+
+  Dataset db = datagen::MakeTextureLike();
+  DiskSimulator disk;
+  RowStore rows(db, &disk);
+  ColumnStore columns(db, &disk);
+  IGridIndex igrid(db, IGridOptions{}, &disk);
+  DiskAdSearcher ad(columns);
+  DiskScan scan(rows);
+
+  constexpr size_t kK = 20;
+  constexpr size_t kN0 = 4;
+  auto queries = bench::SampleQueries(db, bench::kQueriesPerConfig, 61);
+  const double nq = static_cast<double>(queries.size());
+
+  double t_scan = 0, t_igrid = 0;
+  for (const auto& q : queries) {
+    t_scan += eval::MeasureQuery(&disk, [&] {
+                scan.FrequentKnMatch(q, kN0, 8, kK).value();
+              }).total_seconds();
+    t_igrid += eval::MeasureQuery(&disk, [&] {
+                 igrid.Search(q, kK).value();
+               }).total_seconds();
+  }
+  t_scan /= nq;
+  t_igrid /= nq;
+  std::printf("scan: %s s   IGrid: %s s   (independent of n1)\n\n",
+              eval::Fmt(t_scan).c_str(), eval::Fmt(t_igrid).c_str());
+
+  eval::TablePrinter table({"n1", "AD time (s)", "AD attrs %",
+                            "AD fastest?"});
+  bool fastest_at_full_d = false;
+  for (size_t n1 = 6; n1 <= db.dims(); n1 += 2) {
+    double t_ad = 0;
+    uint64_t attrs = 0;
+    for (const auto& q : queries) {
+      auto cost = eval::MeasureQuery(&disk, [&] {
+        attrs += ad.FrequentKnMatch(q, kN0, n1, kK)
+                     .value()
+                     .attributes_retrieved;
+      });
+      t_ad += cost.total_seconds();
+    }
+    t_ad /= nq;
+    const double attr_pct =
+        100.0 * static_cast<double>(attrs) /
+        (nq * static_cast<double>(db.size()) *
+         static_cast<double>(db.dims()));
+    const bool fastest = t_ad < t_scan && t_ad < t_igrid;
+    if (n1 == db.dims()) fastest_at_full_d = fastest;
+    table.AddRow({std::to_string(n1), eval::Fmt(t_ad),
+                  eval::Fmt(attr_pct, 1), fastest ? "yes" : "no"});
+  }
+  table.Print(std::cout);
+
+  std::printf("\n[%s] FKNMatchAD beats scan and IGrid even at n1 = d "
+              "(paper: yes, ~25%% of attributes retrieved due to skew)\n",
+              fastest_at_full_d ? "ok" : "FAIL");
+  return 0;
+}

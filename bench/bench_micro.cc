@@ -1,0 +1,174 @@
+// Micro-benchmarks (google-benchmark): CPU costs of the core building
+// blocks, plus ablations for design choices called out in DESIGN.md
+// (AD vs naive scan at several selectivities; sorted-column build; VA
+// quantization; top-k maintenance).
+
+#include <benchmark/benchmark.h>
+
+#include "knmatch.h"
+
+namespace {
+
+using namespace knmatch;
+
+const Dataset& SharedUniform() {
+  static const Dataset* db =
+      new Dataset(datagen::MakeUniform(20000, 16, 777));
+  return *db;
+}
+
+const AdSearcher& SharedSearcher() {
+  static const AdSearcher* searcher = new AdSearcher(SharedUniform());
+  return *searcher;
+}
+
+std::vector<Value> QueryFor(const Dataset& db, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> q(db.dims());
+  for (Value& v : q) v = rng.Uniform01();
+  return q;
+}
+
+void BM_SortedColumnsBuild(benchmark::State& state) {
+  const Dataset db = datagen::MakeUniform(
+      static_cast<size_t>(state.range(0)), 16, 77);
+  for (auto _ : state) {
+    SortedColumns columns(db);
+    benchmark::DoNotOptimize(columns);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 16);
+}
+BENCHMARK(BM_SortedColumnsBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_NaiveKnMatch(benchmark::State& state) {
+  const Dataset& db = SharedUniform();
+  const auto q = QueryFor(db, 1);
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KnMatchNaive(db, q, n, 10));
+  }
+}
+BENCHMARK(BM_NaiveKnMatch)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_AdKnMatch(benchmark::State& state) {
+  const AdSearcher& searcher = SharedSearcher();
+  const auto q = QueryFor(SharedUniform(), 1);
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(searcher.KnMatch(q, n, 10));
+  }
+}
+BENCHMARK(BM_AdKnMatch)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_AdFrequentKnMatch(benchmark::State& state) {
+  const AdSearcher& searcher = SharedSearcher();
+  const auto q = QueryFor(SharedUniform(), 2);
+  const size_t n1 = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(searcher.FrequentKnMatch(q, 4, n1, 20));
+  }
+}
+BENCHMARK(BM_AdFrequentKnMatch)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_NaiveFrequentKnMatch(benchmark::State& state) {
+  const Dataset& db = SharedUniform();
+  const auto q = QueryFor(db, 2);
+  const size_t n1 = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FrequentKnMatchNaive(db, q, 4, n1, 20));
+  }
+}
+BENCHMARK(BM_NaiveFrequentKnMatch)->Arg(8)->Arg(16);
+
+void BM_NMatchDifference(benchmark::State& state) {
+  const Dataset& db = SharedUniform();
+  const auto q = QueryFor(db, 3);
+  size_t pid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        NMatchDifference(db.point(pid % db.size()), q, 8));
+    ++pid;
+  }
+}
+BENCHMARK(BM_NMatchDifference);
+
+void BM_VaFileBuild(benchmark::State& state) {
+  const Dataset& db = SharedUniform();
+  for (auto _ : state) {
+    DiskSimulator disk;
+    VaFile va(db, &disk, static_cast<unsigned>(state.range(0)));
+    benchmark::DoNotOptimize(va);
+  }
+}
+BENCHMARK(BM_VaFileBuild)->Arg(4)->Arg(8);
+
+void BM_BoundedTopK(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> scores(100000);
+  for (double& s : scores) s = rng.Uniform01();
+  for (auto _ : state) {
+    BoundedTopK<uint32_t, double, uint32_t> top(20);
+    for (uint32_t i = 0; i < scores.size(); ++i) {
+      top.Offer(scores[i], i, i);
+    }
+    benchmark::DoNotOptimize(top);
+  }
+  state.SetItemsProcessed(state.iterations() * scores.size());
+}
+BENCHMARK(BM_BoundedTopK);
+
+void BM_IGridSearch(benchmark::State& state) {
+  const Dataset& db = SharedUniform();
+  static const IGridIndex* igrid = new IGridIndex(SharedUniform());
+  const auto q = QueryFor(db, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(igrid->Search(q, 20));
+  }
+}
+BENCHMARK(BM_IGridSearch);
+
+void BM_NMatchSelfJoin(benchmark::State& state) {
+  const Dataset db = datagen::MakeUniform(2000, 8, 778);
+  const double eps = static_cast<double>(state.range(0)) / 1000.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NMatchSelfJoin(db, 4, eps));
+  }
+}
+BENCHMARK(BM_NMatchSelfJoin)->Arg(10)->Arg(50);
+
+void BM_SelectivityEstimate(benchmark::State& state) {
+  const Dataset& db = SharedUniform();
+  static const eval::SelectivityEstimator* est =
+      new eval::SelectivityEstimator(SharedUniform());
+  const auto q = QueryFor(db, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est->EstimateAdAttributeFraction(q, 8, 20));
+  }
+}
+BENCHMARK(BM_SelectivityEstimate);
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  Rng rng(779);
+  for (auto _ : state) {
+    state.PauseTiming();
+    DiskSimulator disk;
+    BPlusTree tree(&disk);
+    state.ResumeTiming();
+    for (PointId pid = 0; pid < 5000; ++pid) {
+      tree.Insert(ColumnEntry{rng.Uniform01(), pid});
+    }
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_BPlusTreeInsert);
+
+void BM_KMeans(benchmark::State& state) {
+  const Dataset db = datagen::MakeUniform(5000, 8, 780);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KMeans(db, 16, 7, 5));
+  }
+}
+BENCHMARK(BM_KMeans);
+
+}  // namespace

@@ -1,0 +1,82 @@
+// Tables 2 and 3: k-n-match vs kNN on the COIL-100-like image features.
+//
+// Paper's Table 2 (k-n-match, k = 4, query image 42): image 78 (a boat,
+// like the query) appears across most n values even though its color
+// differs wildly; image 3 (a scaled variant) appears for one narrow n.
+// Paper's Table 3 (kNN, k = 10): image 78 is absent — color dominates
+// the Euclidean distance.
+//
+// The replica plants exactly that structure (see datagen/coil_like.h),
+// so the qualitative claims can be checked mechanically; this binary
+// prints the tables and the claim checklist.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace knmatch;
+  using datagen::CoilLikeIds;
+  bench::PrintHeader("Tables 2 & 3: searching by k-n-match vs kNN "
+                     "(COIL-100-like, query image 42)",
+                     "Section 5.1.1, Tables 2 and 3");
+
+  Dataset db = datagen::MakeCoilLike();
+  const std::vector<Value> query(db.point(CoilLikeIds::kQuery).begin(),
+                                 db.point(CoilLikeIds::kQuery).end());
+  AdSearcher searcher(db);
+
+  std::printf("--- Table 2: k-n-match results, k = 4 ---\n");
+  eval::TablePrinter t2({"n", "images returned"});
+  bool boat_seen = false, scaled_seen = false;
+  for (size_t n = 5; n <= 50; n += 5) {
+    auto r = searcher.KnMatch(query, n, 4);
+    std::string imgs;
+    std::vector<PointId> pids;
+    for (const Neighbor& nb : r.value().matches) pids.push_back(nb.pid);
+    std::sort(pids.begin(), pids.end());
+    for (const PointId pid : pids) {
+      imgs += std::to_string(pid) + " ";
+      boat_seen |= pid == CoilLikeIds::kBoat;
+      scaled_seen |= pid == CoilLikeIds::kScaledVariant;
+    }
+    t2.AddRow({std::to_string(n), imgs});
+  }
+  t2.Print(std::cout);
+
+  std::printf("\n--- Table 3: kNN results, k = 10 ---\n");
+  auto knn = KnnScan(db, query, 10);
+  std::string imgs;
+  bool boat_in_knn = false;
+  std::vector<PointId> pids;
+  for (const Neighbor& nb : knn.value().matches) pids.push_back(nb.pid);
+  std::sort(pids.begin(), pids.end());
+  for (const PointId pid : pids) {
+    imgs += std::to_string(pid) + " ";
+    boat_in_knn |= pid == CoilLikeIds::kBoat;
+  }
+  eval::TablePrinter t3({"k", "images returned"});
+  t3.AddRow({"10", imgs});
+  t3.Print(std::cout);
+
+  // 20-NN check (the paper: "we did not find image 78 in the kNN result
+  // set even when finding 20 nearest neighbors").
+  auto knn20 = KnnScan(db, query, 20);
+  bool boat_in_knn20 = false;
+  for (const Neighbor& nb : knn20.value().matches) {
+    boat_in_knn20 |= nb.pid == CoilLikeIds::kBoat;
+  }
+
+  std::printf("\n--- Claim checklist (paper -> measured) ---\n");
+  std::printf("[%s] image 78 appears in k-n-match answers\n",
+              boat_seen ? "ok" : "FAIL");
+  std::printf("[%s] image 78 NOT in the 10-NN answer\n",
+              !boat_in_knn ? "ok" : "FAIL");
+  std::printf("[%s] image 78 NOT even in the 20-NN answer\n",
+              !boat_in_knn20 ? "ok" : "FAIL");
+  std::printf("[%s] image 3 (scaled variant) appears for some n "
+              "but not persistently\n",
+              scaled_seen ? "ok" : "note: not surfaced at sampled n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Table 4: class-stripping accuracy of IGrid, HCINN and the frequent
+// k-n-match query on the five UCI datasets (replicas).
+//
+// Protocol (Section 5.1.2): 100 queries sampled from the dataset,
+// k = 20, accuracy = correct-class answers / 2000. [n0, n1] = [1, d].
+// HCINN requires human interaction and has no available code — exactly
+// as in the paper, its two published numbers are cited, the rest are
+// N.A.
+//
+// Paper's Table 4:
+//   Ionosphere (34)   IGrid 80.1%  HCINN 86%   freq. k-n-match 87.5%
+//   Segmentation (19) IGrid 79.9%  HCINN 83%   freq. k-n-match 87.3%
+//   Wdbc (30)         IGrid 87.1%  HCINN N.A.  freq. k-n-match 92.5%
+//   Glass (9)         IGrid 58.6%  HCINN N.A.  freq. k-n-match 67.8%
+//   Iris (4)          IGrid 88.9%  HCINN N.A.  freq. k-n-match 89.6%
+// Expected shape: frequent k-n-match beats IGrid on every dataset.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace knmatch;
+  bench::PrintHeader(
+      "Table 4: accuracy of similarity-search techniques (UCI replicas)",
+      "Section 5.1.2, Table 4");
+
+  struct PaperRow {
+    const char* igrid;
+    const char* hcinn;
+    const char* fknm;
+  };
+  const PaperRow paper[] = {
+      {"80.1%", "86%", "87.5%"},  {"79.9%", "83%", "87.3%"},
+      {"87.1%", "N.A.", "92.5%"}, {"58.6%", "N.A.", "67.8%"},
+      {"88.9%", "N.A.", "89.6%"},
+  };
+
+  eval::TablePrinter table({"data set (d)", "IGrid", "Freq. k-n-match",
+                            "kNN (L2)", "paper IGrid", "paper HCINN",
+                            "paper fknm"});
+
+  size_t row_idx = 0;
+  bool fknm_always_wins = true;
+  for (const datagen::UciName name : datagen::AllUciNames()) {
+    Dataset db = datagen::MakeUciLike(name);
+    AdSearcher searcher(db);
+    IGridIndex igrid(db);
+
+    eval::ClassStripConfig config;  // 100 queries, k = 20
+    const double acc_igrid =
+        eval::ClassStripAccuracy(db, config, eval::IGridMethod(igrid));
+    const double acc_fknm = eval::ClassStripAccuracy(
+        db, config, eval::FrequentKnMatchMethod(searcher, 1, db.dims()));
+    const double acc_knn =
+        eval::ClassStripAccuracy(db, config, eval::KnnMethod(db));
+    fknm_always_wins &= acc_fknm > acc_igrid;
+
+    table.AddRow({std::string(datagen::UciDisplayName(name)),
+                  eval::Fmt(100 * acc_igrid, 1) + "%",
+                  eval::Fmt(100 * acc_fknm, 1) + "%",
+                  eval::Fmt(100 * acc_knn, 1) + "%",
+                  paper[row_idx].igrid, paper[row_idx].hcinn,
+                  paper[row_idx].fknm});
+    ++row_idx;
+  }
+  table.Print(std::cout);
+
+  std::printf("\n[%s] frequent k-n-match more accurate than IGrid on every "
+              "dataset (paper: up to +9.2%% over IGrid)\n",
+              fknm_always_wins ? "ok" : "FAIL");
+  std::printf("note: HCINN needs human interaction; as in the paper, its "
+              "numbers are cited, not measured.\n");
+  return 0;
+}

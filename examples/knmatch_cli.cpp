@@ -1,0 +1,360 @@
+// Interactive / scriptable shell over the SimilarityEngine — a
+// downstream-style consumer of the whole public API. Reads commands
+// from stdin, one per line:
+//
+//   gen uniform <c> <d> [seed]        synthesize data
+//   gen clustered <c> <d> <classes> [seed]
+//   gen texture <c> [seed]
+//   gen coil                          the COIL-100-like image features
+//   load csv <path> [label_col]      import a CSV (e.g., real UCI data)
+//   load knm <path>                   load a binary snapshot
+//   save knm <path>                   write a binary snapshot
+//   save csv <path>
+//   info                              dataset + storage statistics
+//   knmatch <n> <k> <pid>             k-n-match around point <pid>
+//   fknmatch <n0> <n1> <k> <pid>      frequent k-n-match
+//   knn <k> <pid>                     Euclidean kNN
+//   igrid <k> <pid>                   IGrid similarity search
+//   disk <auto|scan|ad|va> <n0> <n1> <k> <pid>
+//   join <n> <eps>                    epsilon-n-match self-join (pair count)
+//   estimate <n> <k> <pid>            analytic selectivity estimate
+//   insert <v1> <v2> ... <vd>         append a point (indexes rebuild lazily)
+//   help
+//   quit
+//
+// Try: printf 'gen coil\nknmatch 30 4 42\nknn 10 42\nquit\n' | ./knmatch_cli
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "knmatch.h"
+
+namespace {
+
+using namespace knmatch;
+
+class Cli {
+ public:
+  int Run() {
+    std::string line;
+    std::printf("knmatch shell — 'help' lists commands\n");
+    while (Prompt(), std::getline(std::cin, line)) {
+      if (!Dispatch(line)) break;
+    }
+    return 0;
+  }
+
+ private:
+  void Prompt() {
+    std::printf("knmatch> ");
+    std::fflush(stdout);
+  }
+
+  bool RequireData() {
+    if (engine_ == nullptr) {
+      std::printf("no dataset loaded; use 'gen' or 'load' first\n");
+      return false;
+    }
+    return true;
+  }
+
+  bool QueryOf(size_t pid_token, std::vector<Value>* query) {
+    if (pid_token >= engine_->dataset().size()) {
+      std::printf("pid out of range (dataset has %zu points)\n",
+                  engine_->dataset().size());
+      return false;
+    }
+    auto p = engine_->dataset().point(static_cast<PointId>(pid_token));
+    query->assign(p.begin(), p.end());
+    return true;
+  }
+
+  void Adopt(Dataset db) {
+    engine_ = std::make_unique<SimilarityEngine>(std::move(db));
+    std::printf("dataset: %s  (%zu points x %zu dims%s)\n",
+                engine_->dataset().name().c_str(),
+                engine_->dataset().size(), engine_->dataset().dims(),
+                engine_->dataset().labelled() ? ", labelled" : "");
+  }
+
+  void PrintMatches(const std::vector<Neighbor>& matches) {
+    for (const Neighbor& nb : matches) {
+      std::printf("  pid %-8u score %.6f\n", nb.pid, nb.distance);
+    }
+  }
+
+  bool Dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) return true;
+
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      std::printf(
+          "gen uniform|clustered|texture|coil ... | load csv|knm <path> | "
+          "save csv|knm <path> | info |\n"
+          "knmatch <n> <k> <pid> | fknmatch <n0> <n1> <k> <pid> | "
+          "knn <k> <pid> | igrid <k> <pid> |\n"
+          "disk auto|scan|ad|va <n0> <n1> <k> <pid> | join <n> <eps> | "
+          "estimate <n> <k> <pid> |\n"
+          "insert <v1> ... <vd> | quit\n");
+      return true;
+    }
+
+    if (cmd == "gen") {
+      std::string kind;
+      in >> kind;
+      if (kind == "uniform") {
+        size_t c = 1000, d = 8;
+        uint64_t seed = 1;
+        in >> c >> d >> seed;
+        Adopt(datagen::MakeUniform(c, d, seed));
+      } else if (kind == "clustered") {
+        datagen::ClusteredSpec spec;
+        in >> spec.cardinality >> spec.dims >> spec.num_classes >>
+            spec.seed;
+        Adopt(datagen::MakeClustered(spec));
+      } else if (kind == "texture") {
+        size_t c = 68040;
+        uint64_t seed = 9;
+        in >> c >> seed;
+        Adopt(datagen::MakeTextureLike(seed, c));
+      } else if (kind == "coil") {
+        Adopt(datagen::MakeCoilLike());
+      } else {
+        std::printf("unknown generator '%s'\n", kind.c_str());
+      }
+      return true;
+    }
+
+    if (cmd == "load") {
+      std::string kind, path;
+      in >> kind >> path;
+      if (kind == "csv") {
+        io::CsvOptions options;
+        int label_col = -1;
+        if (in >> label_col) options.label_column = label_col;
+        auto loaded = io::LoadCsv(path, options);
+        if (!loaded.ok()) {
+          std::printf("load failed: %s\n",
+                      loaded.status().ToString().c_str());
+        } else {
+          Adopt(std::move(loaded).value());
+        }
+      } else if (kind == "knm") {
+        auto loaded = io::LoadDataset(path);
+        if (!loaded.ok()) {
+          std::printf("load failed: %s\n",
+                      loaded.status().ToString().c_str());
+        } else {
+          Adopt(std::move(loaded).value());
+        }
+      } else {
+        std::printf("usage: load csv|knm <path>\n");
+      }
+      return true;
+    }
+
+    if (cmd == "save") {
+      if (!RequireData()) return true;
+      std::string kind, path;
+      in >> kind >> path;
+      const Status s = kind == "csv"
+                           ? io::WriteCsv(engine_->dataset(), path)
+                           : io::SaveDataset(engine_->dataset(), path);
+      std::printf("%s\n", s.ok() ? "saved" : s.ToString().c_str());
+      return true;
+    }
+
+    if (cmd == "info") {
+      if (!RequireData()) return true;
+      const Dataset& db = engine_->dataset();
+      std::printf("name: %s\npoints: %zu\ndims: %zu\nclasses: %zu\n",
+                  db.name().c_str(), db.size(), db.dims(),
+                  db.num_classes());
+      const auto stats = engine_->DiskStorageStats();
+      std::printf("disk: %zu row pages, %zu column pages, %zu VA pages\n",
+                  stats.row_pages, stats.column_pages, stats.va_pages);
+      return true;
+    }
+
+    if (cmd == "knmatch") {
+      if (!RequireData()) return true;
+      size_t n, k, pid;
+      if (!(in >> n >> k >> pid)) {
+        std::printf("usage: knmatch <n> <k> <pid>\n");
+        return true;
+      }
+      std::vector<Value> q;
+      if (!QueryOf(pid, &q)) return true;
+      auto r = engine_->KnMatch(q, n, k);
+      if (!r.ok()) {
+        std::printf("%s\n", r.status().ToString().c_str());
+        return true;
+      }
+      PrintMatches(r.value().matches);
+      std::printf("  (%llu attributes retrieved)\n",
+                  static_cast<unsigned long long>(
+                      r.value().attributes_retrieved));
+      return true;
+    }
+
+    if (cmd == "fknmatch") {
+      if (!RequireData()) return true;
+      size_t n0, n1, k, pid;
+      if (!(in >> n0 >> n1 >> k >> pid)) {
+        std::printf("usage: fknmatch <n0> <n1> <k> <pid>\n");
+        return true;
+      }
+      std::vector<Value> q;
+      if (!QueryOf(pid, &q)) return true;
+      auto r = engine_->FrequentKnMatch(q, n0, n1, k);
+      if (!r.ok()) {
+        std::printf("%s\n", r.status().ToString().c_str());
+        return true;
+      }
+      for (size_t i = 0; i < r.value().matches.size(); ++i) {
+        std::printf("  pid %-8u in %u of %zu answer sets\n",
+                    r.value().matches[i].pid, r.value().frequencies[i],
+                    n1 - n0 + 1);
+      }
+      return true;
+    }
+
+    if (cmd == "knn" || cmd == "igrid") {
+      if (!RequireData()) return true;
+      size_t k, pid;
+      if (!(in >> k >> pid)) {
+        std::printf("usage: %s <k> <pid>\n", cmd.c_str());
+        return true;
+      }
+      std::vector<Value> q;
+      if (!QueryOf(pid, &q)) return true;
+      auto r = cmd == "knn" ? engine_->Knn(q, k)
+                            : engine_->IGridSearch(q, k);
+      if (!r.ok()) {
+        std::printf("%s\n", r.status().ToString().c_str());
+        return true;
+      }
+      PrintMatches(r.value().matches);
+      return true;
+    }
+
+    if (cmd == "disk") {
+      if (!RequireData()) return true;
+      std::string method_name;
+      size_t n0, n1, k, pid;
+      if (!(in >> method_name >> n0 >> n1 >> k >> pid)) {
+        std::printf("usage: disk auto|scan|ad|va <n0> <n1> <k> <pid>\n");
+        return true;
+      }
+      SimilarityEngine::DiskMethod method =
+          SimilarityEngine::DiskMethod::kAuto;
+      if (method_name == "scan") {
+        method = SimilarityEngine::DiskMethod::kScan;
+      } else if (method_name == "ad") {
+        method = SimilarityEngine::DiskMethod::kAd;
+      } else if (method_name == "va") {
+        method = SimilarityEngine::DiskMethod::kVaFile;
+      } else if (method_name != "auto") {
+        std::printf("unknown method '%s'\n", method_name.c_str());
+        return true;
+      }
+      std::vector<Value> q;
+      if (!QueryOf(pid, &q)) return true;
+      auto r = engine_->DiskFrequentKnMatch(q, n0, n1, k, method);
+      if (!r.ok()) {
+        std::printf("%s\n", r.status().ToString().c_str());
+        return true;
+      }
+      const char* ran =
+          engine_->last_disk_method() == SimilarityEngine::DiskMethod::kAd
+              ? "AD"
+          : engine_->last_disk_method() ==
+                  SimilarityEngine::DiskMethod::kVaFile
+              ? "VA-file"
+              : "scan";
+      PrintMatches(r.value().matches);
+      std::printf("  method: %s | io %.3fs (%llu seq + %llu rnd pages)\n",
+                  ran, engine_->last_disk_cost().io_seconds,
+                  static_cast<unsigned long long>(
+                      engine_->last_disk_cost().sequential_pages),
+                  static_cast<unsigned long long>(
+                      engine_->last_disk_cost().random_pages));
+      return true;
+    }
+
+    if (cmd == "join") {
+      if (!RequireData()) return true;
+      size_t n;
+      double eps;
+      if (!(in >> n >> eps)) {
+        std::printf("usage: join <n> <eps>\n");
+        return true;
+      }
+      auto r = engine_->SelfJoin(n, eps);
+      if (!r.ok()) {
+        std::printf("%s\n", r.status().ToString().c_str());
+        return true;
+      }
+      std::printf("  %zu pairs match within eps=%.4f in >= %zu dims\n",
+                  r.value().size(), eps, n);
+      for (size_t i = 0; i < std::min<size_t>(10, r.value().size()); ++i) {
+        std::printf("  (%u, %u)\n", r.value()[i].a, r.value()[i].b);
+      }
+      if (r.value().size() > 10) std::printf("  ...\n");
+      return true;
+    }
+
+    if (cmd == "estimate") {
+      if (!RequireData()) return true;
+      size_t n, k, pid;
+      if (!(in >> n >> k >> pid)) {
+        std::printf("usage: estimate <n> <k> <pid>\n");
+        return true;
+      }
+      std::vector<Value> q;
+      if (!QueryOf(pid, &q)) return true;
+      auto r = engine_->EstimateSelectivity(q, n, k);
+      if (!r.ok()) {
+        std::printf("%s\n", r.status().ToString().c_str());
+        return true;
+      }
+      std::printf("  estimated %zu-%zu-match difference: %.4f\n", k, n,
+                  r.value().estimated_difference);
+      std::printf("  estimated AD attribute fraction: %.1f%%\n",
+                  100 * r.value().ad_attribute_fraction);
+      return true;
+    }
+
+    if (cmd == "insert") {
+      if (!RequireData()) return true;
+      std::vector<Value> coords;
+      Value v;
+      while (in >> v) coords.push_back(v);
+      if (coords.size() != engine_->dataset().dims()) {
+        std::printf("need exactly %zu coordinates\n",
+                    engine_->dataset().dims());
+        return true;
+      }
+      const PointId pid = engine_->InsertPoint(coords);
+      std::printf("inserted pid %u (dataset now %zu points; indexes "
+                  "rebuild on next query)\n",
+                  pid, engine_->dataset().size());
+      return true;
+    }
+
+    std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+    return true;
+  }
+
+  std::unique_ptr<SimilarityEngine> engine_;
+};
+
+}  // namespace
+
+int main() { return Cli().Run(); }

@@ -1,0 +1,70 @@
+// Multiple-system information retrieval (the model of Section 3):
+// d independent systems each score the same set of objects and keep
+// their scores sorted; retrieving a score ("sorted access") is the unit
+// of cost. Fagin's FA/TA algorithms need a monotone aggregation
+// function — the n-match difference is not monotone, and the AD
+// algorithm is the provably attribute-optimal way to run similarity
+// queries in this setting.
+//
+// This example simulates 8 scoring systems over 20,000 documents and
+// compares the attribute retrievals of the AD algorithm against the
+// naive gather-everything approach.
+//
+// Run: ./multi_system_ir
+
+#include <cstdio>
+
+#include "knmatch.h"
+
+int main() {
+  using namespace knmatch;
+
+  // Each "dimension" is one system's score for every document, e.g.,
+  // text relevance, freshness, click-through, pagerank, ... Scores are
+  // skewed, as real ranking signals are.
+  constexpr size_t kSystems = 8;
+  constexpr size_t kDocuments = 20000;
+  Dataset db = datagen::MakeSkewed(kDocuments, kSystems, /*seed=*/2024);
+  db.set_name("multi-system-scores");
+
+  // The "query" is a target score profile; we want the k documents
+  // whose scores match it in the most systems (rather than documents
+  // that merely minimize an aggregate distance, which one outlier
+  // system can dominate).
+  const std::vector<Value> target(db.point(137).begin(),
+                                  db.point(137).end());
+
+  AdSearcher searcher(db);
+  const uint64_t naive_cost =
+      static_cast<uint64_t>(kDocuments) * kSystems;
+
+  std::printf("%zu systems x %zu documents (%llu scores total)\n\n",
+              kSystems, kDocuments,
+              static_cast<unsigned long long>(naive_cost));
+  std::printf("%-28s %-14s %-14s %s\n", "query", "top answer",
+              "AD retrievals", "% of naive");
+
+  for (size_t n = 2; n <= kSystems; n += 2) {
+    auto r = searcher.KnMatch(target, n, 10);
+    std::printf("k-n-match  k=10, n=%zu        doc %-9u %-14llu %5.2f%%\n",
+                n, r.value().matches[0].pid,
+                static_cast<unsigned long long>(
+                    r.value().attributes_retrieved),
+                100.0 * static_cast<double>(r.value().attributes_retrieved) /
+                    static_cast<double>(naive_cost));
+  }
+
+  auto freq = searcher.FrequentKnMatch(target, 2, kSystems, 10);
+  std::printf("frequent k-n-match [2, %zu]    doc %-9u %-14llu %5.2f%%\n",
+              kSystems, freq.value().matches[0].pid,
+              static_cast<unsigned long long>(
+                  freq.value().attributes_retrieved),
+              100.0 *
+                  static_cast<double>(freq.value().attributes_retrieved) /
+                  static_cast<double>(naive_cost));
+
+  std::printf(
+      "\nTheorem 3.2/3.3: no correct algorithm can retrieve fewer scores "
+      "in this model.\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Full reproduction: configure, build, run all tests, run every
+# table/figure bench, and leave the raw outputs at the repository root
+# (test_output.txt, bench_output.txt) for comparison with
+# EXPERIMENTS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then "$b"; fi
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,52 @@
+#include "knmatch/baselines/dpf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "knmatch/common/top_k.h"
+#include "knmatch/core/nmatch.h"
+
+namespace knmatch {
+
+Value DpfDistance(std::span<const Value> p, std::span<const Value> q,
+                  size_t n, double r) {
+  assert(p.size() == q.size());
+  assert(n >= 1 && n <= p.size());
+  assert(r > 0);
+  std::vector<Value> diffs(p.size());
+  for (size_t i = 0; i < p.size(); ++i) {
+    diffs[i] = std::abs(p[i] - q[i]);
+  }
+  std::nth_element(diffs.begin(), diffs.begin() + (n - 1), diffs.end());
+  Value acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += std::pow(diffs[i], r);
+  }
+  return std::pow(acc, 1.0 / r);
+}
+
+Result<KnMatchResult> DpfKnn(const Dataset& db, std::span<const Value> query,
+                             size_t n, size_t k, double r) {
+  Status s = ValidateMatchParams(db.size(), db.dims(), query.size(), n, n, k);
+  if (!s.ok()) return s;
+  if (!(r > 0)) {
+    return Status::InvalidArgument("DPF norm r must be positive");
+  }
+
+  BoundedTopK<PointId, Value, PointId> top(k);
+  for (PointId pid = 0; pid < db.size(); ++pid) {
+    top.Offer(DpfDistance(db.point(pid), query, n, r), pid, pid);
+  }
+
+  KnMatchResult result;
+  for (auto& e : top.TakeSorted()) {
+    result.matches.push_back(Neighbor{e.item, e.score});
+  }
+  result.attributes_retrieved =
+      static_cast<uint64_t>(db.size()) * db.dims();
+  return result;
+}
+
+}  // namespace knmatch

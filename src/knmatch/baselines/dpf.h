@@ -1,0 +1,26 @@
+#ifndef KNMATCH_BASELINES_DPF_H_
+#define KNMATCH_BASELINES_DPF_H_
+
+#include <span>
+
+#include "knmatch/common/dataset.h"
+#include "knmatch/common/status.h"
+#include "knmatch/core/match_types.h"
+
+namespace knmatch {
+
+/// The Dynamic Partial Function of Goh, Li & Chang [ACM MM 2002],
+/// discussed in the paper's related work: the distance between P and Q
+/// is the L_r aggregate of the *n smallest* per-dimension differences
+/// (dimensions chosen per pair, like n-match, but differences are
+/// aggregated rather than thresholded).
+Value DpfDistance(std::span<const Value> p, std::span<const Value> q,
+                  size_t n, double r = 1.0);
+
+/// Exact top-k scan under the DPF distance.
+Result<KnMatchResult> DpfKnn(const Dataset& db, std::span<const Value> query,
+                             size_t n, size_t k, double r = 1.0);
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_BASELINES_DPF_H_

@@ -1,0 +1,59 @@
+#ifndef KNMATCH_BASELINES_FAGIN_H_
+#define KNMATCH_BASELINES_FAGIN_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "knmatch/common/status.h"
+#include "knmatch/common/types.h"
+#include "knmatch/core/match_types.h"
+
+namespace knmatch {
+
+/// The multiple-system middleware setting of Fagin [PODS'96] and
+/// Fagin-Lotem-Naor [PODS'01], which Section 3 of the paper builds its
+/// cost model on: each of d systems holds a grade per object, sorted
+/// descending; sorted accesses walk a list downward, random accesses
+/// fetch one object's grade from one system directly.
+///
+/// FA and TA are correct for MONOTONE aggregation functions only. The
+/// paper's key observation (its Figure 3 example) is that the n-match
+/// difference is not monotone, so neither algorithm applies to
+/// k-n-match — these implementations exist to reproduce that
+/// demonstration and as correct baselines for monotone scoring.
+
+/// One system's grade list: (object, grade), sorted descending by
+/// grade (ties by ascending object id).
+using GradeList = std::vector<std::pair<PointId, Value>>;
+
+/// A monotone aggregation: combines one grade per system into an
+/// overall grade; increasing any input must not decrease the output.
+using Aggregation = std::function<Value(std::span<const Value>)>;
+
+/// Statistics of one FA/TA run (the model's cost metrics).
+struct MiddlewareStats {
+  uint64_t sorted_accesses = 0;
+  uint64_t random_accesses = 0;
+};
+
+/// Fagin's Algorithm: parallel sorted access until k objects have been
+/// seen in *all* lists, then random accesses to complete every seen
+/// object's grades; returns the k objects with the highest aggregate
+/// grade (descending; ties by ascending object id).
+/// `lists` must all rank the same object set.
+Result<std::vector<Neighbor>> FaTopK(std::span<const GradeList> lists,
+                                     const Aggregation& aggregate, size_t k,
+                                     MiddlewareStats* stats = nullptr);
+
+/// The Threshold Algorithm: sorted access in parallel with immediate
+/// random-access completion of every newly seen object; halts when k
+/// objects have aggregate grade >= the threshold (the aggregate of the
+/// current sorted-access frontier).
+Result<std::vector<Neighbor>> TaTopK(std::span<const GradeList> lists,
+                                     const Aggregation& aggregate, size_t k,
+                                     MiddlewareStats* stats = nullptr);
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_BASELINES_FAGIN_H_

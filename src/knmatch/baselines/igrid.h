@@ -1,0 +1,92 @@
+#ifndef KNMATCH_BASELINES_IGRID_H_
+#define KNMATCH_BASELINES_IGRID_H_
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "knmatch/common/dataset.h"
+#include "knmatch/common/status.h"
+#include "knmatch/core/match_types.h"
+#include "knmatch/storage/paged_file.h"
+
+namespace knmatch {
+
+/// Options for the IGrid index.
+struct IGridOptions {
+  /// Equi-depth partitions per dimension; 0 selects the IGrid paper's
+  /// default max(2, d/2), which makes the accessed-data fraction 2/d —
+  /// the figure our paper quotes when comparing against IGrid.
+  size_t partitions = 0;
+  /// Disk layout of the inverted lists. The paper's critique of IGrid's
+  /// "2/d of the data" analysis is that "the accessed data are
+  /// fragmented and distributed all over the data set", so each page of
+  /// a touched list costs a random access; that is the default (true),
+  /// matching the implementation the paper measured. Set false for the
+  /// idealized layout where every list is contiguous (one seek per
+  /// list, then sequential) — the ablation of that critique.
+  bool fragmented = true;
+};
+
+/// The IGrid ("inverted grid") index of Aggarwal & Yu [KDD 2000] — the
+/// main effectiveness+efficiency competitor in the paper's Section 5.
+///
+/// Each dimension is partitioned into equi-depth ranges; an inverted
+/// list per (dimension, range) stores the (pid, value) pairs falling in
+/// it. A query touches exactly one list per dimension — the range its
+/// own coordinate falls in — and accumulates, for each point sharing
+/// that range, a proximity contribution `1 - |p_i - q_i| / w` where `w`
+/// is the range width. Ranking is by total similarity, descending.
+/// Dimensions where the point does not co-locate with the query
+/// contribute nothing, which is IGrid's (static, data-independent)
+/// version of partial matching; the paper's k-n-match picks the matching
+/// dimensions dynamically instead.
+///
+/// When a DiskSimulator is supplied, the inverted lists are additionally
+/// laid out on simulated disk, one list after another; each query then
+/// charges one random seek plus sequential reads per touched list —
+/// modelling the fragmentation cost the paper points out IGrid's
+/// analysis ignored.
+class IGridIndex {
+ public:
+  /// Builds the index over `db` (which must outlive the index).
+  explicit IGridIndex(const Dataset& db, IGridOptions options = {},
+                      DiskSimulator* disk = nullptr);
+
+  /// Partitions per dimension actually used.
+  size_t partitions() const { return partitions_; }
+
+  /// Top-k by IGrid similarity. In the returned result, matches are
+  /// ordered best-first and `Neighbor::distance` holds the *negated*
+  /// similarity (so that, as everywhere in the library, smaller is
+  /// better). `attributes_retrieved` counts the inverted-list entries
+  /// read. When a disk simulator was supplied at construction, page
+  /// reads are charged to it.
+  Result<KnMatchResult> Search(std::span<const Value> query,
+                               size_t k) const;
+
+  /// The range index of `v` in `dim` (exposed for tests).
+  size_t LocateRange(size_t dim, Value v) const;
+
+ private:
+  struct ListLocation {
+    size_t first_page = 0;
+    size_t num_pages = 0;
+  };
+
+  const Dataset& db_;
+  bool fragmented_ = true;
+  size_t partitions_;
+  /// boundaries_[dim] has partitions_+1 edges; range r spans
+  /// [edges[r], edges[r+1]).
+  std::vector<std::vector<Value>> boundaries_;
+  /// lists_[dim * partitions_ + r] = (pid, value) pairs, ascending pid.
+  std::vector<std::vector<std::pair<PointId, Value>>> lists_;
+  DiskSimulator* disk_ = nullptr;
+  std::optional<PagedFile> file_;
+  std::vector<ListLocation> list_locations_;
+};
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_BASELINES_IGRID_H_

@@ -1,0 +1,62 @@
+#include "knmatch/baselines/knn_scan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "knmatch/common/top_k.h"
+#include "knmatch/core/nmatch.h"
+
+namespace knmatch {
+
+Value MetricDistance(std::span<const Value> a, std::span<const Value> b,
+                     Metric metric) {
+  assert(a.size() == b.size());
+  Value acc = 0;
+  switch (metric) {
+    case Metric::kEuclidean:
+      for (size_t i = 0; i < a.size(); ++i) {
+        const Value diff = a[i] - b[i];
+        acc += diff * diff;
+      }
+      return std::sqrt(acc);
+    case Metric::kManhattan:
+      for (size_t i = 0; i < a.size(); ++i) {
+        acc += std::abs(a[i] - b[i]);
+      }
+      return acc;
+    case Metric::kChebyshev:
+      for (size_t i = 0; i < a.size(); ++i) {
+        acc = std::max(acc, std::abs(a[i] - b[i]));
+      }
+      return acc;
+    case Metric::kFractional:
+      for (size_t i = 0; i < a.size(); ++i) {
+        acc += std::sqrt(std::abs(a[i] - b[i]));
+      }
+      return acc * acc;
+  }
+  return acc;
+}
+
+Result<KnMatchResult> KnnScan(const Dataset& db,
+                              std::span<const Value> query, size_t k,
+                              Metric metric) {
+  Status s = ValidateMatchParams(db.size(), db.dims(), query.size(), 1, 1, k);
+  if (!s.ok()) return s;
+
+  BoundedTopK<PointId, Value, PointId> top(k);
+  for (PointId pid = 0; pid < db.size(); ++pid) {
+    top.Offer(MetricDistance(db.point(pid), query, metric), pid, pid);
+  }
+
+  KnMatchResult result;
+  for (auto& e : top.TakeSorted()) {
+    result.matches.push_back(Neighbor{e.item, e.score});
+  }
+  result.attributes_retrieved =
+      static_cast<uint64_t>(db.size()) * db.dims();
+  return result;
+}
+
+}  // namespace knmatch

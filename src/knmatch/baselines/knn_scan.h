@@ -1,0 +1,34 @@
+#ifndef KNMATCH_BASELINES_KNN_SCAN_H_
+#define KNMATCH_BASELINES_KNN_SCAN_H_
+
+#include <span>
+
+#include "knmatch/common/dataset.h"
+#include "knmatch/common/status.h"
+#include "knmatch/core/match_types.h"
+
+namespace knmatch {
+
+/// Distance metrics for the exact-scan kNN baseline.
+enum class Metric {
+  kEuclidean,   // L2
+  kManhattan,   // L1
+  kChebyshev,   // L-infinity — contrast to n-match (Sec. 2.1 discusses
+                // why n-match is *not* a generalization of it)
+  kFractional,  // L_0.5, advocated for high dimensions by [Aggarwal+ 01]
+};
+
+/// Distance between two points under `metric`.
+Value MetricDistance(std::span<const Value> a, std::span<const Value> b,
+                     Metric metric);
+
+/// Exact k-nearest-neighbor search by sequential scan — the traditional
+/// similarity-search model the paper argues against (fixed feature set,
+/// aggregated differences).
+Result<KnMatchResult> KnnScan(const Dataset& db,
+                              std::span<const Value> query, size_t k,
+                              Metric metric = Metric::kEuclidean);
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_BASELINES_KNN_SCAN_H_

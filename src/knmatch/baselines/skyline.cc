@@ -1,0 +1,75 @@
+#include "knmatch/baselines/skyline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace knmatch {
+
+namespace {
+
+/// True iff a dominates b: a <= b in every dimension and a < b in at
+/// least one.
+bool Dominates(std::span<const Value> a, std::span<const Value> b) {
+  bool strictly_better = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+/// Block-nested-loop skyline over rows produced by `row(pid)`.
+template <typename RowFn>
+std::vector<PointId> BnlImpl(size_t count, const RowFn& row) {
+  struct WindowEntry {
+    PointId pid;
+    std::vector<Value> values;
+  };
+  std::vector<WindowEntry> window;
+  for (PointId pid = 0; pid < count; ++pid) {
+    std::vector<Value> values = row(pid);
+    const std::span<const Value> cand(values.data(), values.size());
+    bool dominated = false;
+    for (const auto& w : window) {
+      if (Dominates({w.values.data(), w.values.size()}, cand)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    // Evict window entries the candidate dominates.
+    std::erase_if(window, [&](const WindowEntry& w) {
+      return Dominates(cand, {w.values.data(), w.values.size()});
+    });
+    window.push_back(WindowEntry{pid, std::move(values)});
+  }
+
+  std::vector<PointId> result;
+  result.reserve(window.size());
+  for (const auto& w : window) result.push_back(w.pid);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace
+
+std::vector<PointId> SkylineBnl(const Dataset& db) {
+  return BnlImpl(db.size(), [&](PointId pid) {
+    auto p = db.point(pid);
+    return std::vector<Value>(p.begin(), p.end());
+  });
+}
+
+std::vector<PointId> SkylineOfDifferences(const Dataset& db,
+                                          std::span<const Value> query) {
+  return BnlImpl(db.size(), [&](PointId pid) {
+    auto p = db.point(pid);
+    std::vector<Value> diffs(p.size());
+    for (size_t i = 0; i < p.size(); ++i) {
+      diffs[i] = std::abs(p[i] - query[i]);
+    }
+    return diffs;
+  });
+}
+
+}  // namespace knmatch

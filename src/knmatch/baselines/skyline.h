@@ -1,0 +1,26 @@
+#ifndef KNMATCH_BASELINES_SKYLINE_H_
+#define KNMATCH_BASELINES_SKYLINE_H_
+
+#include <span>
+#include <vector>
+
+#include "knmatch/common/dataset.h"
+#include "knmatch/common/types.h"
+
+namespace knmatch {
+
+/// Block-nested-loop skyline (all dimensions minimized): the set of
+/// points not dominated by any other point. Section 2.1 of the paper
+/// contrasts k-n-match with the skyline operator (Fig. 2's example:
+/// skyline {A, B, C} versus 3-1-match {A, D, E}); this implementation
+/// lets tests and examples reproduce that contrast.
+std::vector<PointId> SkylineBnl(const Dataset& db);
+
+/// Query-relative skyline: the skyline of the per-dimension absolute
+/// differences |p_i - q_i| (all minimized).
+std::vector<PointId> SkylineOfDifferences(const Dataset& db,
+                                          std::span<const Value> query);
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_BASELINES_SKYLINE_H_

@@ -1,0 +1,40 @@
+#include "knmatch/common/dataset.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace knmatch {
+
+Dataset::Dataset(Matrix points, std::vector<Label> labels)
+    : points_(std::move(points)), labels_(std::move(labels)) {
+  assert(labels_.empty() || labels_.size() == points_.rows());
+}
+
+PointId Dataset::Append(std::span<const Value> coords, Label label) {
+  const bool was_labelled = labelled() || size() == 0;
+  points_.AppendRow(coords);
+  if (was_labelled && (label != kNoLabel || !labels_.empty())) {
+    labels_.push_back(label);
+  }
+  return static_cast<PointId>(size() - 1);
+}
+
+size_t Dataset::num_classes() const {
+  if (!labelled()) return 0;
+  std::unordered_set<Label> distinct(labels_.begin(), labels_.end());
+  return distinct.size();
+}
+
+Status Dataset::Validate() const {
+  if (!labels_.empty() && labels_.size() != size()) {
+    return Status::Internal("label count does not match cardinality");
+  }
+  for (const Value v : points_.data()) {
+    if (!std::isfinite(v)) {
+      return Status::Internal("dataset contains a non-finite value");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace knmatch

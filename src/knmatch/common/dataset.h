@@ -1,0 +1,80 @@
+#ifndef KNMATCH_COMMON_DATASET_H_
+#define KNMATCH_COMMON_DATASET_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "knmatch/common/matrix.h"
+#include "knmatch/common/status.h"
+#include "knmatch/common/types.h"
+
+namespace knmatch {
+
+/// A multi-dimensional point collection, optionally class-labelled.
+///
+/// This is the in-memory "database DB" of the paper: a set of
+/// d-dimensional points, values normalized to [0, 1]. Labels are used
+/// only by the class-stripping effectiveness protocol (Sec. 5.1.2) and
+/// are never visible to the search algorithms.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Wraps a coordinate matrix; points are unlabelled.
+  explicit Dataset(Matrix points) : points_(std::move(points)) {}
+
+  /// Wraps a coordinate matrix with one label per row.
+  Dataset(Matrix points, std::vector<Label> labels);
+
+  /// Short human-readable name ("uniform-16d", "ionosphere-like", ...).
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Cardinality `c` — the number of points.
+  size_t size() const { return points_.rows(); }
+  /// Dimensionality `d`.
+  size_t dims() const { return points_.cols(); }
+  /// True iff every point carries a class label.
+  bool labelled() const { return labels_.size() == size(); }
+
+  /// The coordinates of point `pid`.
+  std::span<const Value> point(PointId pid) const {
+    return points_.row(pid);
+  }
+  /// One attribute: dimension `dim` of point `pid`.
+  Value at(PointId pid, size_t dim) const { return points_.at(pid, dim); }
+
+  /// The label of point `pid` (kNoLabel when unlabelled).
+  Label label(PointId pid) const {
+    return labelled() ? labels_[pid] : kNoLabel;
+  }
+
+  /// Number of distinct labels (0 for unlabelled datasets).
+  size_t num_classes() const;
+
+  /// The underlying matrix.
+  const Matrix& matrix() const { return points_; }
+
+  /// Min-max normalizes all coordinates to [0, 1] in place (the paper
+  /// normalizes every dataset this way).
+  void Normalize() { points_.NormalizeColumns(); }
+
+  /// Appends a point; returns its id (the previous cardinality). The
+  /// coordinate count must match dims() (or define it, when empty).
+  /// Labelled datasets require a label; unlabelled ones ignore it.
+  PointId Append(std::span<const Value> coords, Label label = kNoLabel);
+
+  /// Validates invariants (labels length, finite values). Useful after
+  /// deserialization or generation.
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  Matrix points_;
+  std::vector<Label> labels_;
+};
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_COMMON_DATASET_H_

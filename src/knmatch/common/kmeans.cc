@@ -1,0 +1,117 @@
+#include "knmatch/common/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "knmatch/common/random.h"
+
+namespace knmatch {
+
+namespace {
+
+double SquaredDistance(std::span<const Value> a, std::span<const Value> b) {
+  double sum = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const Dataset& db, size_t k, uint64_t seed,
+                    size_t max_iterations) {
+  KMeansResult result;
+  const size_t c = db.size();
+  const size_t d = db.dims();
+  k = std::min(k, c);
+  if (k == 0 || c == 0) return result;
+
+  Rng rng(seed);
+
+  // k-means++ seeding: first center uniform, then proportional to the
+  // squared distance to the nearest chosen center.
+  result.centers = Matrix(k, d);
+  std::vector<double> min_sq(c, std::numeric_limits<double>::infinity());
+  {
+    const auto first = static_cast<PointId>(rng.UniformInt(c));
+    auto p = db.point(first);
+    std::copy(p.begin(), p.end(), result.centers.row(0).begin());
+  }
+  for (size_t center = 1; center < k; ++center) {
+    double total = 0;
+    for (PointId pid = 0; pid < c; ++pid) {
+      min_sq[pid] = std::min(
+          min_sq[pid],
+          SquaredDistance(db.point(pid), result.centers.row(center - 1)));
+      total += min_sq[pid];
+    }
+    PointId chosen = 0;
+    if (total > 0) {
+      const double pick = rng.Uniform(0.0, total);
+      double acc = 0;
+      for (PointId pid = 0; pid < c; ++pid) {
+        acc += min_sq[pid];
+        if (acc >= pick) {
+          chosen = pid;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<PointId>(rng.UniformInt(c));
+    }
+    auto p = db.point(chosen);
+    std::copy(p.begin(), p.end(), result.centers.row(center).begin());
+  }
+
+  // Lloyd iterations.
+  result.assignment.assign(c, 0);
+  std::vector<double> sums(k * d);
+  std::vector<size_t> counts(k);
+  for (result.iterations = 0; result.iterations < max_iterations;
+       ++result.iterations) {
+    bool changed = false;
+    result.inertia = 0;
+    for (PointId pid = 0; pid < c; ++pid) {
+      double best = std::numeric_limits<double>::infinity();
+      uint32_t best_center = 0;
+      for (uint32_t center = 0; center < k; ++center) {
+        const double sq =
+            SquaredDistance(db.point(pid), result.centers.row(center));
+        if (sq < best) {
+          best = sq;
+          best_center = center;
+        }
+      }
+      if (result.assignment[pid] != best_center) {
+        result.assignment[pid] = best_center;
+        changed = true;
+      }
+      result.inertia += best;
+    }
+    if (!changed && result.iterations > 0) break;
+
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), size_t{0});
+    for (PointId pid = 0; pid < c; ++pid) {
+      const uint32_t center = result.assignment[pid];
+      auto p = db.point(pid);
+      for (size_t dim = 0; dim < d; ++dim) {
+        sums[center * d + dim] += p[dim];
+      }
+      ++counts[center];
+    }
+    for (uint32_t center = 0; center < k; ++center) {
+      if (counts[center] == 0) continue;  // keep an empty center put
+      for (size_t dim = 0; dim < d; ++dim) {
+        result.centers.at(center, dim) =
+            sums[center * d + dim] / static_cast<double>(counts[center]);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace knmatch

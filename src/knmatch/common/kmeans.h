@@ -1,0 +1,31 @@
+#ifndef KNMATCH_COMMON_KMEANS_H_
+#define KNMATCH_COMMON_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "knmatch/common/dataset.h"
+
+namespace knmatch {
+
+/// Result of a k-means run.
+struct KMeansResult {
+  /// k rows of d cluster centers.
+  Matrix centers;
+  /// Cluster index per input point.
+  std::vector<uint32_t> assignment;
+  /// Lloyd iterations actually executed.
+  size_t iterations = 0;
+  /// Sum of squared distances to assigned centers.
+  double inertia = 0;
+};
+
+/// Lloyd's k-means with k-means++ seeding, under the Euclidean metric.
+/// Deterministic per seed. Used to pick iDistance reference points and
+/// available as a general utility. `k` is clamped to the cardinality.
+KMeansResult KMeans(const Dataset& db, size_t k, uint64_t seed,
+                    size_t max_iterations = 25);
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_COMMON_KMEANS_H_

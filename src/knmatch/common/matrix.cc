@@ -1,0 +1,45 @@
+#include "knmatch/common/matrix.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace knmatch {
+
+Matrix Matrix::FromRows(
+    std::initializer_list<std::initializer_list<Value>> rows) {
+  Matrix m;
+  for (const auto& row : rows) {
+    std::vector<Value> tmp(row);
+    m.AppendRow(std::span<const Value>(tmp.data(), tmp.size()));
+  }
+  return m;
+}
+
+void Matrix::AppendRow(std::span<const Value> values) {
+  if (empty() && rows_ == 0) {
+    cols_ = values.size();
+  }
+  assert(values.size() == cols_ && "row length must match cols()");
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+std::vector<std::pair<Value, Value>> Matrix::NormalizeColumns() {
+  std::vector<std::pair<Value, Value>> ranges(cols_);
+  for (size_t c = 0; c < cols_; ++c) {
+    Value lo = std::numeric_limits<Value>::infinity();
+    Value hi = -std::numeric_limits<Value>::infinity();
+    for (size_t r = 0; r < rows_; ++r) {
+      lo = std::min(lo, at(r, c));
+      hi = std::max(hi, at(r, c));
+    }
+    ranges[c] = {lo, hi};
+    const Value width = hi - lo;
+    for (size_t r = 0; r < rows_; ++r) {
+      at(r, c) = width > 0 ? (at(r, c) - lo) / width : Value{0};
+    }
+  }
+  return ranges;
+}
+
+}  // namespace knmatch

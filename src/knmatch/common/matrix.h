@@ -1,0 +1,79 @@
+#ifndef KNMATCH_COMMON_MATRIX_H_
+#define KNMATCH_COMMON_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "knmatch/common/types.h"
+
+namespace knmatch {
+
+/// Dense row-major matrix of attribute values: `rows` points, each with
+/// `cols` dimensions. This is the in-memory representation of a dataset's
+/// coordinates; rows are points, columns are dimensions.
+class Matrix {
+ public:
+  /// An empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// A rows x cols matrix, zero-initialized.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, Value{0}) {}
+
+  /// Builds a matrix from row-major nested initializer lists; all rows
+  /// must have the same length. Intended for tests and examples.
+  static Matrix FromRows(
+      std::initializer_list<std::initializer_list<Value>> rows);
+
+  /// Number of points.
+  size_t rows() const { return rows_; }
+  /// Number of dimensions.
+  size_t cols() const { return cols_; }
+  /// True iff the matrix holds no values.
+  bool empty() const { return data_.empty(); }
+
+  /// Element access (point `r`, dimension `c`).
+  Value& at(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  Value at(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// A view over row `r` (one point, `cols()` values).
+  std::span<const Value> row(size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<Value> row(size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Raw row-major storage.
+  const std::vector<Value>& data() const { return data_; }
+  std::vector<Value>& data() { return data_; }
+
+  /// Appends a row; the span length must equal `cols()` (or the matrix
+  /// must be empty, in which case it defines `cols()`).
+  void AppendRow(std::span<const Value> values);
+
+  /// Rescales every column to [0, 1] by min-max normalization, in place.
+  /// Constant columns map to 0. Returns per-column (min, max) pairs that
+  /// were used, enabling queries to be normalized identically.
+  std::vector<std::pair<Value, Value>> NormalizeColumns();
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<Value> data_;
+};
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_COMMON_MATRIX_H_

@@ -1,0 +1,108 @@
+#include "knmatch/common/random.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace knmatch {
+
+namespace {
+
+/// SplitMix64 step; used only for seeding.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * Uniform01();
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::Gaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller with guard against log(0).
+  double u1 = Uniform01();
+  while (u1 <= 1e-300) u1 = Uniform01();
+  const double u2 = Uniform01();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = radius * std::sin(theta);
+  have_cached_gaussian_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+double Rng::Exponential(double lambda) {
+  assert(lambda > 0.0);
+  double u = Uniform01();
+  while (u <= 1e-300) u = Uniform01();
+  return -std::log(u) / lambda;
+}
+
+bool Rng::Bernoulli(double p) { return Uniform01() < p; }
+
+std::vector<uint32_t> Rng::Permutation(uint32_t n) {
+  std::vector<uint32_t> perm(n);
+  for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+  for (uint32_t i = n; i > 1; --i) {
+    const uint32_t j = static_cast<uint32_t>(UniformInt(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n,
+                                                    uint32_t count) {
+  assert(count <= n);
+  // Floyd's algorithm would avoid the O(n) permutation, but dataset sizes
+  // here are small enough that clarity wins.
+  std::vector<uint32_t> perm = Permutation(n);
+  perm.resize(count);
+  return perm;
+}
+
+}  // namespace knmatch

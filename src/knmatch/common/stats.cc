@@ -1,0 +1,59 @@
+#include "knmatch/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace knmatch {
+
+void Summary::Add(double x) {
+  values_.push_back(x);
+  sorted_ = false;
+}
+
+void Summary::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::Sum() const {
+  double s = 0;
+  for (double v : values_) s += v;
+  return s;
+}
+
+double Summary::Mean() const {
+  return values_.empty() ? 0.0 : Sum() / static_cast<double>(values_.size());
+}
+
+double Summary::Stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = Mean();
+  double acc = 0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size()));
+}
+
+double Summary::Min() const {
+  EnsureSorted();
+  return values_.empty() ? 0.0 : values_.front();
+}
+
+double Summary::Max() const {
+  EnsureSorted();
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+double Summary::Percentile(double p) const {
+  EnsureSorted();
+  if (values_.empty()) return 0.0;
+  if (values_.size() == 1) return values_[0];
+  const double rank = (p / 100.0) * static_cast<double>(values_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+}  // namespace knmatch

@@ -1,0 +1,60 @@
+#ifndef KNMATCH_COMMON_STATS_H_
+#define KNMATCH_COMMON_STATS_H_
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+namespace knmatch {
+
+/// Wall-clock stopwatch used by the benchmark harnesses for the CPU
+/// component of response times (the I/O component comes from the
+/// DiskSimulator's model).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Simple accumulating summary of a sample (mean / min / max / stddev /
+/// percentiles). Used to aggregate per-query measurements.
+class Summary {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations.
+  size_t count() const { return values_.size(); }
+  /// Arithmetic mean (0 when empty).
+  double Mean() const;
+  /// Population standard deviation (0 when fewer than 2 observations).
+  double Stddev() const;
+  /// Smallest observation.
+  double Min() const;
+  /// Largest observation.
+  double Max() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double Percentile(double p) const;
+  /// Sum of all observations.
+  double Sum() const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+  void EnsureSorted() const;
+};
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_COMMON_STATS_H_

@@ -1,0 +1,136 @@
+#ifndef KNMATCH_COMMON_STATUS_H_
+#define KNMATCH_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace knmatch {
+
+/// Error categories used across the library. Modeled after the
+/// status-code style used by storage engines: the library does not throw
+/// exceptions across its public API; fallible operations return a
+/// `Status` (or a `Result<T>`).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// A lightweight success-or-error value.
+///
+/// `Status` is cheap to copy in the success case (no allocation) and
+/// carries a human-readable message in the error case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// Renders e.g. "InvalidArgument: k must be positive".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk:
+        return "OK";
+      case StatusCode::kInvalidArgument:
+        return "InvalidArgument";
+      case StatusCode::kOutOfRange:
+        return "OutOfRange";
+      case StatusCode::kNotFound:
+        return "NotFound";
+      case StatusCode::kFailedPrecondition:
+        return "FailedPrecondition";
+      case StatusCode::kInternal:
+        return "Internal";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error pair: either holds a `T` (status OK) or an error
+/// `Status`. Accessing the value of an errored `Result` asserts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return status_.ok(); }
+
+  /// The status (OK when a value is held).
+  const Status& status() const { return status_; }
+
+  /// The held value. Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_COMMON_STATUS_H_

@@ -1,0 +1,91 @@
+#ifndef KNMATCH_COMMON_TOP_K_H_
+#define KNMATCH_COMMON_TOP_K_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace knmatch {
+
+/// Keeps the k smallest items by a (score, tiebreak) key.
+///
+/// Used by every scan-based algorithm (naive k-n-match, kNN, DPF) to
+/// maintain its running answer set. Backed by a max-heap of size <= k so
+/// that insertion is O(log k). Ties are broken by the secondary key so
+/// that all algorithms produce identical deterministic answers.
+template <typename Item, typename Score, typename Tiebreak>
+class BoundedTopK {
+ public:
+  struct Entry {
+    Score score;
+    Tiebreak tiebreak;
+    Item item;
+  };
+
+  /// A top-k accumulator for the given k (> 0).
+  explicit BoundedTopK(size_t k) : k_(k) { assert(k > 0); }
+
+  /// Number of items currently held (<= k).
+  size_t size() const { return heap_.size(); }
+  /// True when k items are held.
+  bool full() const { return heap_.size() == k_; }
+
+  /// The current k-th smallest score; only valid when `full()`.
+  Score threshold() const {
+    assert(full());
+    return heap_.front().score;
+  }
+
+  /// Worst (score, tiebreak) pair currently held; only valid when full.
+  const Entry& worst() const {
+    assert(full());
+    return heap_.front();
+  }
+
+  /// Offers an item; keeps it iff it is among the k smallest seen so far.
+  /// Returns true when the item was kept.
+  bool Offer(Score score, Tiebreak tiebreak, Item item) {
+    if (!full()) {
+      heap_.push_back(Entry{score, tiebreak, std::move(item)});
+      std::push_heap(heap_.begin(), heap_.end(), Less);
+      return true;
+    }
+    const Entry& top = heap_.front();
+    if (score > top.score ||
+        (score == top.score && !(tiebreak < top.tiebreak))) {
+      return false;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), Less);
+    heap_.back() = Entry{score, tiebreak, std::move(item)};
+    std::push_heap(heap_.begin(), heap_.end(), Less);
+    return true;
+  }
+
+  /// Extracts all held entries sorted ascending by (score, tiebreak).
+  /// The accumulator is left empty.
+  std::vector<Entry> TakeSorted() {
+    std::vector<Entry> out = std::move(heap_);
+    heap_.clear();
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+      if (a.score != b.score) return a.score < b.score;
+      return a.tiebreak < b.tiebreak;
+    });
+    return out;
+  }
+
+ private:
+  // Max-heap ordering on (score, tiebreak): the "largest" (worst) entry
+  // sits at the front.
+  static bool Less(const Entry& a, const Entry& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.tiebreak < b.tiebreak;
+  }
+
+  size_t k_;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_COMMON_TOP_K_H_

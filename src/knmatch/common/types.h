@@ -1,0 +1,34 @@
+#ifndef KNMATCH_COMMON_TYPES_H_
+#define KNMATCH_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace knmatch {
+
+/// Attribute value type. The paper normalizes all data to [0, 1]; we use
+/// double precision throughout so that difference computations are exact
+/// enough for tie-free comparisons in tests.
+using Value = double;
+
+/// Identifier of a point (row) in a dataset. The paper's datasets top out
+/// at a few hundred thousand points; 32 bits is ample.
+using PointId = uint32_t;
+
+/// Identifier of a class label in a labelled dataset.
+using Label = int32_t;
+
+/// Sentinel for "no point".
+inline constexpr PointId kInvalidPointId =
+    std::numeric_limits<PointId>::max();
+
+/// Sentinel label for unlabelled points.
+inline constexpr Label kNoLabel = -1;
+
+/// Positive infinity for `Value`; used by the AD algorithm for exhausted
+/// cursor directions.
+inline constexpr Value kInfValue = std::numeric_limits<Value>::infinity();
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_COMMON_TYPES_H_

@@ -1,0 +1,71 @@
+#include "knmatch/core/ad_algorithm.h"
+
+#include <utility>
+
+#include "knmatch/core/ad_engine.h"
+#include "knmatch/core/nmatch.h"
+#include "knmatch/core/nmatch_naive.h"
+
+namespace knmatch {
+
+namespace {
+
+Status ValidateWeights(std::span<const Value> weights, size_t d) {
+  if (weights.empty()) return Status::OK();
+  if (weights.size() != d) {
+    return Status::InvalidArgument(
+        "weights must be empty or have one entry per dimension");
+  }
+  for (const Value w : weights) {
+    if (!(w > 0)) {
+      return Status::InvalidArgument(
+          "AD weights must be strictly positive (a zero weight would "
+          "make an entire column pop at difference 0; model an ignored "
+          "dimension by dropping it instead)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<KnMatchResult> AdSearcher::KnMatch(
+    std::span<const Value> query, size_t n, size_t k,
+    std::span<const Value> weights) const {
+  Status s =
+      ValidateMatchParams(db_.size(), db_.dims(), query.size(), n, n, k);
+  if (!s.ok()) return s;
+  s = ValidateWeights(weights, db_.dims());
+  if (!s.ok()) return s;
+
+  internal::MemoryColumnAccessor acc(columns_);
+  internal::AdOutput out =
+      internal::RunAdSearch(acc, query, n, n, k, weights);
+
+  KnMatchResult result;
+  result.matches = std::move(out.per_n_sets[0]);
+  result.attributes_retrieved = out.attributes_retrieved;
+  return result;
+}
+
+Result<FrequentKnMatchResult> AdSearcher::FrequentKnMatch(
+    std::span<const Value> query, size_t n0, size_t n1, size_t k,
+    std::span<const Value> weights) const {
+  Status s =
+      ValidateMatchParams(db_.size(), db_.dims(), query.size(), n0, n1, k);
+  if (!s.ok()) return s;
+  s = ValidateWeights(weights, db_.dims());
+  if (!s.ok()) return s;
+
+  internal::MemoryColumnAccessor acc(columns_);
+  internal::AdOutput out =
+      internal::RunAdSearch(acc, query, n0, n1, k, weights);
+
+  FrequentKnMatchResult result;
+  result.per_n_sets = std::move(out.per_n_sets);
+  result.attributes_retrieved = out.attributes_retrieved;
+  RankByFrequency(k, &result);
+  return result;
+}
+
+}  // namespace knmatch

@@ -1,0 +1,65 @@
+#ifndef KNMATCH_CORE_AD_ALGORITHM_H_
+#define KNMATCH_CORE_AD_ALGORITHM_H_
+
+#include <span>
+
+#include "knmatch/common/dataset.h"
+#include "knmatch/common/status.h"
+#include "knmatch/core/match_types.h"
+#include "knmatch/core/sorted_columns.h"
+
+namespace knmatch {
+
+/// In-memory AD (Ascending Difference) searcher — the paper's optimal
+/// algorithms KNMatchAD and FKNMatchAD over per-dimension sorted
+/// columns.
+///
+/// Construction sorts every dimension once (O(d c log c)); each query
+/// then retrieves attributes in ascending order of their difference to
+/// the query and stops as early as correctness allows — provably the
+/// minimum number of attribute retrievals (Theorems 3.2 / 3.3).
+///
+/// Example:
+/// ```
+/// AdSearcher searcher(db);
+/// auto r = searcher.FrequentKnMatch(query, /*n0=*/4, /*n1=*/db.dims(),
+///                                   /*k=*/10);
+/// if (r.ok()) { ... r.value().matches ... }
+/// ```
+class AdSearcher {
+ public:
+  /// Builds the sorted-column organization for `db`. The dataset must
+  /// outlive the searcher.
+  explicit AdSearcher(const Dataset& db)
+      : db_(db), columns_(db) {}
+
+  /// Algorithm KNMatchAD (Fig. 4): the k points with smallest n-match
+  /// difference to `query`, in ascending difference order.
+  ///
+  /// Optional `weights` (one strictly positive value per dimension)
+  /// scale the per-dimension differences before the n-th-smallest
+  /// selection — the weighted extension of the matching model. Scaling
+  /// each column's differences by a positive constant preserves their
+  /// ascending order, so the AD algorithm's correctness and optimality
+  /// carry over unchanged.
+  Result<KnMatchResult> KnMatch(std::span<const Value> query, size_t n,
+                                size_t k,
+                                std::span<const Value> weights = {}) const;
+
+  /// Algorithm FKNMatchAD (Fig. 6): the k points appearing most often in
+  /// the k-n-match answer sets for n in [n0, n1]. `weights` as above.
+  Result<FrequentKnMatchResult> FrequentKnMatch(
+      std::span<const Value> query, size_t n0, size_t n1, size_t k,
+      std::span<const Value> weights = {}) const;
+
+  /// The underlying sorted columns (exposed for tests and tools).
+  const SortedColumns& columns() const { return columns_; }
+
+ private:
+  const Dataset& db_;
+  SortedColumns columns_;
+};
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_CORE_AD_ALGORITHM_H_

@@ -1,0 +1,201 @@
+#ifndef KNMATCH_CORE_AD_ENGINE_H_
+#define KNMATCH_CORE_AD_ENGINE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "knmatch/common/types.h"
+#include "knmatch/core/match_types.h"
+#include "knmatch/core/sorted_columns.h"
+
+namespace knmatch::internal {
+
+/// Output of one AD search: the k-n-match answer sets for every n in
+/// [n0, n1] (each capped at k entries, in ascending order of n-match
+/// difference — the order in which points completed n appearances), and
+/// the number of individual attributes retrieved.
+struct AdOutput {
+  std::vector<std::vector<Neighbor>> per_n_sets;
+  uint64_t attributes_retrieved = 0;
+};
+
+/// The stepping core of the AD (Ascending Difference) algorithm —
+/// the g[] cursor array of the paper's Figures 4/6, generalized over
+/// the column source so the same machinery serves the in-memory,
+/// column-store, and B+-tree implementations, and exposed one pop at a
+/// time so both the batch searches and the streaming iterator build on
+/// it.
+///
+/// `Accessor` must provide:
+///   size_t dims() const;                 // dimensionality d
+///   size_t column_size() const;          // cardinality c
+///   // idx-th smallest entry of `dim`; `slot` identifies the reading
+///   // cursor (2*dim for the downward direction, 2*dim+1 for upward)
+///   // so disk accessors can charge the right I/O stream.
+///   ColumnEntry ReadEntry(size_t dim, size_t idx, uint32_t slot);
+///   size_t LocateLowerBound(size_t dim, Value v);   // first idx >= v
+///
+/// `ReadEntry` calls are the retrieved attributes (the paper's cost
+/// metric); the engine counts them. Locating the query's position
+/// (binary search / index traversal) is charged by the accessor, not
+/// counted as an attribute retrieval, matching the paper's model where
+/// each sorted system supports positioned sorted access.
+///
+/// The engine maintains the paper's g[] array of 2d direction cursors
+/// (even slot 2i = downward within dimension i, odd slot 2i+1 = upward)
+/// as a min-heap keyed on (difference, slot); the slot component makes
+/// pop order — and therefore the answer — fully deterministic.
+///
+/// Optional positive per-dimension weights scale each difference before
+/// it enters the heap; scaling by a per-dimension constant preserves
+/// each cursor's ascending order, so correctness is unaffected.
+template <typename Accessor>
+class AdEngine {
+ public:
+  /// One popped attribute: the point it belongs to, its (weighted)
+  /// difference to the query in the popped dimension, and how many
+  /// times the point has now been seen.
+  struct Pop {
+    PointId pid;
+    Value dif;
+    uint16_t appearances;
+  };
+
+  AdEngine(Accessor& accessor, std::span<const Value> query,
+           std::span<const Value> weights = {})
+      : acc_(accessor),
+        query_(query),
+        weights_(weights),
+        c_(accessor.column_size()),
+        appear_(accessor.column_size(), 0),
+        next_idx_(2 * accessor.dims(), kExhausted) {
+    const size_t d = acc_.dims();
+    assert(query.size() == d);
+    assert(weights.empty() || weights.size() == d);
+    for (size_t dim = 0; dim < d; ++dim) {
+      const size_t pos = acc_.LocateLowerBound(dim, query_[dim]);
+      const auto down = static_cast<uint32_t>(2 * dim);
+      const uint32_t up = down + 1;
+      next_idx_[down] = pos == 0 ? kExhausted : pos - 1;
+      next_idx_[up] = pos == c_ ? kExhausted : pos;
+      ReadAndPush(down);
+      ReadAndPush(up);
+    }
+  }
+
+  /// Pops the next attribute in ascending difference order; nullopt
+  /// once every attribute of every column has been consumed.
+  std::optional<Pop> Step() {
+    if (g_.empty()) return std::nullopt;
+    const HeapItem item = g_.top();
+    g_.pop();
+    const PointId pid = item.entry.pid;
+    const uint16_t a = ++appear_[pid];
+    ReadAndPush(item.slot);
+    return Pop{pid, item.dif, a};
+  }
+
+  /// Attributes retrieved so far (including cursor read-ahead).
+  uint64_t attributes_retrieved() const { return attributes_retrieved_; }
+
+ private:
+  static constexpr size_t kExhausted = static_cast<size_t>(-1);
+
+  struct HeapItem {
+    Value dif;
+    uint32_t slot;
+    ColumnEntry entry;
+  };
+  struct HeapGreater {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      if (a.dif != b.dif) return a.dif > b.dif;
+      return a.slot > b.slot;
+    }
+  };
+
+  void ReadAndPush(uint32_t slot) {
+    const size_t idx = next_idx_[slot];
+    if (idx == kExhausted) return;
+    const size_t dim = slot / 2;
+    const ColumnEntry e = acc_.ReadEntry(dim, idx, slot);
+    ++attributes_retrieved_;
+    Value dif =
+        slot % 2 == 0 ? query_[dim] - e.value : e.value - query_[dim];
+    if (!weights_.empty()) dif *= weights_[dim];
+    g_.push(HeapItem{dif, slot, e});
+    if (slot % 2 == 0) {
+      next_idx_[slot] = idx == 0 ? kExhausted : idx - 1;
+    } else {
+      next_idx_[slot] = idx + 1 == c_ ? kExhausted : idx + 1;
+    }
+  }
+
+  Accessor& acc_;
+  std::span<const Value> query_;
+  std::span<const Value> weights_;
+  size_t c_;
+  uint64_t attributes_retrieved_ = 0;
+  std::vector<uint16_t> appear_;
+  std::vector<size_t> next_idx_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, HeapGreater> g_;
+};
+
+/// Batch driver: algorithms KNMatchAD (n0 == n1) and FKNMatchAD of the
+/// paper, on top of the stepping engine. Runs until the k-n1-match
+/// answer set is complete; by then every k-n-match set for n in
+/// [n0, n1] is complete as well (Sec. 3.2).
+template <typename Accessor>
+AdOutput RunAdSearch(Accessor& acc, std::span<const Value> query, size_t n0,
+                     size_t n1, size_t k,
+                     std::span<const Value> weights = {}) {
+  assert(n0 >= 1 && n0 <= n1 && n1 <= acc.dims());
+  assert(k >= 1 && k <= acc.column_size());
+
+  AdOutput out;
+  out.per_n_sets.resize(n1 - n0 + 1);
+  AdEngine<Accessor> engine(acc, query, weights);
+
+  auto& terminal_set = out.per_n_sets[n1 - n0];
+  while (terminal_set.size() < k) {
+    std::optional<typename AdEngine<Accessor>::Pop> pop = engine.Step();
+    assert(pop.has_value() && "columns exhausted before k points matched");
+    const uint16_t a = pop->appearances;
+    if (a >= n0 && a <= n1) {
+      auto& set = out.per_n_sets[a - n0];
+      // Definition 4 counts appearances in the *k*-n-match answer sets,
+      // so each per-n set is capped at the first k completions.
+      if (set.size() < k) {
+        set.push_back(Neighbor{pop->pid, pop->dif});
+      }
+    }
+  }
+  out.attributes_retrieved = engine.attributes_retrieved();
+  return out;
+}
+
+/// Accessor over in-memory SortedColumns.
+class MemoryColumnAccessor {
+ public:
+  explicit MemoryColumnAccessor(const SortedColumns& columns)
+      : columns_(columns) {}
+
+  size_t dims() const { return columns_.dims(); }
+  size_t column_size() const { return columns_.size(); }
+  ColumnEntry ReadEntry(size_t dim, size_t idx, uint32_t /*slot*/) const {
+    return columns_.column(dim)[idx];
+  }
+  size_t LocateLowerBound(size_t dim, Value v) const {
+    return columns_.LowerBound(dim, v);
+  }
+
+ private:
+  const SortedColumns& columns_;
+};
+
+}  // namespace knmatch::internal
+
+#endif  // KNMATCH_CORE_AD_ENGINE_H_

@@ -1,0 +1,74 @@
+#ifndef KNMATCH_CORE_AD_STREAM_H_
+#define KNMATCH_CORE_AD_STREAM_H_
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "knmatch/core/ad_engine.h"
+#include "knmatch/core/match_types.h"
+#include "knmatch/core/sorted_columns.h"
+
+namespace knmatch {
+
+/// Incremental n-match reporting: yields the 1st, 2nd, 3rd, ...
+/// n-match of a query in ascending n-match-difference order, retrieving
+/// attributes lazily. Useful when the consumer does not know k up
+/// front (result-set browsing, top-k with early user cancellation) —
+/// stopping after k results has retrieved exactly what KNMatchAD would
+/// have.
+///
+/// The stream is single-pass and pinned to the columns it reads (not
+/// copyable or movable). Construction requires 1 <= n <= dims and a
+/// query of matching dimensionality (checked by assertion; use
+/// ValidateMatchParams for untrusted input).
+class AdMatchStream {
+ public:
+  AdMatchStream(const SortedColumns& columns, std::span<const Value> query,
+                size_t n, std::span<const Value> weights = {})
+      : query_(query.begin(), query.end()),
+        weights_(weights.begin(), weights.end()),
+        n_(n),
+        accessor_(columns),
+        engine_(accessor_, query_, weights_) {
+    assert(n >= 1 && n <= columns.dims());
+    assert(query.size() == columns.dims());
+  }
+
+  AdMatchStream(const AdMatchStream&) = delete;
+  AdMatchStream& operator=(const AdMatchStream&) = delete;
+
+  /// The next n-match, or nullopt once all points have been reported.
+  std::optional<Neighbor> Next() {
+    for (;;) {
+      std::optional<
+          internal::AdEngine<internal::MemoryColumnAccessor>::Pop>
+          pop = engine_.Step();
+      if (!pop.has_value()) return std::nullopt;
+      if (pop->appearances == n_) {
+        ++yielded_;
+        return Neighbor{pop->pid, pop->dif};
+      }
+    }
+  }
+
+  /// Attributes retrieved so far.
+  uint64_t attributes_retrieved() const {
+    return engine_.attributes_retrieved();
+  }
+
+  /// Matches yielded so far.
+  size_t yielded() const { return yielded_; }
+
+ private:
+  std::vector<Value> query_;
+  std::vector<Value> weights_;
+  size_t n_;
+  size_t yielded_ = 0;
+  internal::MemoryColumnAccessor accessor_;
+  internal::AdEngine<internal::MemoryColumnAccessor> engine_;
+};
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_CORE_AD_STREAM_H_

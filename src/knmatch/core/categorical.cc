@@ -1,0 +1,132 @@
+#include "knmatch/core/categorical.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "knmatch/common/top_k.h"
+#include "knmatch/core/nmatch.h"
+#include "knmatch/core/nmatch_naive.h"
+
+namespace knmatch {
+
+namespace {
+
+/// Fills `out` with the per-dimension mixed differences, sorted
+/// ascending.
+void SortedMixedDifferences(std::span<const Value> p,
+                            std::span<const Value> q,
+                            const MixedSchema& schema,
+                            std::vector<Value>* out) {
+  assert(p.size() == q.size());
+  out->resize(p.size());
+  for (size_t i = 0; i < p.size(); ++i) {
+    const AttributeKind kind =
+        i < schema.kinds.size() ? schema.kinds[i] : AttributeKind::kNumeric;
+    Value diff;
+    if (kind == AttributeKind::kCategorical) {
+      diff = p[i] == q[i] ? Value{0} : schema.mismatch_penalty;
+    } else {
+      diff = std::abs(p[i] - q[i]);
+    }
+    if (!schema.weights.empty()) {
+      assert(schema.weights.size() == p.size());
+      diff *= schema.weights[i];
+    }
+    (*out)[i] = diff;
+  }
+  std::sort(out->begin(), out->end());
+}
+
+Status ValidateSchema(const MixedSchema& schema, size_t d) {
+  if (!schema.kinds.empty() && schema.kinds.size() != d) {
+    return Status::InvalidArgument(
+        "schema.kinds must be empty or have one entry per dimension");
+  }
+  if (!schema.weights.empty() && schema.weights.size() != d) {
+    return Status::InvalidArgument(
+        "schema.weights must be empty or have one entry per dimension");
+  }
+  for (const Value w : schema.weights) {
+    if (!(w >= 0)) {
+      return Status::InvalidArgument("weights must be non-negative");
+    }
+  }
+  if (!(schema.mismatch_penalty >= 0)) {
+    return Status::InvalidArgument("mismatch_penalty must be non-negative");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Value MixedNMatchDifference(std::span<const Value> p,
+                            std::span<const Value> q,
+                            const MixedSchema& schema, size_t n) {
+  assert(n >= 1 && n <= p.size());
+  std::vector<Value> diffs;
+  SortedMixedDifferences(p, q, schema, &diffs);
+  return diffs[n - 1];
+}
+
+Result<KnMatchResult> MixedKnMatch(const Dataset& db,
+                                   std::span<const Value> query,
+                                   const MixedSchema& schema, size_t n,
+                                   size_t k) {
+  Status s = ValidateMatchParams(db.size(), db.dims(), query.size(), n, n, k);
+  if (!s.ok()) return s;
+  s = ValidateSchema(schema, db.dims());
+  if (!s.ok()) return s;
+
+  BoundedTopK<PointId, Value, PointId> top(k);
+  std::vector<Value> diffs;
+  for (PointId pid = 0; pid < db.size(); ++pid) {
+    SortedMixedDifferences(db.point(pid), query, schema, &diffs);
+    top.Offer(diffs[n - 1], pid, pid);
+  }
+
+  KnMatchResult result;
+  for (auto& e : top.TakeSorted()) {
+    result.matches.push_back(Neighbor{e.item, e.score});
+  }
+  result.attributes_retrieved =
+      static_cast<uint64_t>(db.size()) * db.dims();
+  return result;
+}
+
+Result<FrequentKnMatchResult> MixedFrequentKnMatch(
+    const Dataset& db, std::span<const Value> query,
+    const MixedSchema& schema, size_t n0, size_t n1, size_t k) {
+  Status s =
+      ValidateMatchParams(db.size(), db.dims(), query.size(), n0, n1, k);
+  if (!s.ok()) return s;
+  s = ValidateSchema(schema, db.dims());
+  if (!s.ok()) return s;
+
+  using Accumulator = BoundedTopK<PointId, Value, PointId>;
+  std::vector<Accumulator> per_n;
+  per_n.reserve(n1 - n0 + 1);
+  for (size_t n = n0; n <= n1; ++n) per_n.emplace_back(k);
+
+  std::vector<Value> diffs;
+  for (PointId pid = 0; pid < db.size(); ++pid) {
+    SortedMixedDifferences(db.point(pid), query, schema, &diffs);
+    for (size_t n = n0; n <= n1; ++n) {
+      per_n[n - n0].Offer(diffs[n - 1], pid, pid);
+    }
+  }
+
+  FrequentKnMatchResult result;
+  result.per_n_sets.resize(per_n.size());
+  for (size_t i = 0; i < per_n.size(); ++i) {
+    for (auto& e : per_n[i].TakeSorted()) {
+      result.per_n_sets[i].push_back(Neighbor{e.item, e.score});
+    }
+  }
+  result.attributes_retrieved =
+      static_cast<uint64_t>(db.size()) * db.dims();
+  RankByFrequency(k, &result);
+  return result;
+}
+
+}  // namespace knmatch

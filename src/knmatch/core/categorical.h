@@ -1,0 +1,56 @@
+#ifndef KNMATCH_CORE_CATEGORICAL_H_
+#define KNMATCH_CORE_CATEGORICAL_H_
+
+#include <span>
+#include <vector>
+
+#include "knmatch/common/dataset.h"
+#include "knmatch/common/status.h"
+#include "knmatch/core/match_types.h"
+
+namespace knmatch {
+
+/// Attribute kinds for the mixed-type extension. The paper (footnote 1
+/// and Sec. 7) points out that the matching-based model gives a uniform
+/// treatment of spatial and categorical attributes; this module realizes
+/// that: a categorical dimension contributes difference 0 on an exact
+/// match and a fixed mismatch penalty otherwise, while numeric
+/// dimensions contribute |p_i - q_i| (optionally weighted).
+enum class AttributeKind : uint8_t {
+  kNumeric = 0,
+  kCategorical = 1,
+};
+
+/// Per-dimension schema for mixed-type k-n-match queries.
+struct MixedSchema {
+  /// One entry per dimension; missing entries default to kNumeric.
+  std::vector<AttributeKind> kinds;
+  /// Difference charged to a categorical mismatch. With numeric data
+  /// normalized to [0, 1], the default (1.0) equals the largest possible
+  /// numeric dissimilarity.
+  Value mismatch_penalty = 1.0;
+  /// Optional per-dimension weights applied to the difference before the
+  /// n-th-smallest selection; empty means all 1.0.
+  std::vector<Value> weights;
+};
+
+/// The weighted/mixed n-match difference of P with regard to Q under the
+/// schema: the n-th smallest of the per-dimension (weighted) differences.
+Value MixedNMatchDifference(std::span<const Value> p,
+                            std::span<const Value> q,
+                            const MixedSchema& schema, size_t n);
+
+/// Scan-based mixed-type k-n-match.
+Result<KnMatchResult> MixedKnMatch(const Dataset& db,
+                                   std::span<const Value> query,
+                                   const MixedSchema& schema, size_t n,
+                                   size_t k);
+
+/// Scan-based mixed-type frequent k-n-match over [n0, n1].
+Result<FrequentKnMatchResult> MixedFrequentKnMatch(
+    const Dataset& db, std::span<const Value> query,
+    const MixedSchema& schema, size_t n0, size_t n1, size_t k);
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_CORE_CATEGORICAL_H_

@@ -1,0 +1,57 @@
+#include "knmatch/core/nmatch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace knmatch {
+
+void SortedAbsDifferences(std::span<const Value> p, std::span<const Value> q,
+                          std::vector<Value>* out) {
+  assert(p.size() == q.size());
+  out->resize(p.size());
+  for (size_t i = 0; i < p.size(); ++i) {
+    (*out)[i] = std::abs(p[i] - q[i]);
+  }
+  std::sort(out->begin(), out->end());
+}
+
+Value NMatchDifference(std::span<const Value> p, std::span<const Value> q,
+                       size_t n) {
+  assert(p.size() == q.size());
+  assert(n >= 1 && n <= p.size());
+  std::vector<Value> diffs(p.size());
+  for (size_t i = 0; i < p.size(); ++i) {
+    diffs[i] = std::abs(p[i] - q[i]);
+  }
+  // nth_element is O(d) versus the full sort used in Definition 1;
+  // the result is identical.
+  std::nth_element(diffs.begin(), diffs.begin() + (n - 1), diffs.end());
+  return diffs[n - 1];
+}
+
+Status ValidateMatchParams(size_t c, size_t d, size_t query_dims, size_t n0,
+                           size_t n1, size_t k) {
+  if (c == 0) {
+    return Status::FailedPrecondition("database is empty");
+  }
+  if (query_dims != d) {
+    return Status::InvalidArgument(
+        "query dimensionality " + std::to_string(query_dims) +
+        " does not match database dimensionality " + std::to_string(d));
+  }
+  if (n0 < 1 || n1 > d || n0 > n1) {
+    return Status::InvalidArgument(
+        "require 1 <= n0 <= n1 <= d; got n0=" + std::to_string(n0) +
+        " n1=" + std::to_string(n1) + " d=" + std::to_string(d));
+  }
+  if (k < 1 || k > c) {
+    return Status::InvalidArgument("require 1 <= k <= c; got k=" +
+                                   std::to_string(k) +
+                                   " c=" + std::to_string(c));
+  }
+  return Status::OK();
+}
+
+}  // namespace knmatch

@@ -1,0 +1,31 @@
+#ifndef KNMATCH_CORE_NMATCH_H_
+#define KNMATCH_CORE_NMATCH_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "knmatch/common/status.h"
+#include "knmatch/common/types.h"
+
+namespace knmatch {
+
+/// Fills `out` (resized to p.size()) with |p_i - q_i| sorted ascending.
+/// This is the Delta' array of Definition 1.
+void SortedAbsDifferences(std::span<const Value> p, std::span<const Value> q,
+                          std::vector<Value>* out);
+
+/// The n-match difference of P with regard to Q (Definition 1): the n-th
+/// smallest of the per-dimension absolute differences, 1-based.
+/// Requires 1 <= n <= p.size() and p.size() == q.size().
+Value NMatchDifference(std::span<const Value> p, std::span<const Value> q,
+                       size_t n);
+
+/// Validates the common (k, n0, n1) parameters of (frequent) k-n-match
+/// queries against a database of cardinality `c` and dimensionality `d`.
+Status ValidateMatchParams(size_t c, size_t d, size_t query_dims, size_t n0,
+                           size_t n1, size_t k);
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_CORE_NMATCH_H_

@@ -1,0 +1,64 @@
+#include "knmatch/core/nmatch_join.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "knmatch/core/sorted_columns.h"
+
+namespace knmatch {
+
+namespace {
+
+/// Packs an ordered pid pair into one 64-bit key.
+uint64_t PairKey(PointId a, PointId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+Result<std::vector<JoinPair>> NMatchSelfJoin(const Dataset& db, size_t n,
+                                             Value epsilon) {
+  if (db.size() == 0) {
+    return Status::FailedPrecondition("database is empty");
+  }
+  if (n < 1 || n > db.dims()) {
+    return Status::InvalidArgument("require 1 <= n <= d; got n=" +
+                                   std::to_string(n));
+  }
+  if (!(epsilon >= 0)) {
+    return Status::InvalidArgument("epsilon must be non-negative");
+  }
+
+  SortedColumns columns(db);
+  std::unordered_map<uint64_t, uint32_t> match_counts;
+
+  for (size_t dim = 0; dim < db.dims(); ++dim) {
+    auto column = columns.column(dim);
+    size_t window_start = 0;
+    for (size_t i = 1; i < column.size(); ++i) {
+      while (column[i].value - column[window_start].value > epsilon) {
+        ++window_start;
+      }
+      // Every entry in [window_start, i) matches entry i in this
+      // dimension.
+      for (size_t j = window_start; j < i; ++j) {
+        const PointId a = std::min(column[i].pid, column[j].pid);
+        const PointId b = std::max(column[i].pid, column[j].pid);
+        ++match_counts[PairKey(a, b)];
+      }
+    }
+  }
+
+  std::vector<JoinPair> result;
+  for (const auto& [key, count] : match_counts) {
+    if (count >= n) {
+      result.push_back(JoinPair{static_cast<PointId>(key >> 32),
+                                static_cast<PointId>(key & 0xFFFFFFFFu)});
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace knmatch

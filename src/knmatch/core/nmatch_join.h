@@ -1,0 +1,46 @@
+#ifndef KNMATCH_CORE_NMATCH_JOIN_H_
+#define KNMATCH_CORE_NMATCH_JOIN_H_
+
+#include <vector>
+
+#include "knmatch/common/dataset.h"
+#include "knmatch/common/status.h"
+#include "knmatch/common/types.h"
+
+namespace knmatch {
+
+/// One pair of a similarity self-join; a < b by construction.
+struct JoinPair {
+  PointId a = kInvalidPointId;
+  PointId b = kInvalidPointId;
+
+  friend bool operator==(const JoinPair& x, const JoinPair& y) {
+    return x.a == y.a && x.b == y.b;
+  }
+  friend bool operator<(const JoinPair& x, const JoinPair& y) {
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  }
+};
+
+/// The epsilon-n-match similarity self-join — the natural join operator
+/// of the matching model (a step past the paper, which only defines
+/// search): all pairs (P, Q) that match within `epsilon` in at least
+/// `n` dimensions, i.e., whose n-match difference is <= epsilon.
+///
+/// Algorithm: the sorted-column organization the AD algorithm already
+/// maintains gives each dimension's epsilon-pairs by a sliding window
+/// over the sorted values; a pair qualifying in n dimensions is counted
+/// n times across the windows, so tallying pair counts and keeping
+/// those with count >= n answers the join. Cost is O(sum of window
+/// pair counts) — output-sensitive, far below the naive O(c^2 d) when
+/// epsilon is selective.
+///
+/// Pairs are returned sorted ascending. Memory scales with the number
+/// of window pairs; pick epsilon accordingly.
+Result<std::vector<JoinPair>> NMatchSelfJoin(const Dataset& db, size_t n,
+                                             Value epsilon);
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_CORE_NMATCH_JOIN_H_

@@ -1,0 +1,31 @@
+#include "knmatch/core/sorted_columns.h"
+
+#include <algorithm>
+
+namespace knmatch {
+
+SortedColumns::SortedColumns(const Dataset& db) {
+  columns_.resize(db.dims());
+  for (size_t dim = 0; dim < db.dims(); ++dim) {
+    auto& col = columns_[dim];
+    col.resize(db.size());
+    for (PointId pid = 0; pid < db.size(); ++pid) {
+      col[pid] = ColumnEntry{db.at(pid, dim), pid};
+    }
+    std::sort(col.begin(), col.end(),
+              [](const ColumnEntry& a, const ColumnEntry& b) {
+                if (a.value != b.value) return a.value < b.value;
+                return a.pid < b.pid;
+              });
+  }
+}
+
+size_t SortedColumns::LowerBound(size_t dim, Value v) const {
+  const auto& col = columns_[dim];
+  auto it = std::lower_bound(
+      col.begin(), col.end(), v,
+      [](const ColumnEntry& e, Value target) { return e.value < target; });
+  return static_cast<size_t>(it - col.begin());
+}
+
+}  // namespace knmatch

@@ -1,0 +1,56 @@
+#ifndef KNMATCH_CORE_SORTED_COLUMNS_H_
+#define KNMATCH_CORE_SORTED_COLUMNS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "knmatch/common/dataset.h"
+#include "knmatch/common/types.h"
+
+namespace knmatch {
+
+/// One attribute inside a sorted dimension: the value and the id of the
+/// point it belongs to. This is the "(point ID, attribute) pair" of the
+/// paper's Figure 5.
+struct ColumnEntry {
+  Value value = 0;
+  PointId pid = kInvalidPointId;
+
+  friend bool operator==(const ColumnEntry& a, const ColumnEntry& b) {
+    return a.value == b.value && a.pid == b.pid;
+  }
+};
+
+/// The paper's data organization for the AD algorithm: every dimension
+/// of the dataset sorted independently by attribute value (ties broken
+/// by point id, for determinism). Equivalently, the "scores sorted by
+/// each system" of the multiple-system IR model [Fagin 96].
+class SortedColumns {
+ public:
+  SortedColumns() = default;
+
+  /// Builds the d sorted columns from a dataset. O(d * c log c).
+  explicit SortedColumns(const Dataset& db);
+
+  /// Dimensionality d.
+  size_t dims() const { return columns_.size(); }
+  /// Cardinality c (entries per column).
+  size_t size() const { return columns_.empty() ? 0 : columns_[0].size(); }
+
+  /// The sorted entries of dimension `dim`.
+  std::span<const ColumnEntry> column(size_t dim) const {
+    return columns_[dim];
+  }
+
+  /// Index of the first entry in `dim` whose value is >= v (i.e.,
+  /// std::lower_bound). Entries at smaller indices are strictly < v.
+  size_t LowerBound(size_t dim, Value v) const;
+
+ private:
+  std::vector<std::vector<ColumnEntry>> columns_;
+};
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_CORE_SORTED_COLUMNS_H_

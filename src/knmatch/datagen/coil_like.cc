@@ -1,0 +1,109 @@
+#include "knmatch/datagen/coil_like.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "knmatch/common/random.h"
+
+namespace knmatch::datagen {
+
+namespace {
+
+constexpr size_t kNumPrototypes = 12;
+
+using Prototype = std::vector<Value>;  // kCoilGroupSize values
+
+/// Writes `proto` (jittered by `sigma`) into the feature group starting
+/// at `offset` of row `pid`.
+void WriteGroup(Matrix* m, PointId pid, size_t offset,
+                const Prototype& proto, double sigma, double scale,
+                Rng* rng) {
+  for (size_t i = 0; i < kCoilGroupSize; ++i) {
+    Value v = proto[i] * scale + rng->Gaussian(0.0, sigma);
+    // Reflect into [0, 1] rather than clamping, so no two features
+    // collide at exactly 0.0 or 1.0.
+    while (v < 0.0 || v > 1.0) {
+      if (v < 0.0) v = -v;
+      if (v > 1.0) v = 2.0 - v;
+    }
+    m->at(pid, offset + i) = v;
+  }
+}
+
+}  // namespace
+
+Dataset MakeCoilLike(uint64_t seed,
+                     std::vector<CoilAssignment>* assignments) {
+  Rng rng(seed);
+
+  // Prototype banks per feature group. Prototype values stay in
+  // [0.2, 0.8] so that typical cross-prototype differences are moderate
+  // (~0.2-0.3 per dimension).
+  auto make_bank = [&rng]() {
+    std::vector<Prototype> bank(kNumPrototypes);
+    for (auto& proto : bank) {
+      proto.resize(kCoilGroupSize);
+      for (Value& v : proto) v = rng.Uniform(0.2, 0.8);
+    }
+    return bank;
+  };
+  std::vector<Prototype> colors = make_bank();
+  std::vector<Prototype> textures = make_bank();
+  std::vector<Prototype> shapes = make_bank();
+
+  // Make color prototype 11 extreme — far from every other color — so
+  // that an object sharing texture+shape with the query but wearing
+  // color 11 is pushed to the back of any Euclidean ranking.
+  for (size_t i = 0; i < kCoilGroupSize; ++i) {
+    colors[11][i] = i % 2 == 0 ? 0.98 : 0.02;
+  }
+
+  // Prototype assignment per object.
+  struct Assignment {
+    size_t color, texture, shape;
+    double jitter = 0.015;
+    double shape_scale = 1.0;
+  };
+  std::vector<Assignment> assign(kCoilObjects);
+  for (auto& a : assign) {
+    a.color = rng.UniformInt(kNumPrototypes);
+    a.texture = rng.UniformInt(kNumPrototypes);
+    a.shape = rng.UniformInt(kNumPrototypes);
+    // Keep the planted (texture 3, shape 7) pairing unique to the story
+    // objects below.
+    while (a.texture == 3 && a.shape == 7) {
+      a.shape = rng.UniformInt(kNumPrototypes);
+    }
+    // Reserve the extreme color for the planted "boat".
+    while (a.color == 11) a.color = rng.UniformInt(kNumPrototypes);
+  }
+
+  // The planted objects (see header).
+  assign[CoilLikeIds::kQuery] = {5, 3, 7, 0.012, 1.0};
+  assign[CoilLikeIds::kBoat] = {11, 3, 7, 0.012, 1.0};
+  assign[CoilLikeIds::kScaledVariant] = {2, 3, 7, 0.015, 1.3};
+  assign[CoilLikeIds::kSameColorA] = {5, 3, 9, 0.05, 1.0};
+  assign[CoilLikeIds::kSameColorB] = {5, 6, 7, 0.05, 1.0};
+  assign[CoilLikeIds::kSameColorC] = {5, 3, 2, 0.06, 1.0};
+
+  Matrix m(kCoilObjects, kCoilFeatures);
+  if (assignments != nullptr) assignments->resize(kCoilObjects);
+  for (PointId pid = 0; pid < kCoilObjects; ++pid) {
+    const Assignment& a = assign[pid];
+    WriteGroup(&m, pid, 0, colors[a.color], a.jitter, 1.0, &rng);
+    WriteGroup(&m, pid, kCoilGroupSize, textures[a.texture], a.jitter, 1.0,
+               &rng);
+    WriteGroup(&m, pid, 2 * kCoilGroupSize, shapes[a.shape], a.jitter,
+               a.shape_scale, &rng);
+    if (assignments != nullptr) {
+      (*assignments)[pid] = CoilAssignment{a.color, a.texture, a.shape};
+    }
+  }
+
+  Dataset db(std::move(m));
+  db.set_name("coil100-like");
+  return db;
+}
+
+}  // namespace knmatch::datagen

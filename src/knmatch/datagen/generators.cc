@@ -1,0 +1,163 @@
+#include "knmatch/datagen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "knmatch/common/random.h"
+
+namespace knmatch::datagen {
+
+namespace {
+
+/// Folds a real value into [0, 1] by reflection at the borders. Unlike
+/// clamping, this keeps the distribution continuous — no probability
+/// mass piles up at exactly 0.0 or 1.0, so continuous generators stay
+/// tie-free (ties are where scan order and AD pop order may disagree).
+Value FoldIntoUnit(Value v) {
+  while (v < 0.0 || v > 1.0) {
+    if (v < 0.0) v = -v;
+    if (v > 1.0) v = 2.0 - v;
+  }
+  return v;
+}
+
+}  // namespace
+
+Dataset MakeUniform(size_t cardinality, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(cardinality, dims);
+  for (Value& v : m.data()) v = rng.Uniform01();
+  Dataset db(std::move(m));
+  db.set_name("uniform-" + std::to_string(dims) + "d-" +
+              std::to_string(cardinality));
+  return db;
+}
+
+Dataset MakeClustered(const ClusteredSpec& spec) {
+  Rng rng(spec.seed);
+  const size_t d = spec.dims;
+
+  // Choose which dimensions carry class signal.
+  const auto num_noise_dims = static_cast<size_t>(
+      std::round(spec.noise_dim_fraction * static_cast<double>(d)));
+  std::vector<bool> is_noise(d, false);
+  for (uint32_t idx : rng.SampleWithoutReplacement(
+           static_cast<uint32_t>(d), static_cast<uint32_t>(num_noise_dims))) {
+    is_noise[idx] = true;
+  }
+
+  // Class centers in the informative dimensions, kept away from the
+  // borders so clusters do not clip too hard.
+  std::vector<std::vector<Value>> centers(spec.num_classes,
+                                          std::vector<Value>(d));
+  for (auto& center : centers) {
+    for (size_t dim = 0; dim < d; ++dim) {
+      center[dim] = rng.Uniform(0.15, 0.85);
+    }
+  }
+
+  Matrix m(spec.cardinality, d);
+  std::vector<Label> labels(spec.cardinality);
+  for (size_t row = 0; row < spec.cardinality; ++row) {
+    const auto cls = static_cast<size_t>(rng.UniformInt(spec.num_classes));
+    labels[row] = static_cast<Label>(cls);
+    for (size_t dim = 0; dim < d; ++dim) {
+      Value v;
+      if (is_noise[dim]) {
+        v = rng.Uniform01();
+      } else {
+        v = rng.Gaussian(centers[cls][dim], spec.cluster_sigma);
+      }
+      // Sporadic extreme reading, independent of class.
+      if (rng.Bernoulli(spec.outlier_prob)) {
+        v = rng.Bernoulli(0.5) ? rng.Uniform(0.0, 0.02)
+                               : rng.Uniform(0.98, 1.0);
+      }
+      m.at(row, dim) = FoldIntoUnit(v);
+    }
+  }
+
+  Dataset db(std::move(m), std::move(labels));
+  db.set_name("clustered-" + std::to_string(d) + "d-" +
+              std::to_string(spec.num_classes) + "c");
+  return db;
+}
+
+Dataset MakeSkewed(size_t cardinality, size_t dims, uint64_t seed,
+                   size_t num_clusters) {
+  Rng rng(seed);
+  // Exponentially decaying cluster weights (Zipf-like mass).
+  std::vector<double> cumulative(num_clusters);
+  double total = 0;
+  for (size_t i = 0; i < num_clusters; ++i) {
+    total += std::exp(-0.35 * static_cast<double>(i));
+    cumulative[i] = total;
+  }
+
+  std::vector<std::vector<Value>> centers(num_clusters,
+                                          std::vector<Value>(dims));
+  std::vector<double> sigmas(num_clusters);
+  for (size_t i = 0; i < num_clusters; ++i) {
+    for (size_t dim = 0; dim < dims; ++dim) {
+      // Skewed marginals: centers biased toward the low end.
+      centers[i][dim] = std::pow(rng.Uniform01(), 2.0);
+    }
+    sigmas[i] = rng.Uniform(0.01, 0.08);
+  }
+
+  Matrix m(cardinality, dims);
+  for (size_t row = 0; row < cardinality; ++row) {
+    const double pick = rng.Uniform(0.0, total);
+    const size_t cluster = static_cast<size_t>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), pick) -
+        cumulative.begin());
+    for (size_t dim = 0; dim < dims; ++dim) {
+      m.at(row, dim) = FoldIntoUnit(
+          rng.Gaussian(centers[cluster][dim], sigmas[cluster]));
+    }
+  }
+
+  Dataset db(std::move(m));
+  db.set_name("skewed-" + std::to_string(dims) + "d-" +
+              std::to_string(cardinality));
+  return db;
+}
+
+Dataset MakeCorrelated(size_t cardinality, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  constexpr size_t kLatentDims = 3;
+  // Random non-negative blend of the latent factors per dimension.
+  std::vector<std::vector<double>> blend(dims,
+                                         std::vector<double>(kLatentDims));
+  for (auto& row : blend) {
+    double norm = 0;
+    for (double& w : row) {
+      w = rng.Uniform01();
+      norm += w;
+    }
+    for (double& w : row) w /= norm;
+  }
+
+  Matrix m(cardinality, dims);
+  std::vector<double> latent(kLatentDims);
+  for (size_t row = 0; row < cardinality; ++row) {
+    for (double& f : latent) f = rng.Uniform01();
+    for (size_t dim = 0; dim < dims; ++dim) {
+      double v = 0;
+      for (size_t f = 0; f < kLatentDims; ++f) {
+        v += blend[dim][f] * latent[f];
+      }
+      v += rng.Gaussian(0.0, 0.03);
+      m.at(row, dim) = FoldIntoUnit(v);
+    }
+  }
+
+  Dataset db(std::move(m));
+  db.set_name("correlated-" + std::to_string(dims) + "d-" +
+              std::to_string(cardinality));
+  return db;
+}
+
+}  // namespace knmatch::datagen

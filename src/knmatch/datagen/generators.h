@@ -1,0 +1,49 @@
+#ifndef KNMATCH_DATAGEN_GENERATORS_H_
+#define KNMATCH_DATAGEN_GENERATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "knmatch/common/dataset.h"
+
+namespace knmatch::datagen {
+
+/// Uniformly distributed points in [0, 1]^d — the paper's synthetic
+/// workload for the efficiency experiments (Figures 10, 12-14).
+Dataset MakeUniform(size_t cardinality, size_t dims, uint64_t seed);
+
+/// Parameters for the class-labelled clustered generator.
+struct ClusteredSpec {
+  size_t cardinality = 1000;
+  size_t dims = 16;
+  size_t num_classes = 4;
+  /// Standard deviation of a class cluster in each informative
+  /// dimension.
+  double cluster_sigma = 0.06;
+  /// Fraction of dimensions carrying no class signal (uniform noise).
+  double noise_dim_fraction = 0.25;
+  /// Probability that any single attribute is replaced by a uniform
+  /// "bad reading" — the wrong-sensor/bad-pixel artifact the paper's
+  /// introduction motivates partial matching with.
+  double outlier_prob = 0.02;
+  uint64_t seed = 1;
+};
+
+/// Gaussian class clusters with noise dimensions and sporadic extreme
+/// readings; labelled, normalized to [0, 1]. The substrate for the
+/// class-stripping effectiveness experiments (Table 4, Figures 8-9).
+Dataset MakeClustered(const ClusteredSpec& spec);
+
+/// Skewed (cluster-weighted, exponential-tailed) data in [0, 1]^d.
+/// Mimics the "high skew" the paper observes in the Corel texture data.
+Dataset MakeSkewed(size_t cardinality, size_t dims, uint64_t seed,
+                   size_t num_clusters = 20);
+
+/// Linearly correlated data in [0, 1]^d: a 3-dimensional latent factor
+/// mapped through a random linear blend plus noise. Exercises
+/// algorithms under inter-dimension correlation.
+Dataset MakeCorrelated(size_t cardinality, size_t dims, uint64_t seed);
+
+}  // namespace knmatch::datagen
+
+#endif  // KNMATCH_DATAGEN_GENERATORS_H_

@@ -1,0 +1,13 @@
+#include "knmatch/datagen/texture_like.h"
+
+#include "knmatch/datagen/generators.h"
+
+namespace knmatch::datagen {
+
+Dataset MakeTextureLike(uint64_t seed, size_t cardinality) {
+  Dataset db = MakeSkewed(cardinality, 16, seed, /*num_clusters=*/24);
+  db.set_name("texture-like");
+  return db;
+}
+
+}  // namespace knmatch::datagen

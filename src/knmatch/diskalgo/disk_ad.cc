@@ -1,0 +1,77 @@
+#include "knmatch/diskalgo/disk_ad.h"
+
+#include <utility>
+#include <vector>
+
+#include "knmatch/core/ad_engine.h"
+#include "knmatch/core/nmatch.h"
+#include "knmatch/core/nmatch_naive.h"
+
+namespace knmatch {
+
+namespace {
+
+/// AD-engine accessor over the paged column store. One I/O stream per
+/// direction cursor (2 per dimension), identified by the engine-supplied
+/// slot, so each direction's page buffer and sequential-run detection
+/// are independent.
+class DiskColumnAccessor {
+ public:
+  explicit DiskColumnAccessor(const ColumnStore& columns)
+      : columns_(columns) {
+    streams_.reserve(2 * columns.dims());
+    for (size_t i = 0; i < 2 * columns.dims(); ++i) {
+      streams_.push_back(columns.OpenStream());
+    }
+  }
+
+  size_t dims() const { return columns_.dims(); }
+  size_t column_size() const { return columns_.column_size(); }
+
+  ColumnEntry ReadEntry(size_t dim, size_t idx, uint32_t slot) {
+    return columns_.ReadEntry(streams_[slot], dim, idx);
+  }
+
+  size_t LocateLowerBound(size_t dim, Value v) const {
+    return columns_.LowerBound(dim, v);
+  }
+
+ private:
+  const ColumnStore& columns_;
+  std::vector<size_t> streams_;
+};
+
+}  // namespace
+
+Result<KnMatchResult> DiskAdSearcher::KnMatch(std::span<const Value> query,
+                                              size_t n, size_t k) const {
+  Status s = ValidateMatchParams(columns_.column_size(), columns_.dims(),
+                                 query.size(), n, n, k);
+  if (!s.ok()) return s;
+
+  DiskColumnAccessor acc(columns_);
+  internal::AdOutput out = internal::RunAdSearch(acc, query, n, n, k);
+
+  KnMatchResult result;
+  result.matches = std::move(out.per_n_sets[0]);
+  result.attributes_retrieved = out.attributes_retrieved;
+  return result;
+}
+
+Result<FrequentKnMatchResult> DiskAdSearcher::FrequentKnMatch(
+    std::span<const Value> query, size_t n0, size_t n1, size_t k) const {
+  Status s = ValidateMatchParams(columns_.column_size(), columns_.dims(),
+                                 query.size(), n0, n1, k);
+  if (!s.ok()) return s;
+
+  DiskColumnAccessor acc(columns_);
+  internal::AdOutput out = internal::RunAdSearch(acc, query, n0, n1, k);
+
+  FrequentKnMatchResult result;
+  result.per_n_sets = std::move(out.per_n_sets);
+  result.attributes_retrieved = out.attributes_retrieved;
+  RankByFrequency(k, &result);
+  return result;
+}
+
+}  // namespace knmatch

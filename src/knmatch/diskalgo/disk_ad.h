@@ -1,0 +1,41 @@
+#ifndef KNMATCH_DISKALGO_DISK_AD_H_
+#define KNMATCH_DISKALGO_DISK_AD_H_
+
+#include <span>
+
+#include "knmatch/common/status.h"
+#include "knmatch/core/match_types.h"
+#include "knmatch/storage/column_store.h"
+
+namespace knmatch {
+
+/// Disk-based AD algorithm (Section 4.1): the FKNMatchAD control loop
+/// over the paged, sorted column store. Every cursor direction gets its
+/// own I/O stream, so consecutive reads within a direction are
+/// page-buffered and forward runs are sequential — the property the
+/// paper highlights ("FKNMatchAD accesses the pages sequentially when
+/// searching forwards").
+///
+/// Page-access counts and modelled I/O time are read off the shared
+/// DiskSimulator by the caller (reset its counters around a query).
+class DiskAdSearcher {
+ public:
+  /// Searches `columns`; the store must outlive the searcher.
+  explicit DiskAdSearcher(const ColumnStore& columns) : columns_(columns) {}
+
+  /// Disk-based KNMatchAD.
+  Result<KnMatchResult> KnMatch(std::span<const Value> query, size_t n,
+                                size_t k) const;
+
+  /// Disk-based FKNMatchAD.
+  Result<FrequentKnMatchResult> FrequentKnMatch(std::span<const Value> query,
+                                                size_t n0, size_t n1,
+                                                size_t k) const;
+
+ private:
+  const ColumnStore& columns_;
+};
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_DISKALGO_DISK_AD_H_

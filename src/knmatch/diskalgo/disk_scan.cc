@@ -1,0 +1,137 @@
+#include "knmatch/diskalgo/disk_scan.h"
+
+#include <cmath>
+#include <vector>
+
+#include "knmatch/common/top_k.h"
+#include "knmatch/core/nmatch.h"
+#include "knmatch/core/nmatch_naive.h"
+
+namespace knmatch {
+
+Result<KnMatchResult> DiskScan::KnMatch(std::span<const Value> query,
+                                        size_t n, size_t k) const {
+  Status s = ValidateMatchParams(rows_.size(), rows_.dims(), query.size(), n,
+                                 n, k);
+  if (!s.ok()) return s;
+
+  const size_t stream = rows_.OpenStream();
+  BoundedTopK<PointId, Value, PointId> top(k);
+  std::vector<Value> diffs;
+  rows_.ForEachRow(stream, [&](PointId pid, std::span<const Value> p) {
+    SortedAbsDifferences(p, query, &diffs);
+    top.Offer(diffs[n - 1], pid, pid);
+  });
+
+  KnMatchResult result;
+  for (auto& e : top.TakeSorted()) {
+    result.matches.push_back(Neighbor{e.item, e.score});
+  }
+  result.attributes_retrieved =
+      static_cast<uint64_t>(rows_.size()) * rows_.dims();
+  return result;
+}
+
+Result<FrequentKnMatchResult> DiskScan::FrequentKnMatch(
+    std::span<const Value> query, size_t n0, size_t n1, size_t k) const {
+  Status s = ValidateMatchParams(rows_.size(), rows_.dims(), query.size(),
+                                 n0, n1, k);
+  if (!s.ok()) return s;
+
+  using Accumulator = BoundedTopK<PointId, Value, PointId>;
+  std::vector<Accumulator> per_n;
+  per_n.reserve(n1 - n0 + 1);
+  for (size_t n = n0; n <= n1; ++n) per_n.emplace_back(k);
+
+  const size_t stream = rows_.OpenStream();
+  std::vector<Value> diffs;
+  rows_.ForEachRow(stream, [&](PointId pid, std::span<const Value> p) {
+    SortedAbsDifferences(p, query, &diffs);
+    for (size_t n = n0; n <= n1; ++n) {
+      per_n[n - n0].Offer(diffs[n - 1], pid, pid);
+    }
+  });
+
+  FrequentKnMatchResult result;
+  result.per_n_sets.resize(per_n.size());
+  for (size_t i = 0; i < per_n.size(); ++i) {
+    for (auto& e : per_n[i].TakeSorted()) {
+      result.per_n_sets[i].push_back(Neighbor{e.item, e.score});
+    }
+  }
+  result.attributes_retrieved =
+      static_cast<uint64_t>(rows_.size()) * rows_.dims();
+  RankByFrequency(k, &result);
+  return result;
+}
+
+Result<std::vector<FrequentKnMatchResult>> DiskScan::FrequentKnMatchBatch(
+    std::span<const std::vector<Value>> queries, size_t n0, size_t n1,
+    size_t k) const {
+  for (const auto& q : queries) {
+    Status s = ValidateMatchParams(rows_.size(), rows_.dims(), q.size(),
+                                   n0, n1, k);
+    if (!s.ok()) return s;
+  }
+
+  using Accumulator = BoundedTopK<PointId, Value, PointId>;
+  const size_t range = n1 - n0 + 1;
+  std::vector<std::vector<Accumulator>> per_query(queries.size());
+  for (auto& per_n : per_query) {
+    per_n.reserve(range);
+    for (size_t i = 0; i < range; ++i) per_n.emplace_back(k);
+  }
+
+  const size_t stream = rows_.OpenStream();
+  std::vector<Value> diffs;
+  rows_.ForEachRow(stream, [&](PointId pid, std::span<const Value> p) {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      SortedAbsDifferences(p, queries[qi], &diffs);
+      for (size_t n = n0; n <= n1; ++n) {
+        per_query[qi][n - n0].Offer(diffs[n - 1], pid, pid);
+      }
+    }
+  });
+
+  std::vector<FrequentKnMatchResult> results(queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    results[qi].per_n_sets.resize(range);
+    for (size_t i = 0; i < range; ++i) {
+      for (auto& e : per_query[qi][i].TakeSorted()) {
+        results[qi].per_n_sets[i].push_back(Neighbor{e.item, e.score});
+      }
+    }
+    results[qi].attributes_retrieved =
+        static_cast<uint64_t>(rows_.size()) * rows_.dims();
+    RankByFrequency(k, &results[qi]);
+  }
+  return results;
+}
+
+Result<KnMatchResult> DiskScan::KnnEuclidean(std::span<const Value> query,
+                                             size_t k) const {
+  Status s = ValidateMatchParams(rows_.size(), rows_.dims(), query.size(), 1,
+                                 1, k);
+  if (!s.ok()) return s;
+
+  const size_t stream = rows_.OpenStream();
+  BoundedTopK<PointId, Value, PointId> top(k);
+  rows_.ForEachRow(stream, [&](PointId pid, std::span<const Value> p) {
+    Value sum = 0;
+    for (size_t i = 0; i < p.size(); ++i) {
+      const Value diff = p[i] - query[i];
+      sum += diff * diff;
+    }
+    top.Offer(std::sqrt(sum), pid, pid);
+  });
+
+  KnMatchResult result;
+  for (auto& e : top.TakeSorted()) {
+    result.matches.push_back(Neighbor{e.item, e.score});
+  }
+  result.attributes_retrieved =
+      static_cast<uint64_t>(rows_.size()) * rows_.dims();
+  return result;
+}
+
+}  // namespace knmatch

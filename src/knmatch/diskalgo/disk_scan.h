@@ -1,0 +1,50 @@
+#ifndef KNMATCH_DISKALGO_DISK_SCAN_H_
+#define KNMATCH_DISKALGO_DISK_SCAN_H_
+
+#include <span>
+
+#include "knmatch/common/status.h"
+#include "knmatch/core/match_types.h"
+#include "knmatch/storage/row_store.h"
+
+namespace knmatch {
+
+/// Disk-based sequential-scan competitors: read the whole row file once
+/// (sequential I/O) and evaluate the query on every point. These are the
+/// "scan" reference lines in Figures 10-15.
+class DiskScan {
+ public:
+  /// Scans `rows`; the store must outlive the scanner.
+  explicit DiskScan(const RowStore& rows) : rows_(rows) {}
+
+  /// Sequential-scan k-n-match.
+  Result<KnMatchResult> KnMatch(std::span<const Value> query, size_t n,
+                                size_t k) const;
+
+  /// Sequential-scan frequent k-n-match over [n0, n1].
+  Result<FrequentKnMatchResult> FrequentKnMatch(std::span<const Value> query,
+                                                size_t n0, size_t n1,
+                                                size_t k) const;
+
+  /// Answers a batch of frequent k-n-match queries in ONE pass over the
+  /// row file: the scan's dominant cost (reading every page) is paid
+  /// once and amortized over the whole batch — the standard
+  /// shared-scan optimization, and the fair way to compare a scan
+  /// against indexes under concurrent workloads.
+  Result<std::vector<FrequentKnMatchResult>> FrequentKnMatchBatch(
+      std::span<const std::vector<Value>> queries, size_t n0, size_t n1,
+      size_t k) const;
+
+  /// Sequential-scan exact kNN under the Euclidean distance (used by the
+  /// effectiveness comparisons; shares the same I/O profile as the
+  /// k-n-match scan).
+  Result<KnMatchResult> KnnEuclidean(std::span<const Value> query,
+                                     size_t k) const;
+
+ private:
+  const RowStore& rows_;
+};
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_DISKALGO_DISK_SCAN_H_

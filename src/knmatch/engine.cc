@@ -1,0 +1,160 @@
+#include "knmatch/engine.h"
+
+#include <utility>
+
+#include "knmatch/core/nmatch.h"
+#include "knmatch/core/nmatch_join.h"
+#include "knmatch/eval/selectivity.h"
+
+namespace knmatch {
+
+SimilarityEngine::SimilarityEngine(Dataset db, DiskConfig config)
+    : db_(std::move(db)), config_(config) {}
+
+SimilarityEngine::~SimilarityEngine() = default;
+
+void SimilarityEngine::EnsureAd() const {
+  if (ad_ == nullptr) ad_ = std::make_unique<AdSearcher>(db_);
+}
+
+void SimilarityEngine::EnsureIGrid() const {
+  if (igrid_ == nullptr) igrid_ = std::make_unique<IGridIndex>(db_);
+}
+
+void SimilarityEngine::EnsureDiskStores() const {
+  if (disk_ == nullptr) {
+    disk_ = std::make_unique<DiskSimulator>(config_);
+    rows_ = std::make_unique<RowStore>(db_, disk_.get());
+    columns_ = std::make_unique<ColumnStore>(db_, disk_.get());
+    va_ = std::make_unique<VaFile>(db_, disk_.get(), 8);
+  }
+}
+
+void SimilarityEngine::EnsureAdvisor() const {
+  if (advisor_ == nullptr) {
+    advisor_ = std::make_unique<eval::QueryAdvisor>(db_, config_);
+  }
+}
+
+Result<KnMatchResult> SimilarityEngine::KnMatch(
+    std::span<const Value> query, size_t n, size_t k,
+    std::span<const Value> weights) const {
+  EnsureAd();
+  return ad_->KnMatch(query, n, k, weights);
+}
+
+Result<FrequentKnMatchResult> SimilarityEngine::FrequentKnMatch(
+    std::span<const Value> query, size_t n0, size_t n1, size_t k,
+    std::span<const Value> weights) const {
+  EnsureAd();
+  return ad_->FrequentKnMatch(query, n0, n1, k, weights);
+}
+
+Result<KnMatchResult> SimilarityEngine::Knn(std::span<const Value> query,
+                                            size_t k, Metric metric) const {
+  return KnnScan(db_, query, k, metric);
+}
+
+Result<KnMatchResult> SimilarityEngine::IGridSearch(
+    std::span<const Value> query, size_t k) const {
+  EnsureIGrid();
+  return igrid_->Search(query, k);
+}
+
+Result<std::vector<JoinPair>> SimilarityEngine::SelfJoin(
+    size_t n, Value epsilon) const {
+  return NMatchSelfJoin(db_, n, epsilon);
+}
+
+Result<SimilarityEngine::SelectivityEstimate>
+SimilarityEngine::EstimateSelectivity(std::span<const Value> query,
+                                      size_t n, size_t k) const {
+  Status s =
+      ValidateMatchParams(db_.size(), db_.dims(), query.size(), n, n, k);
+  if (!s.ok()) return s;
+  if (estimator_ == nullptr) {
+    estimator_ = std::make_unique<eval::SelectivityEstimator>(db_);
+  }
+  SelectivityEstimate estimate;
+  estimate.estimated_difference =
+      estimator_->EstimateKnMatchDifference(query, n, k);
+  estimate.ad_attribute_fraction =
+      estimator_->EstimateAdAttributeFraction(query, n, k);
+  return estimate;
+}
+
+PointId SimilarityEngine::InsertPoint(std::span<const Value> coords,
+                                      Label label) {
+  const PointId pid = db_.Append(coords, label);
+  // Invalidate every derived structure; each rebuilds on next use.
+  ad_.reset();
+  igrid_.reset();
+  disk_.reset();
+  rows_.reset();
+  columns_.reset();
+  va_.reset();
+  advisor_.reset();
+  estimator_.reset();
+  return pid;
+}
+
+Result<FrequentKnMatchResult> SimilarityEngine::DiskFrequentKnMatch(
+    std::span<const Value> query, size_t n0, size_t n1, size_t k,
+    DiskMethod method) const {
+  EnsureDiskStores();
+
+  if (method == DiskMethod::kAuto) {
+    EnsureAdvisor();
+    auto estimate = advisor_->Estimate(query, n0, n1, k);
+    if (!estimate.ok()) return estimate.status();
+    switch (estimate.value().best) {
+      case eval::SearchMethod::kSequentialScan:
+        method = DiskMethod::kScan;
+        break;
+      case eval::SearchMethod::kDiskAd:
+        method = DiskMethod::kAd;
+        break;
+      case eval::SearchMethod::kVaFile:
+        method = DiskMethod::kVaFile;
+        break;
+    }
+  }
+  last_disk_method_ = method;
+
+  Result<FrequentKnMatchResult> result =
+      Status::Internal("no disk method ran");
+  last_disk_cost_ = eval::MeasureQuery(disk_.get(), [&] {
+    switch (method) {
+      case DiskMethod::kScan:
+        result = DiskScan(*rows_).FrequentKnMatch(query, n0, n1, k);
+        break;
+      case DiskMethod::kAd:
+        result = DiskAdSearcher(*columns_).FrequentKnMatch(query, n0, n1, k);
+        break;
+      case DiskMethod::kVaFile: {
+        auto va = VaKnMatchSearcher(*va_, *rows_)
+                      .FrequentKnMatch(query, n0, n1, k);
+        if (va.ok()) {
+          result = std::move(va).value().base;
+        } else {
+          result = va.status();
+        }
+        break;
+      }
+      case DiskMethod::kAuto:
+        break;  // resolved above
+    }
+  });
+  return result;
+}
+
+SimilarityEngine::StorageStats SimilarityEngine::DiskStorageStats() const {
+  EnsureDiskStores();
+  StorageStats stats;
+  stats.row_pages = rows_->num_pages();
+  stats.column_pages = columns_->num_pages();
+  stats.va_pages = va_->num_pages();
+  return stats;
+}
+
+}  // namespace knmatch

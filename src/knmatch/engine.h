@@ -1,0 +1,144 @@
+#ifndef KNMATCH_ENGINE_H_
+#define KNMATCH_ENGINE_H_
+
+#include <memory>
+#include <span>
+
+#include "knmatch/baselines/igrid.h"
+#include "knmatch/baselines/knn_scan.h"
+#include "knmatch/common/dataset.h"
+#include "knmatch/common/status.h"
+#include "knmatch/core/ad_algorithm.h"
+#include "knmatch/core/match_types.h"
+#include "knmatch/core/nmatch_join.h"
+#include "knmatch/diskalgo/disk_ad.h"
+#include "knmatch/diskalgo/disk_scan.h"
+#include "knmatch/eval/advisor.h"
+#include "knmatch/eval/experiment.h"
+#include "knmatch/storage/column_store.h"
+#include "knmatch/storage/row_store.h"
+#include "knmatch/vafile/va_file.h"
+#include "knmatch/vafile/va_knmatch.h"
+
+namespace knmatch {
+
+namespace eval {
+class SelectivityEstimator;
+}  // namespace eval
+
+/// One-stop similarity-search engine over a dataset: the public facade
+/// a downstream application embeds. Owns the dataset and builds each
+/// access structure (sorted columns, IGrid, the simulated-disk stores,
+/// the cost advisor) lazily on first use, so cheap workloads pay only
+/// for what they touch.
+///
+/// ```
+/// SimilarityEngine engine(datagen::MakeTextureLike());
+/// auto r = engine.FrequentKnMatch(q, 4, 8, 10);
+/// auto d = engine.DiskFrequentKnMatch(q, 4, 8, 10);  // advisor-routed
+/// ```
+class SimilarityEngine {
+ public:
+  /// Disk execution strategies for DiskFrequentKnMatch.
+  enum class DiskMethod {
+    kAuto,  // route via the sampling cost advisor
+    kScan,
+    kAd,
+    kVaFile,
+  };
+
+  /// Takes ownership of the dataset. `config` parameterizes the
+  /// simulated disk used by the Disk* entry points.
+  explicit SimilarityEngine(Dataset db, DiskConfig config = DiskConfig());
+  ~SimilarityEngine();
+
+  SimilarityEngine(const SimilarityEngine&) = delete;
+  SimilarityEngine& operator=(const SimilarityEngine&) = delete;
+
+  /// The engine's dataset.
+  const Dataset& dataset() const { return db_; }
+
+  /// In-memory k-n-match via the AD algorithm.
+  Result<KnMatchResult> KnMatch(std::span<const Value> query, size_t n,
+                                size_t k,
+                                std::span<const Value> weights = {}) const;
+
+  /// In-memory frequent k-n-match via the AD algorithm.
+  Result<FrequentKnMatchResult> FrequentKnMatch(
+      std::span<const Value> query, size_t n0, size_t n1, size_t k,
+      std::span<const Value> weights = {}) const;
+
+  /// Exact kNN by scan.
+  Result<KnMatchResult> Knn(std::span<const Value> query, size_t k,
+                            Metric metric = Metric::kEuclidean) const;
+
+  /// IGrid similarity search (best-first; distance = negated
+  /// similarity).
+  Result<KnMatchResult> IGridSearch(std::span<const Value> query,
+                                    size_t k) const;
+
+  /// ε-n-match similarity self-join over the whole dataset.
+  Result<std::vector<JoinPair>> SelfJoin(size_t n, Value epsilon) const;
+
+  /// Analytic (histogram-based) estimate of a k-n-match query's
+  /// difference threshold and AD attribute fraction.
+  struct SelectivityEstimate {
+    Value estimated_difference = 0;
+    double ad_attribute_fraction = 0;
+  };
+  Result<SelectivityEstimate> EstimateSelectivity(
+      std::span<const Value> query, size_t n, size_t k) const;
+
+  /// Appends a point to the dataset (its id is the previous
+  /// cardinality, which is returned). Every index built so far is
+  /// invalidated and lazily rebuilt on next use — the simple,
+  /// correct-by-construction policy for the occasional insert; bulk
+  /// loads should construct a fresh engine.
+  PointId InsertPoint(std::span<const Value> coords, Label label = kNoLabel);
+
+  /// Frequent k-n-match against the simulated disk, with the execution
+  /// method chosen explicitly or by the cost advisor. The I/O cost of
+  /// the run is available from last_disk_cost() afterwards.
+  Result<FrequentKnMatchResult> DiskFrequentKnMatch(
+      std::span<const Value> query, size_t n0, size_t n1, size_t k,
+      DiskMethod method = DiskMethod::kAuto) const;
+
+  /// The method DiskFrequentKnMatch actually executed last (interesting
+  /// when routing with kAuto).
+  DiskMethod last_disk_method() const { return last_disk_method_; }
+
+  /// Cost of the most recent DiskFrequentKnMatch call.
+  const eval::QueryCost& last_disk_cost() const { return last_disk_cost_; }
+
+  /// Structure sizes, for diagnostics and the CLI's `info` command.
+  struct StorageStats {
+    size_t row_pages = 0;
+    size_t column_pages = 0;
+    size_t va_pages = 0;
+  };
+  /// Builds (if needed) and reports the disk stores' footprints.
+  StorageStats DiskStorageStats() const;
+
+ private:
+  void EnsureAd() const;
+  void EnsureIGrid() const;
+  void EnsureDiskStores() const;
+  void EnsureAdvisor() const;
+
+  Dataset db_;
+  DiskConfig config_;
+  mutable std::unique_ptr<AdSearcher> ad_;
+  mutable std::unique_ptr<IGridIndex> igrid_;
+  mutable std::unique_ptr<DiskSimulator> disk_;
+  mutable std::unique_ptr<RowStore> rows_;
+  mutable std::unique_ptr<ColumnStore> columns_;
+  mutable std::unique_ptr<VaFile> va_;
+  mutable std::unique_ptr<eval::QueryAdvisor> advisor_;
+  mutable std::unique_ptr<eval::SelectivityEstimator> estimator_;
+  mutable DiskMethod last_disk_method_ = DiskMethod::kScan;
+  mutable eval::QueryCost last_disk_cost_;
+};
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_ENGINE_H_

@@ -1,0 +1,111 @@
+#include "knmatch/eval/advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "knmatch/common/random.h"
+#include "knmatch/core/ad_algorithm.h"
+#include "knmatch/core/nmatch.h"
+#include "knmatch/storage/row_store.h"
+#include "knmatch/vafile/va_file.h"
+#include "knmatch/vafile/va_knmatch.h"
+
+namespace knmatch::eval {
+
+struct QueryAdvisor::Impl {
+  Dataset sample;
+  AdSearcher* searcher = nullptr;
+  DiskSimulator sample_disk;  // used only to host the sample VA stores
+  RowStore* rows = nullptr;
+  VaFile* va = nullptr;
+  VaKnMatchSearcher* va_searcher = nullptr;
+
+  ~Impl() {
+    delete va_searcher;
+    delete va;
+    delete rows;
+    delete searcher;
+  }
+};
+
+QueryAdvisor::QueryAdvisor(const Dataset& db, DiskConfig config,
+                           size_t sample_size, uint64_t seed)
+    : db_(db), config_(config), impl_(new Impl) {
+  Rng rng(seed);
+  const size_t count = std::min(sample_size, db.size());
+  Matrix points(0, 0);
+  for (const uint32_t pid : rng.SampleWithoutReplacement(
+           static_cast<uint32_t>(db.size()), static_cast<uint32_t>(count))) {
+    points.AppendRow(db.point(pid));
+  }
+  impl_->sample = Dataset(std::move(points));
+  impl_->searcher = new AdSearcher(impl_->sample);
+  impl_->rows = new RowStore(impl_->sample, &impl_->sample_disk);
+  impl_->va = new VaFile(impl_->sample, &impl_->sample_disk, 8);
+  impl_->va_searcher = new VaKnMatchSearcher(*impl_->va, *impl_->rows);
+}
+
+QueryAdvisor::~QueryAdvisor() { delete impl_; }
+
+Result<CostEstimate> QueryAdvisor::Estimate(std::span<const Value> query,
+                                            size_t n0, size_t n1,
+                                            size_t k) const {
+  Status s =
+      ValidateMatchParams(db_.size(), db_.dims(), query.size(), n0, n1, k);
+  if (!s.ok()) return s;
+
+  const double c = static_cast<double>(db_.size());
+  const double d = static_cast<double>(db_.dims());
+  const double sample_c = static_cast<double>(impl_->sample.size());
+  // Scale k down to the sample so selectivity is comparable.
+  const size_t sample_k = std::clamp<size_t>(
+      static_cast<size_t>(std::lround(static_cast<double>(k) * sample_c / c)),
+      1, impl_->sample.size());
+
+  CostEstimate estimate;
+  auto ad_run = impl_->searcher->FrequentKnMatch(query, n0, n1, sample_k);
+  if (!ad_run.ok()) return ad_run.status();
+  estimate.ad_attribute_fraction =
+      static_cast<double>(ad_run.value().attributes_retrieved) /
+      (sample_c * d);
+
+  auto va_run = impl_->va_searcher->FrequentKnMatch(query, n0, n1, sample_k);
+  if (!va_run.ok()) return va_run.status();
+  estimate.va_refine_fraction =
+      static_cast<double>(va_run.value().points_refined) / sample_c;
+
+  // Page geometry of the full database under the advisor's config.
+  const double page = static_cast<double>(config_.page_size);
+  const double row_pages = std::ceil(
+      c / std::floor(page / (d * sizeof(Value))));
+  const double col_entries_per_page =
+      std::floor(page / (sizeof(Value) + sizeof(PointId)));
+  const double col_pages = d * std::ceil(c / col_entries_per_page);
+  const double va_row_bytes = std::ceil(d * 8.0 / 8.0);  // 8 bits/dim
+  const double va_pages = std::ceil(c / std::floor(page / va_row_bytes));
+
+  const double t_seq = config_.sequential_read_ms / 1000.0;
+  const double t_rand = config_.random_read_ms / 1000.0;
+
+  estimate.scan_seconds = row_pages * t_seq + t_rand;
+  estimate.ad_seconds = estimate.ad_attribute_fraction * col_pages * t_seq +
+                        2 * d * t_rand;
+  // Refinement fetches at most one page per candidate, never more than
+  // the whole row file.
+  const double refine_pages =
+      std::min(row_pages, estimate.va_refine_fraction * c);
+  estimate.va_seconds = va_pages * t_seq + refine_pages * t_rand;
+
+  estimate.best = SearchMethod::kSequentialScan;
+  double best = estimate.scan_seconds;
+  if (estimate.ad_seconds < best) {
+    best = estimate.ad_seconds;
+    estimate.best = SearchMethod::kDiskAd;
+  }
+  if (estimate.va_seconds < best) {
+    estimate.best = SearchMethod::kVaFile;
+  }
+  return estimate;
+}
+
+}  // namespace knmatch::eval

@@ -1,0 +1,65 @@
+#ifndef KNMATCH_EVAL_ADVISOR_H_
+#define KNMATCH_EVAL_ADVISOR_H_
+
+#include <span>
+
+#include "knmatch/common/dataset.h"
+#include "knmatch/common/status.h"
+#include "knmatch/storage/disk_simulator.h"
+
+namespace knmatch::eval {
+
+/// The disk methods a frequent k-n-match query can be answered with.
+enum class SearchMethod {
+  kSequentialScan,
+  kDiskAd,
+  kVaFile,
+};
+
+/// Modelled per-query I/O costs (seconds) under the advisor's disk
+/// config, plus the sampled statistics they were derived from.
+struct CostEstimate {
+  double scan_seconds = 0;
+  double ad_seconds = 0;
+  double va_seconds = 0;
+  SearchMethod best = SearchMethod::kSequentialScan;
+  /// Fraction of all attributes the AD algorithm retrieved on the
+  /// sample.
+  double ad_attribute_fraction = 0;
+  /// Fraction of sample points the VA-file phase 1 failed to prune.
+  double va_refine_fraction = 0;
+};
+
+/// Sampling-based cost advisor: Figures 12 and 15 show the AD
+/// algorithm's advantage shrinking as n1 grows (on uniform data it
+/// crosses the scan around n1 = 14 of 16), so a system needs a way to
+/// pick the access path per query. The advisor runs the query on a
+/// small uniform sample of the database (in memory), measures the AD
+/// attribute fraction and the VA-file pruning rate there, and
+/// extrapolates page counts through the DiskConfig's time model.
+class QueryAdvisor {
+ public:
+  /// Samples `sample_size` points of `db` (which must outlive the
+  /// advisor). Building the advisor costs one pass over the sample.
+  QueryAdvisor(const Dataset& db, DiskConfig config = DiskConfig(),
+               size_t sample_size = 2000, uint64_t seed = 1);
+
+  ~QueryAdvisor();
+  QueryAdvisor(const QueryAdvisor&) = delete;
+  QueryAdvisor& operator=(const QueryAdvisor&) = delete;
+
+  /// Estimates the cost of answering the frequent k-n-match query with
+  /// each method and picks the cheapest.
+  Result<CostEstimate> Estimate(std::span<const Value> query, size_t n0,
+                                size_t n1, size_t k) const;
+
+ private:
+  struct Impl;
+  const Dataset& db_;
+  DiskConfig config_;
+  Impl* impl_;
+};
+
+}  // namespace knmatch::eval
+
+#endif  // KNMATCH_EVAL_ADVISOR_H_

@@ -1,0 +1,94 @@
+#include "knmatch/eval/class_strip.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "knmatch/common/random.h"
+
+namespace knmatch::eval {
+
+namespace {
+
+/// Drops `exclude` from `ids` (if present) and truncates to `k`.
+std::vector<PointId> WithoutQuery(std::vector<PointId> ids, PointId exclude,
+                                  size_t k) {
+  std::erase(ids, exclude);
+  if (ids.size() > k) ids.resize(k);
+  return ids;
+}
+
+}  // namespace
+
+double ClassStripAccuracy(const Dataset& db, const ClassStripConfig& config,
+                          const SearchFn& method) {
+  assert(db.labelled());
+  Rng rng(config.seed);
+  const size_t num_queries = std::min(config.num_queries, db.size());
+  const std::vector<uint32_t> query_pids = rng.SampleWithoutReplacement(
+      static_cast<uint32_t>(db.size()), static_cast<uint32_t>(num_queries));
+
+  size_t correct = 0;
+  for (const PointId qpid : query_pids) {
+    const std::vector<PointId> answers =
+        method(db.point(qpid), qpid, config.k);
+    assert(answers.size() <= config.k);
+    for (const PointId pid : answers) {
+      if (db.label(pid) == db.label(qpid)) ++correct;
+    }
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(num_queries * config.k);
+}
+
+SearchFn FrequentKnMatchMethod(const AdSearcher& searcher, size_t n0,
+                               size_t n1) {
+  return [&searcher, n0, n1](std::span<const Value> query, PointId qpid,
+                             size_t k) {
+    // Ask for one extra answer so dropping the query point still leaves
+    // k of them (the query, sampled from the dataset, is always its own
+    // best frequent match).
+    auto r = searcher.FrequentKnMatch(query, n0, n1, k + 1);
+    std::vector<PointId> ids;
+    if (r.ok()) {
+      for (const Neighbor& nb : r.value().matches) ids.push_back(nb.pid);
+    }
+    return WithoutQuery(std::move(ids), qpid, k);
+  };
+}
+
+SearchFn KnMatchMethod(const AdSearcher& searcher, size_t n) {
+  return [&searcher, n](std::span<const Value> query, PointId qpid,
+                        size_t k) {
+    auto r = searcher.KnMatch(query, n, k + 1);
+    std::vector<PointId> ids;
+    if (r.ok()) {
+      for (const Neighbor& nb : r.value().matches) ids.push_back(nb.pid);
+    }
+    return WithoutQuery(std::move(ids), qpid, k);
+  };
+}
+
+SearchFn KnnMethod(const Dataset& db, Metric metric) {
+  return [&db, metric](std::span<const Value> query, PointId qpid,
+                       size_t k) {
+    auto r = KnnScan(db, query, k + 1, metric);
+    std::vector<PointId> ids;
+    if (r.ok()) {
+      for (const Neighbor& nb : r.value().matches) ids.push_back(nb.pid);
+    }
+    return WithoutQuery(std::move(ids), qpid, k);
+  };
+}
+
+SearchFn IGridMethod(const IGridIndex& index) {
+  return [&index](std::span<const Value> query, PointId qpid, size_t k) {
+    auto r = index.Search(query, k + 1);
+    std::vector<PointId> ids;
+    if (r.ok()) {
+      for (const Neighbor& nb : r.value().matches) ids.push_back(nb.pid);
+    }
+    return WithoutQuery(std::move(ids), qpid, k);
+  };
+}
+
+}  // namespace knmatch::eval

@@ -1,0 +1,54 @@
+#ifndef KNMATCH_EVAL_CLASS_STRIP_H_
+#define KNMATCH_EVAL_CLASS_STRIP_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "knmatch/common/dataset.h"
+#include "knmatch/core/ad_algorithm.h"
+#include "knmatch/baselines/igrid.h"
+#include "knmatch/baselines/knn_scan.h"
+
+namespace knmatch::eval {
+
+/// The class-stripping effectiveness protocol of Section 5.1.2 (due to
+/// the IGrid paper): strip the class tags, answer similarity queries
+/// with each technique, and call an answer "correct" when it belongs to
+/// the query point's class. Accuracy is (#correct answers) / (#queries *
+/// k) — 100 queries and k = 20 give the paper's divide-by-2000.
+struct ClassStripConfig {
+  size_t num_queries = 100;
+  size_t k = 20;
+  uint64_t seed = 123;
+};
+
+/// A similarity-search method under evaluation: returns (up to) `k`
+/// point ids most similar to `query`, excluding `query_pid` itself.
+using SearchFn = std::function<std::vector<PointId>(
+    std::span<const Value> query, PointId query_pid, size_t k)>;
+
+/// Runs the protocol on a labelled dataset and returns the accuracy in
+/// [0, 1]. Query points are sampled from the dataset without
+/// replacement (deterministically from `config.seed`).
+double ClassStripAccuracy(const Dataset& db, const ClassStripConfig& config,
+                          const SearchFn& method);
+
+/// Adapter: frequent k-n-match over [n0, n1] answered by the AD
+/// searcher. The searcher must outlive the returned function.
+SearchFn FrequentKnMatchMethod(const AdSearcher& searcher, size_t n0,
+                               size_t n1);
+
+/// Adapter: single-n k-n-match answered by the AD searcher.
+SearchFn KnMatchMethod(const AdSearcher& searcher, size_t n);
+
+/// Adapter: traditional kNN by sequential scan.
+SearchFn KnnMethod(const Dataset& db, Metric metric = Metric::kEuclidean);
+
+/// Adapter: IGrid similarity search. The index must outlive the
+/// returned function.
+SearchFn IGridMethod(const IGridIndex& index);
+
+}  // namespace knmatch::eval
+
+#endif  // KNMATCH_EVAL_CLASS_STRIP_H_

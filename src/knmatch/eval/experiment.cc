@@ -1,0 +1,80 @@
+#include "knmatch/eval/experiment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <functional>
+
+#include "knmatch/common/random.h"
+#include "knmatch/common/stats.h"
+
+namespace knmatch::eval {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << " " << row[i];
+      for (size_t pad = row[i].size(); pad < widths[i]; ++pad) os << ' ';
+      os << " |";
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  os << "|";
+  for (const size_t w : widths) {
+    for (size_t i = 0; i < w + 2; ++i) os << '-';
+    os << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Fmt(uint64_t v) { return std::to_string(v); }
+
+std::vector<PointId> SampleQueryPids(const Dataset& db, size_t count,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  const size_t n = std::min(count, db.size());
+  std::vector<uint32_t> sampled = rng.SampleWithoutReplacement(
+      static_cast<uint32_t>(db.size()), static_cast<uint32_t>(n));
+  return {sampled.begin(), sampled.end()};
+}
+
+QueryCost MeasureQuery(DiskSimulator* disk,
+                       const std::function<void()>& fn) {
+  disk->ResetCounters();
+  Timer timer;
+  fn();
+  QueryCost cost;
+  cost.cpu_seconds = timer.Seconds();
+  cost.io_seconds = disk->SimulatedIoSeconds();
+  cost.sequential_pages = disk->sequential_reads();
+  cost.random_pages = disk->random_reads();
+  return cost;
+}
+
+}  // namespace knmatch::eval

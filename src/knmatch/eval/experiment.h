@@ -1,0 +1,61 @@
+#ifndef KNMATCH_EVAL_EXPERIMENT_H_
+#define KNMATCH_EVAL_EXPERIMENT_H_
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "knmatch/common/dataset.h"
+#include "knmatch/common/types.h"
+#include "knmatch/storage/disk_simulator.h"
+
+namespace knmatch::eval {
+
+/// Fixed-width text table, used by every bench binary to print
+/// paper-style tables and figure series.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision ("0.87", "12.3").
+std::string Fmt(double v, int precision = 3);
+
+/// Formats an integer count.
+std::string Fmt(uint64_t v);
+
+/// Deterministically samples `count` query point ids from the dataset.
+std::vector<PointId> SampleQueryPids(const Dataset& db, size_t count,
+                                     uint64_t seed);
+
+/// One measured query against the simulated disk: CPU seconds (wall
+/// clock of the compute) plus modelled I/O seconds, with the page
+/// counts. Collected by diffing DiskSimulator counters around the call.
+struct QueryCost {
+  double cpu_seconds = 0;
+  double io_seconds = 0;
+  uint64_t sequential_pages = 0;
+  uint64_t random_pages = 0;
+
+  double total_seconds() const { return cpu_seconds + io_seconds; }
+  uint64_t total_pages() const { return sequential_pages + random_pages; }
+};
+
+/// Runs `fn` with the simulator's counters reset, returning its cost.
+QueryCost MeasureQuery(DiskSimulator* disk,
+                       const std::function<void()>& fn);
+
+}  // namespace knmatch::eval
+
+#endif  // KNMATCH_EVAL_EXPERIMENT_H_

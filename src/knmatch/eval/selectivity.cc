@@ -1,0 +1,121 @@
+#include "knmatch/eval/selectivity.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace knmatch::eval {
+
+namespace {
+
+/// Interpolated CDF of one equi-depth histogram at `v`.
+double HistogramCdf(const std::vector<Value>& edges, Value v) {
+  const size_t buckets = edges.size() - 1;
+  if (v < edges.front()) return 0.0;
+  if (v >= edges.back()) return 1.0;
+  // Last edge index with edges[i] <= v.
+  const size_t idx = static_cast<size_t>(
+      std::upper_bound(edges.begin(), edges.end(), v) - edges.begin() - 1);
+  const Value lo = edges[idx];
+  const Value hi = edges[idx + 1];
+  const double within =
+      hi > lo ? static_cast<double>((v - lo) / (hi - lo)) : 1.0;
+  return (static_cast<double>(idx) + within) / static_cast<double>(buckets);
+}
+
+}  // namespace
+
+SelectivityEstimator::SelectivityEstimator(const Dataset& db,
+                                           size_t buckets)
+    : cardinality_(db.size()) {
+  assert(buckets >= 1);
+  buckets = std::min(buckets, std::max<size_t>(1, db.size()));
+  boundaries_.resize(db.dims());
+  std::vector<Value> values(db.size());
+  for (size_t dim = 0; dim < db.dims(); ++dim) {
+    for (PointId pid = 0; pid < db.size(); ++pid) {
+      values[pid] = db.at(pid, dim);
+    }
+    std::sort(values.begin(), values.end());
+    auto& edges = boundaries_[dim];
+    edges.resize(buckets + 1);
+    for (size_t b = 0; b <= buckets; ++b) {
+      const size_t idx = std::min(values.size() - 1,
+                                  b * values.size() / buckets);
+      edges[b] = values[idx];
+    }
+    edges.back() = values.back();
+  }
+}
+
+double SelectivityEstimator::MatchProbability(size_t dim, Value q,
+                                              Value eps) const {
+  const auto& edges = boundaries_[dim];
+  return std::max(0.0, HistogramCdf(edges, q + eps) -
+                           HistogramCdf(edges, q - eps));
+}
+
+double SelectivityEstimator::TailAtLeast(std::span<const double> m,
+                                         size_t n) {
+  // Poisson-binomial: probabilities of exactly j matches so far.
+  std::vector<double> exactly(m.size() + 1, 0.0);
+  exactly[0] = 1.0;
+  for (size_t i = 0; i < m.size(); ++i) {
+    for (size_t j = i + 1; j-- > 0;) {
+      exactly[j + 1] += exactly[j] * m[i];
+      exactly[j] *= 1.0 - m[i];
+    }
+  }
+  double tail = 0;
+  for (size_t j = n; j < exactly.size(); ++j) tail += exactly[j];
+  return std::min(1.0, tail);
+}
+
+double SelectivityEstimator::NMatchSelectivity(std::span<const Value> query,
+                                               size_t n, Value eps) const {
+  assert(query.size() == boundaries_.size());
+  assert(n >= 1 && n <= query.size());
+  std::vector<double> m(query.size());
+  for (size_t dim = 0; dim < query.size(); ++dim) {
+    m[dim] = MatchProbability(dim, query[dim], eps);
+  }
+  return TailAtLeast(m, n);
+}
+
+Value SelectivityEstimator::EstimateKnMatchDifference(
+    std::span<const Value> query, size_t n, size_t k) const {
+  // Bisect the monotone map eps -> expected qualifying points.
+  const double target = static_cast<double>(k);
+  Value lo = 0;
+  // Upper bound: the widest possible per-dimension difference.
+  Value hi = 0;
+  for (size_t dim = 0; dim < boundaries_.size(); ++dim) {
+    const auto& edges = boundaries_[dim];
+    hi = std::max(hi, std::max(std::abs(query[dim] - edges.front()),
+                               std::abs(edges.back() - query[dim])));
+  }
+  for (int iter = 0; iter < 50; ++iter) {
+    const Value mid = (lo + hi) / 2;
+    const double expected =
+        NMatchSelectivity(query, n, mid) *
+        static_cast<double>(cardinality_);
+    if (expected >= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double SelectivityEstimator::EstimateAdAttributeFraction(
+    std::span<const Value> query, size_t n, size_t k) const {
+  const Value eps = EstimateKnMatchDifference(query, n, k);
+  double total = 0;
+  for (size_t dim = 0; dim < boundaries_.size(); ++dim) {
+    total += MatchProbability(dim, query[dim], eps);
+  }
+  return total / static_cast<double>(boundaries_.size());
+}
+
+}  // namespace knmatch::eval

@@ -1,0 +1,64 @@
+#ifndef KNMATCH_EVAL_SELECTIVITY_H_
+#define KNMATCH_EVAL_SELECTIVITY_H_
+
+#include <span>
+#include <vector>
+
+#include "knmatch/common/dataset.h"
+#include "knmatch/common/status.h"
+
+namespace knmatch::eval {
+
+/// Analytical selectivity estimation for (frequent) k-n-match queries —
+/// the optimizer-style alternative to the sampling advisor.
+///
+/// Per dimension, an equi-depth histogram of the attribute values is
+/// kept (classic single-column DB statistics). For a query Q and a
+/// threshold eps, the histogram yields `m_i(eps)` — the estimated
+/// probability that a random point matches Q in dimension i within
+/// eps. Under the independence assumption (the same one every
+/// single-column-statistics optimizer makes), the number of matching
+/// dimensions of a random point is Poisson-binomial with parameters
+/// {m_i}; the probability that a point has n-match difference <= eps
+/// is P[#matches >= n], evaluated by the standard O(d^2) dynamic
+/// program. Inverting that in eps (it is monotone) estimates the
+/// k-n-match difference itself, and from it the AD algorithm's
+/// attribute fraction sum_i m_i(eps).
+class SelectivityEstimator {
+ public:
+  /// Builds per-dimension equi-depth histograms with `buckets` buckets.
+  explicit SelectivityEstimator(const Dataset& db, size_t buckets = 64);
+
+  /// Estimated probability that a random point matches q_i within eps
+  /// in dimension `dim` (i.e., P[|X_i - q_i| <= eps]).
+  double MatchProbability(size_t dim, Value q, Value eps) const;
+
+  /// Estimated fraction of points whose n-match difference to `query`
+  /// is <= eps (P[at least n of d dimensions match]).
+  double NMatchSelectivity(std::span<const Value> query, size_t n,
+                           Value eps) const;
+
+  /// Estimated k-n-match difference: the eps at which the expected
+  /// number of qualifying points reaches k (bisection on the monotone
+  /// selectivity).
+  Value EstimateKnMatchDifference(std::span<const Value> query, size_t n,
+                                  size_t k) const;
+
+  /// Estimated fraction of all attributes the AD algorithm retrieves
+  /// for a k-n-match query: mean_i P[|X_i - q_i| <= eps_hat].
+  double EstimateAdAttributeFraction(std::span<const Value> query,
+                                     size_t n, size_t k) const;
+
+ private:
+  /// P[#matching dimensions >= n] for match probabilities `m` —
+  /// Poisson-binomial tail by dynamic programming.
+  static double TailAtLeast(std::span<const double> m, size_t n);
+
+  size_t cardinality_;
+  /// boundaries_[dim]: buckets+1 equi-depth edges.
+  std::vector<std::vector<Value>> boundaries_;
+};
+
+}  // namespace knmatch::eval
+
+#endif  // KNMATCH_EVAL_SELECTIVITY_H_

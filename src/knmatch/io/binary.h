@@ -1,0 +1,24 @@
+#ifndef KNMATCH_IO_BINARY_H_
+#define KNMATCH_IO_BINARY_H_
+
+#include <string>
+
+#include "knmatch/common/dataset.h"
+#include "knmatch/common/status.h"
+
+namespace knmatch::io {
+
+/// Binary dataset container (".knm"):
+///   magic "KNM1" | u64 rows | u64 cols | u8 has_labels |
+///   f64 coordinates row-major | i32 labels (if labelled) |
+///   u64 FNV-1a checksum over everything before it.
+/// Little-endian host layout; load verifies the magic and checksum so
+/// truncated or corrupted files are rejected rather than half-loaded.
+Status SaveDataset(const Dataset& db, const std::string& path);
+
+/// Loads a dataset written by SaveDataset.
+Result<Dataset> LoadDataset(const std::string& path);
+
+}  // namespace knmatch::io
+
+#endif  // KNMATCH_IO_BINARY_H_

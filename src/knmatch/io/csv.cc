@@ -1,0 +1,128 @@
+#include "knmatch/io/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace knmatch::io {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line,
+                                   char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, delimiter)) {
+    fields.push_back(field);
+  }
+  // A trailing delimiter means one more (empty) field.
+  if (!line.empty() && line.back() == delimiter) fields.emplace_back();
+  return fields;
+}
+
+bool ParseNumber(const std::string& text, Value* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || errno == ERANGE) return false;
+  while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
+  if (*end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<Dataset> LoadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
+
+  Matrix points;
+  std::vector<Label> labels;
+  std::unordered_map<std::string, Label> label_ids;
+  std::string line;
+  size_t line_number = 0;
+  size_t expected_fields = 0;
+  std::vector<Value> row;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line_number == 1 && options.has_header) continue;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+
+    const std::vector<std::string> fields =
+        SplitLine(line, options.delimiter);
+    if (expected_fields == 0) {
+      expected_fields = fields.size();
+      if (options.label_column >= 0 &&
+          static_cast<size_t>(options.label_column) >= expected_fields) {
+        return Status::InvalidArgument("label_column out of range");
+      }
+    } else if (fields.size() != expected_fields) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": expected " +
+          std::to_string(expected_fields) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+
+    row.clear();
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (options.label_column >= 0 &&
+          i == static_cast<size_t>(options.label_column)) {
+        auto [it, inserted] = label_ids.try_emplace(
+            fields[i], static_cast<Label>(label_ids.size()));
+        labels.push_back(it->second);
+        continue;
+      }
+      Value v;
+      if (!ParseNumber(fields[i], &v)) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) + ", field " +
+            std::to_string(i + 1) + ": not a number: '" + fields[i] +
+            "'");
+      }
+      row.push_back(v);
+    }
+    points.AppendRow(row);
+  }
+
+  if (points.rows() == 0) {
+    return Status::InvalidArgument(path + " contains no data rows");
+  }
+  if (options.normalize) points.NormalizeColumns();
+  Dataset db = options.label_column >= 0
+                   ? Dataset(std::move(points), std::move(labels))
+                   : Dataset(std::move(points));
+  db.set_name(path);
+  return db;
+}
+
+Status WriteCsv(const Dataset& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot create " + path);
+  }
+  out.precision(17);
+  for (PointId pid = 0; pid < db.size(); ++pid) {
+    auto p = db.point(pid);
+    for (size_t dim = 0; dim < p.size(); ++dim) {
+      if (dim > 0) out << ',';
+      out << p[dim];
+    }
+    if (db.labelled()) out << ',' << db.label(pid);
+    out << '\n';
+  }
+  if (!out) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace knmatch::io

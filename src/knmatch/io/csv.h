@@ -1,0 +1,38 @@
+#ifndef KNMATCH_IO_CSV_H_
+#define KNMATCH_IO_CSV_H_
+
+#include <string>
+
+#include "knmatch/common/dataset.h"
+#include "knmatch/common/status.h"
+
+namespace knmatch::io {
+
+/// Options for CSV import.
+struct CsvOptions {
+  /// Skip the first line.
+  bool has_header = false;
+  /// Column index holding the class label, or -1 when unlabelled. The
+  /// label column is excluded from the coordinates; non-numeric labels
+  /// are interned to integer ids in first-seen order.
+  int label_column = -1;
+  /// Field separator.
+  char delimiter = ',';
+  /// Min-max normalize coordinates to [0, 1] after loading (the
+  /// paper's preprocessing for every dataset).
+  bool normalize = true;
+};
+
+/// Loads a dataset from a CSV file — e.g., the real UCI files, when
+/// available, in place of the synthetic replicas. Every row must have
+/// the same number of fields; coordinate fields must parse as numbers.
+Result<Dataset> LoadCsv(const std::string& path,
+                        const CsvOptions& options = {});
+
+/// Writes a dataset as CSV (coordinates, then the label as the last
+/// column when present).
+Status WriteCsv(const Dataset& db, const std::string& path);
+
+}  // namespace knmatch::io
+
+#endif  // KNMATCH_IO_CSV_H_

@@ -1,0 +1,437 @@
+#include "knmatch/storage/bplus_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace knmatch {
+
+BPlusTree::BPlusTree(DiskSimulator* disk) : disk_(disk) {}
+
+uint32_t BPlusTree::NewNode(bool leaf) {
+  const uint64_t page = disk_->AllocatePages(1);
+  if (nodes_.empty()) first_global_page_ = page;
+  ++allocated_pages_;
+  Node node;
+  node.leaf = leaf;
+  nodes_.push_back(std::move(node));
+  page_of_.push_back(page);
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+void BPlusTree::ChargeVisit(size_t stream, uint32_t node) const {
+  disk_->RecordRead(stream, page_of_[node]);
+}
+
+void BPlusTree::BulkLoad(std::span<const ColumnEntry> sorted_entries) {
+  nodes_.clear();
+  page_of_.clear();
+  root_ = kInvalid;
+  first_leaf_ = kInvalid;
+  size_ = sorted_entries.size();
+  height_ = 0;
+  if (sorted_entries.empty()) return;
+  assert(std::is_sorted(sorted_entries.begin(), sorted_entries.end(),
+                        EntryLess));
+
+  // Leaf level.
+  std::vector<uint32_t> level;
+  std::vector<ColumnEntry> level_min;  // smallest key per node
+  std::vector<uint64_t> level_count;   // entries per subtree
+  for (size_t at = 0; at < sorted_entries.size(); at += kLeafCapacity) {
+    const size_t count =
+        std::min(kLeafCapacity, sorted_entries.size() - at);
+    const uint32_t id = NewNode(/*leaf=*/true);
+    nodes_[id].entries.assign(sorted_entries.begin() + at,
+                              sorted_entries.begin() + at + count);
+    if (!level.empty()) {
+      nodes_[level.back()].next = id;
+      nodes_[id].prev = level.back();
+    }
+    level.push_back(id);
+    level_min.push_back(sorted_entries[at]);
+    level_count.push_back(count);
+  }
+  first_leaf_ = level.front();
+  height_ = 1;
+
+  // Internal levels, bottom-up.
+  while (level.size() > 1) {
+    std::vector<uint32_t> parent_level;
+    std::vector<ColumnEntry> parent_min;
+    std::vector<uint64_t> parent_count;
+    for (size_t at = 0; at < level.size(); at += kInternalCapacity) {
+      const size_t fanout =
+          std::min(kInternalCapacity, level.size() - at);
+      const uint32_t id = NewNode(/*leaf=*/false);
+      Node& node = nodes_[id];
+      uint64_t total = 0;
+      for (size_t i = 0; i < fanout; ++i) {
+        node.children.push_back(level[at + i]);
+        node.counts.push_back(level_count[at + i]);
+        total += level_count[at + i];
+        if (i > 0) node.keys.push_back(level_min[at + i]);
+      }
+      parent_level.push_back(id);
+      parent_min.push_back(level_min[at]);
+      parent_count.push_back(total);
+    }
+    level = std::move(parent_level);
+    level_min = std::move(parent_min);
+    level_count = std::move(parent_count);
+    ++height_;
+  }
+  root_ = level.front();
+}
+
+uint32_t BPlusTree::DescendToLeaf(size_t stream, const ColumnEntry& key,
+                                  std::vector<uint32_t>* path) const {
+  uint32_t node = root_;
+  for (;;) {
+    ChargeVisit(stream, node);
+    if (path != nullptr) path->push_back(node);
+    const Node& n = nodes_[node];
+    if (n.leaf) return node;
+    // Child index = number of separators <= key.
+    const size_t idx = static_cast<size_t>(
+        std::upper_bound(n.keys.begin(), n.keys.end(), key, EntryLess) -
+        n.keys.begin());
+    node = n.children[idx];
+  }
+}
+
+size_t BPlusTree::OpenStream() const { return disk_->OpenStream(); }
+
+ColumnEntry BPlusTree::Iterator::Get() const {
+  assert(Valid());
+  return tree_->nodes_[node_].entries[slot_];
+}
+
+void BPlusTree::Iterator::Next() {
+  assert(Valid());
+  const Node* n = &tree_->nodes_[node_];
+  if (slot_ + 1 < n->entries.size()) {
+    ++slot_;
+    return;
+  }
+  // Cross to the next non-empty leaf (lazily erased leaves may be
+  // empty).
+  uint32_t next = n->next;
+  while (next != kInvalid) {
+    tree_->ChargeVisit(stream_, next);
+    if (!tree_->nodes_[next].entries.empty()) {
+      node_ = next;
+      slot_ = 0;
+      return;
+    }
+    next = tree_->nodes_[next].next;
+  }
+  node_ = kInvalid;
+}
+
+void BPlusTree::Iterator::Prev() {
+  assert(Valid());
+  if (slot_ > 0) {
+    --slot_;
+    return;
+  }
+  uint32_t prev = tree_->nodes_[node_].prev;
+  while (prev != kInvalid) {
+    tree_->ChargeVisit(stream_, prev);
+    if (!tree_->nodes_[prev].entries.empty()) {
+      node_ = prev;
+      slot_ = tree_->nodes_[prev].entries.size() - 1;
+      return;
+    }
+    prev = tree_->nodes_[prev].prev;
+  }
+  node_ = kInvalid;
+}
+
+BPlusTree::Iterator BPlusTree::SeekLowerBound(size_t stream,
+                                              Value v) const {
+  Iterator it;
+  it.tree_ = this;
+  it.stream_ = stream;
+  if (root_ == kInvalid) return it;
+  const ColumnEntry key{v, 0};
+  const uint32_t leaf = DescendToLeaf(stream, key, nullptr);
+  const Node& n = nodes_[leaf];
+  const size_t slot = static_cast<size_t>(
+      std::lower_bound(n.entries.begin(), n.entries.end(), key,
+                       EntryLess) -
+      n.entries.begin());
+  it.node_ = leaf;
+  it.slot_ = slot;
+  if (slot == n.entries.size()) {
+    // Walk to the next non-empty leaf, if any.
+    it.slot_ = n.entries.empty() ? 0 : n.entries.size() - 1;
+    // Position at last real entry then step forward (handles empty and
+    // full leaves uniformly).
+    if (n.entries.empty()) {
+      uint32_t next = n.next;
+      while (next != kInvalid && nodes_[next].entries.empty()) {
+        ChargeVisit(stream, next);
+        next = nodes_[next].next;
+      }
+      if (next == kInvalid) {
+        it.node_ = kInvalid;
+      } else {
+        ChargeVisit(stream, next);
+        it.node_ = next;
+        it.slot_ = 0;
+      }
+    } else {
+      it.slot_ = n.entries.size() - 1;
+      it.Next();
+    }
+  }
+  return it;
+}
+
+BPlusTree::Iterator BPlusTree::SeekBefore(size_t stream, Value v) const {
+  Iterator it;
+  it.tree_ = this;
+  it.stream_ = stream;
+  if (root_ == kInvalid) return it;
+  const ColumnEntry key{v, 0};
+  const uint32_t leaf = DescendToLeaf(stream, key, nullptr);
+  const Node& n = nodes_[leaf];
+  const size_t slot = static_cast<size_t>(
+      std::lower_bound(n.entries.begin(), n.entries.end(), key,
+                       EntryLess) -
+      n.entries.begin());
+  if (slot > 0) {
+    it.node_ = leaf;
+    it.slot_ = slot - 1;
+    return it;
+  }
+  // Everything in this leaf is >= key; step to the previous non-empty
+  // leaf's last entry.
+  uint32_t prev = n.prev;
+  while (prev != kInvalid && nodes_[prev].entries.empty()) {
+    ChargeVisit(stream, prev);
+    prev = nodes_[prev].prev;
+  }
+  if (prev != kInvalid) {
+    ChargeVisit(stream, prev);
+    it.node_ = prev;
+    it.slot_ = nodes_[prev].entries.size() - 1;
+  }
+  return it;
+}
+
+size_t BPlusTree::RankOf(size_t stream, Value v) const {
+  if (root_ == kInvalid) return 0;
+  const ColumnEntry key{v, 0};
+  size_t rank = 0;
+  uint32_t node = root_;
+  for (;;) {
+    ChargeVisit(stream, node);
+    const Node& n = nodes_[node];
+    if (n.leaf) {
+      rank += static_cast<size_t>(
+          std::lower_bound(n.entries.begin(), n.entries.end(), key,
+                           EntryLess) -
+          n.entries.begin());
+      return rank;
+    }
+    const size_t idx = static_cast<size_t>(
+        std::upper_bound(n.keys.begin(), n.keys.end(), key, EntryLess) -
+        n.keys.begin());
+    for (size_t i = 0; i < idx; ++i) rank += n.counts[i];
+    node = n.children[idx];
+  }
+}
+
+void BPlusTree::Insert(ColumnEntry entry) {
+  if (root_ == kInvalid) {
+    root_ = NewNode(/*leaf=*/true);
+    first_leaf_ = root_;
+    height_ = 1;
+  }
+  std::vector<uint32_t> path;
+  const size_t stream = disk_->OpenStream();
+  const uint32_t leaf = DescendToLeaf(stream, entry, &path);
+  Node& n = nodes_[leaf];
+  auto it = std::upper_bound(n.entries.begin(), n.entries.end(), entry,
+                             EntryLess);
+  n.entries.insert(it, entry);
+  ++size_;
+  // Update subtree counts along the path.
+  for (size_t depth = 0; depth + 1 < path.size(); ++depth) {
+    Node& parent = nodes_[path[depth]];
+    for (size_t i = 0; i < parent.children.size(); ++i) {
+      if (parent.children[i] == path[depth + 1]) {
+        ++parent.counts[i];
+        break;
+      }
+    }
+  }
+  if (nodes_[leaf].entries.size() > kLeafCapacity) {
+    SplitUpward(path, leaf);
+  }
+}
+
+void BPlusTree::SplitUpward(std::vector<uint32_t>& path,
+                            uint32_t overflowed) {
+  // Split the overflowed node; insert the separator into its parent;
+  // recurse if the parent overflows as well.
+  for (size_t depth = path.size(); depth-- > 0;) {
+    if (path[depth] != overflowed) continue;
+    Node& node = nodes_[overflowed];
+
+    uint32_t right_id;
+    ColumnEntry separator;
+    uint64_t right_count;
+    if (node.leaf) {
+      right_id = NewNode(/*leaf=*/true);
+      Node& fresh = nodes_[overflowed];  // NewNode may reallocate
+      Node& right = nodes_[right_id];
+      const size_t mid = fresh.entries.size() / 2;
+      right.entries.assign(fresh.entries.begin() + mid,
+                           fresh.entries.end());
+      fresh.entries.resize(mid);
+      separator = right.entries.front();
+      right_count = right.entries.size();
+      // Fix the leaf chain.
+      right.next = fresh.next;
+      right.prev = overflowed;
+      if (fresh.next != kInvalid) nodes_[fresh.next].prev = right_id;
+      fresh.next = right_id;
+    } else {
+      right_id = NewNode(/*leaf=*/false);
+      Node& fresh = nodes_[overflowed];
+      Node& right = nodes_[right_id];
+      const size_t mid = fresh.children.size() / 2;  // promote keys[mid-1]
+      separator = fresh.keys[mid - 1];
+      right.children.assign(fresh.children.begin() + mid,
+                            fresh.children.end());
+      right.counts.assign(fresh.counts.begin() + mid, fresh.counts.end());
+      right.keys.assign(fresh.keys.begin() + mid, fresh.keys.end());
+      fresh.children.resize(mid);
+      fresh.counts.resize(mid);
+      fresh.keys.resize(mid - 1);
+      right_count = 0;
+      for (const uint64_t c : right.counts) right_count += c;
+    }
+
+    if (depth == 0) {
+      // Grow a new root.
+      const uint32_t new_root = NewNode(/*leaf=*/false);
+      Node& root = nodes_[new_root];
+      uint64_t left_count = 0;
+      if (nodes_[overflowed].leaf) {
+        left_count = nodes_[overflowed].entries.size();
+      } else {
+        for (const uint64_t c : nodes_[overflowed].counts) {
+          left_count += c;
+        }
+      }
+      root.children = {overflowed, right_id};
+      root.counts = {left_count, right_count};
+      root.keys = {separator};
+      root_ = new_root;
+      ++height_;
+      return;
+    }
+
+    // Insert (separator, right_id) into the parent after the left
+    // child's position, and carve the right subtree's count out of the
+    // left's.
+    Node& parent = nodes_[path[depth - 1]];
+    for (size_t i = 0; i < parent.children.size(); ++i) {
+      if (parent.children[i] == overflowed) {
+        parent.keys.insert(parent.keys.begin() + i, separator);
+        parent.children.insert(parent.children.begin() + i + 1, right_id);
+        parent.counts[i] -= right_count;
+        parent.counts.insert(parent.counts.begin() + i + 1, right_count);
+        break;
+      }
+    }
+    if (parent.children.size() <= kInternalCapacity) return;
+    overflowed = path[depth - 1];
+  }
+}
+
+bool BPlusTree::Erase(ColumnEntry entry) {
+  if (root_ == kInvalid) return false;
+  std::vector<uint32_t> path;
+  const size_t stream = disk_->OpenStream();
+  const uint32_t leaf = DescendToLeaf(stream, entry, &path);
+  Node& n = nodes_[leaf];
+  auto it = std::lower_bound(n.entries.begin(), n.entries.end(), entry,
+                             EntryLess);
+  if (it == n.entries.end() || !(it->value == entry.value) ||
+      it->pid != entry.pid) {
+    return false;
+  }
+  n.entries.erase(it);
+  --size_;
+  for (size_t depth = 0; depth + 1 < path.size(); ++depth) {
+    Node& parent = nodes_[path[depth]];
+    for (size_t i = 0; i < parent.children.size(); ++i) {
+      if (parent.children[i] == path[depth + 1]) {
+        --parent.counts[i];
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+Status BPlusTree::CheckInvariants() const {
+  if (root_ == kInvalid) {
+    return size_ == 0 ? Status::OK()
+                      : Status::Internal("empty tree with nonzero size");
+  }
+  // Walk the leaf chain: sortedness and total size.
+  size_t seen = 0;
+  ColumnEntry last{-1e300, 0};
+  uint32_t leaf = first_leaf_;
+  uint32_t prev = kInvalid;
+  while (leaf != kInvalid) {
+    const Node& n = nodes_[leaf];
+    if (!n.leaf) return Status::Internal("leaf chain hit internal node");
+    if (n.prev != prev) return Status::Internal("broken prev link");
+    for (const ColumnEntry& e : n.entries) {
+      if (EntryLess(e, last)) {
+        return Status::Internal("entries out of order");
+      }
+      last = e;
+      ++seen;
+    }
+    prev = leaf;
+    leaf = n.next;
+  }
+  if (seen != size_) return Status::Internal("leaf chain size mismatch");
+
+  // Check internal counts recursively.
+  struct Checker {
+    const BPlusTree* tree;
+    Status status = Status::OK();
+    uint64_t Count(uint32_t id) {
+      const Node& n = tree->nodes_[id];
+      if (n.leaf) return n.entries.size();
+      if (n.keys.size() + 1 != n.children.size() ||
+          n.counts.size() != n.children.size()) {
+        status = Status::Internal("internal node arity mismatch");
+        return 0;
+      }
+      uint64_t total = 0;
+      for (size_t i = 0; i < n.children.size(); ++i) {
+        const uint64_t c = Count(n.children[i]);
+        if (c != n.counts[i]) {
+          status = Status::Internal("stale subtree count");
+        }
+        total += c;
+      }
+      return total;
+    }
+  } checker{this};
+  const uint64_t total = checker.Count(root_);
+  if (!checker.status.ok()) return checker.status;
+  if (total != size_) return Status::Internal("root count mismatch");
+  return Status::OK();
+}
+
+}  // namespace knmatch

@@ -1,0 +1,149 @@
+#ifndef KNMATCH_STORAGE_BPLUS_TREE_H_
+#define KNMATCH_STORAGE_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "knmatch/common/status.h"
+#include "knmatch/core/sorted_columns.h"
+#include "knmatch/storage/paged_file.h"
+
+namespace knmatch {
+
+/// A disk-based B+-tree over (value, pid) entries, keyed by
+/// (value, pid) lexicographically. This is the index structure a real
+/// deployment would put on each sorted dimension instead of the
+/// ColumnStore's in-memory page directory: lower-bound seeks traverse
+/// root-to-leaf with one charged page read per node, and leaf pages are
+/// chained both ways so the AD algorithm's two cursor directions
+/// translate to sideways leaf walks.
+///
+/// Supported operations: bottom-up bulk load from a sorted column,
+/// charged lower-bound seek, bidirectional leaf iteration, and
+/// incremental insertion with node splits (so a column can be kept
+/// up to date as points are appended to the database). Deletion is
+/// intentionally lazy (tombstone-free removal from the leaf without
+/// rebalancing), as is common for append-mostly analytical stores;
+/// underflowed leaves are merged only by a rebuild.
+class BPlusTree {
+ public:
+  /// Creates an empty tree whose nodes live on `disk`. The simulator
+  /// must outlive the tree.
+  explicit BPlusTree(DiskSimulator* disk);
+
+  /// Bulk loads from entries sorted ascending by (value, pid).
+  /// Replaces any existing content. O(n).
+  void BulkLoad(std::span<const ColumnEntry> sorted_entries);
+
+  /// Inserts one entry, splitting nodes as needed. O(log n) charged
+  /// page reads (plus uncharged writes, which are deferrable).
+  void Insert(ColumnEntry entry);
+
+  /// Removes the exact (value, pid) entry if present; returns whether
+  /// it was found. No rebalancing (see class comment).
+  bool Erase(ColumnEntry entry);
+
+  /// Number of entries.
+  size_t size() const { return size_; }
+  /// Tree height (0 for an empty tree, 1 for a single leaf).
+  size_t height() const { return height_; }
+  /// Total nodes (== pages) in the tree.
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// A charged cursor into the leaf level.
+  class Iterator {
+   public:
+    /// True while the iterator points at an entry.
+    bool Valid() const { return node_ != kInvalid; }
+    /// The entry under the cursor. Requires Valid().
+    ColumnEntry Get() const;
+    /// Moves one entry forward (ascending). Crossing a leaf boundary
+    /// charges a page read to this iterator's stream.
+    void Next();
+    /// Moves one entry backward (descending); invalid before the first
+    /// entry.
+    void Prev();
+
+   private:
+    friend class BPlusTree;
+    static constexpr uint32_t kInvalid = 0xFFFFFFFFu;
+    const BPlusTree* tree_ = nullptr;
+    size_t stream_ = 0;
+    uint32_t node_ = kInvalid;
+    size_t slot_ = 0;
+  };
+
+  /// Opens an I/O stream for a cursor (each AD direction gets its own).
+  size_t OpenStream() const;
+
+  /// Seeks to the first entry with (value, pid) >= (v, 0); the
+  /// traversal charges height() page reads to `stream`. The returned
+  /// iterator is invalid when every entry is smaller.
+  Iterator SeekLowerBound(size_t stream, Value v) const;
+
+  /// An iterator at the first entry smaller than (v, 0) — the starting
+  /// point of a descending cursor. Shares the seek's charged traversal.
+  Iterator SeekBefore(size_t stream, Value v) const;
+
+  /// Rank (number of entries strictly below (v, 0)). Charges one
+  /// root-to-leaf traversal to `stream`.
+  size_t RankOf(size_t stream, Value v) const;
+
+  /// Validates the B+-tree invariants (sortedness, fanout bounds, leaf
+  /// chain consistency, key/child separators). For tests.
+  Status CheckInvariants() const;
+
+ private:
+  // Nodes are fixed-fanout, sized to mimic one 4 KB page:
+  // 12-byte entries in leaves -> ~340; (key, child) pairs in internal
+  // nodes -> ~256. We keep the arithmetic simple with round figures.
+  static constexpr size_t kLeafCapacity = 256;
+  static constexpr size_t kInternalCapacity = 128;
+  static constexpr uint32_t kInvalid = 0xFFFFFFFFu;
+
+  struct Node {
+    bool leaf = true;
+    // Leaf: entries sorted by (value, pid); prev/next sibling links.
+    std::vector<ColumnEntry> entries;
+    uint32_t prev = kInvalid;
+    uint32_t next = kInvalid;
+    // Internal: keys.size() + 1 == children.size(); keys[i] is the
+    // smallest key in the subtree of children[i+1]. counts[i] is the
+    // number of entries under children[i] (order-statistic
+    // augmentation, for RankOf).
+    std::vector<ColumnEntry> keys;
+    std::vector<uint32_t> children;
+    std::vector<uint64_t> counts;
+  };
+
+  static bool EntryLess(const ColumnEntry& a, const ColumnEntry& b) {
+    if (a.value != b.value) return a.value < b.value;
+    return a.pid < b.pid;
+  }
+
+  uint32_t NewNode(bool leaf);
+  void ChargeVisit(size_t stream, uint32_t node) const;
+  /// Descends to the leaf that would contain `key`, charging each
+  /// visited node; records the root-to-leaf path in `path` if non-null.
+  uint32_t DescendToLeaf(size_t stream, const ColumnEntry& key,
+                         std::vector<uint32_t>* path) const;
+  /// Splits the child at path position `depth` after an overflow,
+  /// propagating upward; may grow a new root.
+  void SplitUpward(std::vector<uint32_t>& path, uint32_t overflowed);
+
+  DiskSimulator* disk_;
+  uint64_t first_global_page_ = 0;
+  uint64_t allocated_pages_ = 0;
+  std::vector<Node> nodes_;
+  /// Global disk page id per node (nodes are one page each).
+  std::vector<uint64_t> page_of_;
+  uint32_t root_ = kInvalid;
+  uint32_t first_leaf_ = kInvalid;
+  size_t size_ = 0;
+  size_t height_ = 0;
+};
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_STORAGE_BPLUS_TREE_H_

@@ -1,0 +1,93 @@
+#include "knmatch/storage/column_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace knmatch {
+
+namespace {
+constexpr size_t kEntryBytes = sizeof(Value) + sizeof(PointId);
+}  // namespace
+
+ColumnStore::ColumnStore(const Dataset& db, DiskSimulator* disk)
+    : dims_(db.dims()), size_(db.size()), disk_(disk), file_(disk) {
+  entries_per_page_ = file_.page_size() / kEntryBytes;
+  pages_per_dim_ = (size_ + entries_per_page_ - 1) / entries_per_page_;
+  first_values_.resize(dims_);
+
+  // Reuse the in-memory sorting logic, then serialize column by column.
+  SortedColumns sorted(db);
+  std::vector<std::byte> image;
+  image.reserve(file_.page_size());
+  for (size_t dim = 0; dim < dims_; ++dim) {
+    auto column = sorted.column(dim);
+    first_values_[dim].reserve(pages_per_dim_);
+    for (size_t i = 0; i < column.size(); ++i) {
+      if (i % entries_per_page_ == 0) {
+        first_values_[dim].push_back(column[i].value);
+      }
+      PutScalar(&image, column[i].value);
+      PutScalar(&image, column[i].pid);
+      if ((i + 1) % entries_per_page_ == 0) {
+        file_.AppendPage(image);
+        image.clear();
+      }
+    }
+    if (!image.empty()) {
+      file_.AppendPage(image);
+      image.clear();
+    }
+  }
+}
+
+size_t ColumnStore::OpenStream() const { return disk_->OpenStream(); }
+
+ColumnEntry ColumnStore::DecodeEntry(std::span<const std::byte> image,
+                                     size_t slot) const {
+  ColumnEntry e;
+  e.value = GetScalar<Value>(image, slot * kEntryBytes);
+  e.pid = GetScalar<PointId>(image, slot * kEntryBytes + sizeof(Value));
+  return e;
+}
+
+size_t ColumnStore::PageOf(size_t dim, size_t idx) const {
+  return dim * pages_per_dim_ + idx / entries_per_page_;
+}
+
+ColumnEntry ColumnStore::ReadEntry(size_t stream, size_t dim,
+                                   size_t idx) const {
+  assert(dim < dims_ && idx < size_);
+  std::span<const std::byte> image =
+      file_.ReadPage(stream, PageOf(dim, idx));
+  return DecodeEntry(image, idx % entries_per_page_);
+}
+
+size_t ColumnStore::LowerBound(size_t dim, Value v) const {
+  const auto& firsts = first_values_[dim];
+  // Find the last page whose first value is < v; the lower bound lives
+  // there or at the start of the next page.
+  auto it = std::lower_bound(firsts.begin(), firsts.end(), v);
+  size_t page;  // page index within the dimension
+  if (it == firsts.begin()) {
+    page = 0;
+  } else {
+    page = static_cast<size_t>(it - firsts.begin()) - 1;
+  }
+  // In-page binary search over the peeked (uncharged) page image.
+  std::span<const std::byte> image =
+      file_.PeekPage(dim * pages_per_dim_ + page);
+  const size_t base = page * entries_per_page_;
+  const size_t count = std::min(entries_per_page_, size_ - base);
+  size_t lo = 0, hi = count;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (DecodeEntry(image, mid).value < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return base + lo;
+}
+
+}  // namespace knmatch

@@ -1,0 +1,116 @@
+#include "knmatch/storage/disk_simulator.h"
+
+#include <cassert>
+
+namespace knmatch {
+
+uint64_t DiskSimulator::AllocatePages(uint64_t count) {
+  const uint64_t first = next_page_;
+  next_page_ += count;
+  return first;
+}
+
+size_t DiskSimulator::OpenStream() {
+  stream_last_page_.push_back(0);
+  stream_has_read_.push_back(false);
+  return stream_last_page_.size() - 1;
+}
+
+bool DiskSimulator::BufferPool::Touch(uint64_t page, size_t capacity) {
+  auto it = index.find(page);
+  if (it != index.end()) {
+    recency.splice(recency.begin(), recency, it->second);
+    return true;
+  }
+  recency.push_front(page);
+  index[page] = recency.begin();
+  if (recency.size() > capacity) {
+    index.erase(recency.back());
+    recency.pop_back();
+  }
+  return false;
+}
+
+void DiskSimulator::BufferPool::Clear() {
+  recency.clear();
+  index.clear();
+}
+
+void DiskSimulator::DropBufferPool() { pool_.Clear(); }
+
+void DiskSimulator::RecordRead(size_t stream, uint64_t page) {
+  assert(stream < stream_last_page_.size());
+  assert(page < next_page_);
+  // Re-reading the reader's current page hits its own page buffer:
+  // free, and it does not touch the shared pool's recency either.
+  if (config_.single_head) {
+    if (head_has_read_ && page == head_last_page_) return;
+  } else if (stream_has_read_[stream] &&
+             stream_last_page_[stream] == page) {
+    return;
+  }
+  // Shared buffer pool (when configured). A hit costs nothing; the
+  // reader's own page buffer now holds the page, so subsequent
+  // same-page reads are free too.
+  if (config_.buffer_pool_pages > 0 &&
+      pool_.Touch(page, config_.buffer_pool_pages)) {
+    ++buffer_hits_;
+    if (config_.single_head) {
+      head_has_read_ = true;
+      head_last_page_ = page;
+    } else {
+      stream_has_read_[stream] = true;
+      stream_last_page_[stream] = page;
+    }
+    return;
+  }
+  if (config_.single_head) {
+    // Ablation model: one shared head, no per-cursor buffering.
+    if (head_has_read_) {
+      const bool adjacent =
+          page == head_last_page_ + 1 || head_last_page_ == page + 1;
+      if (adjacent) {
+        ++sequential_reads_;
+      } else {
+        ++random_reads_;
+      }
+    } else {
+      ++random_reads_;
+      head_has_read_ = true;
+    }
+    head_last_page_ = page;
+    return;
+  }
+  if (stream_has_read_[stream]) {
+    const uint64_t last = stream_last_page_[stream];
+    const bool adjacent = page == last + 1 || last == page + 1;
+    if (adjacent) {
+      ++sequential_reads_;
+    } else {
+      ++random_reads_;
+    }
+  } else {
+    ++random_reads_;  // First access of a stream always seeks.
+    stream_has_read_[stream] = true;
+  }
+  stream_last_page_[stream] = page;
+}
+
+double DiskSimulator::SimulatedIoSeconds() const {
+  return (static_cast<double>(sequential_reads_) *
+              config_.sequential_read_ms +
+          static_cast<double>(random_reads_) * config_.random_read_ms) /
+         1000.0;
+}
+
+void DiskSimulator::ResetCounters() {
+  sequential_reads_ = 0;
+  random_reads_ = 0;
+  buffer_hits_ = 0;
+  head_has_read_ = false;
+  for (size_t i = 0; i < stream_has_read_.size(); ++i) {
+    stream_has_read_[i] = false;
+  }
+}
+
+}  // namespace knmatch

@@ -1,0 +1,40 @@
+#include "knmatch/storage/paged_file.h"
+
+#include <cassert>
+
+namespace knmatch {
+
+PagedFile::PagedFile(DiskSimulator* disk)
+    : disk_(disk), page_size_(disk->config().page_size) {}
+
+size_t PagedFile::AppendPage(std::span<const std::byte> image) {
+  assert(image.size() <= page_size_);
+  std::vector<std::byte> page(page_size_, std::byte{0});
+  std::memcpy(page.data(), image.data(), image.size());
+  // Keep the file's pages contiguous in the global page space: allocate
+  // them from the simulator one at a time; because no other allocation
+  // interleaves during a build, the run stays contiguous. The first
+  // allocation records the base.
+  const uint64_t global = disk_->AllocatePages(1);
+  if (pages_.empty()) {
+    first_global_page_ = global;
+  }
+  assert(global == first_global_page_ + pages_.size() &&
+         "file pages must be contiguous; do not interleave builds");
+  pages_.push_back(std::move(page));
+  return pages_.size() - 1;
+}
+
+std::span<const std::byte> PagedFile::ReadPage(size_t stream,
+                                               size_t index) const {
+  assert(index < pages_.size());
+  disk_->RecordRead(stream, first_global_page_ + index);
+  return pages_[index];
+}
+
+std::span<const std::byte> PagedFile::PeekPage(size_t index) const {
+  assert(index < pages_.size());
+  return pages_[index];
+}
+
+}  // namespace knmatch

@@ -1,0 +1,73 @@
+#ifndef KNMATCH_STORAGE_PAGED_FILE_H_
+#define KNMATCH_STORAGE_PAGED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "knmatch/storage/disk_simulator.h"
+
+namespace knmatch {
+
+/// A page-structured file on the simulated disk. Pages have the fixed
+/// byte size of the owning DiskSimulator's config; reads are accounted
+/// against a stream. The backing store is memory-resident (the
+/// simulation is about *counting* I/O, not performing it), but all data
+/// round-trips through serialized page images, so layout code is
+/// genuinely exercised.
+class PagedFile {
+ public:
+  /// Creates an empty file on `disk`. The simulator must outlive the
+  /// file.
+  explicit PagedFile(DiskSimulator* disk);
+
+  PagedFile(const PagedFile&) = delete;
+  PagedFile& operator=(const PagedFile&) = delete;
+  PagedFile(PagedFile&&) = default;
+  PagedFile& operator=(PagedFile&&) = default;
+
+  /// Page size in bytes.
+  size_t page_size() const { return page_size_; }
+  /// Number of pages in the file.
+  size_t num_pages() const { return pages_.size(); }
+
+  /// Appends a page image (at most page_size() bytes; shorter images are
+  /// zero-padded). Returns the new page's index within this file.
+  /// Writes are a build-time operation and are not I/O-accounted.
+  size_t AppendPage(std::span<const std::byte> image);
+
+  /// Reads page `index`, charging the access to `stream`.
+  std::span<const std::byte> ReadPage(size_t stream, size_t index) const;
+
+  /// Reads page `index` without charging any I/O. For build-time
+  /// verification and tests only.
+  std::span<const std::byte> PeekPage(size_t index) const;
+
+ private:
+  DiskSimulator* disk_;
+  size_t page_size_;
+  uint64_t first_global_page_ = 0;
+  std::vector<std::vector<std::byte>> pages_;
+};
+
+/// Helpers to serialize plain scalar values into / out of page images.
+/// Little-endian host layout is assumed (x86-64).
+template <typename T>
+void PutScalar(std::vector<std::byte>* out, T value) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(T));
+  std::memcpy(out->data() + at, &value, sizeof(T));
+}
+
+template <typename T>
+T GetScalar(std::span<const std::byte> in, size_t offset) {
+  T value;
+  std::memcpy(&value, in.data() + offset, sizeof(T));
+  return value;
+}
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_STORAGE_PAGED_FILE_H_

@@ -1,0 +1,59 @@
+#include "knmatch/storage/row_store.h"
+
+#include <cassert>
+
+namespace knmatch {
+
+RowStore::RowStore(const Dataset& db, DiskSimulator* disk)
+    : size_(db.size()), dims_(db.dims()), disk_(disk), file_(disk) {
+  const size_t row_bytes = dims_ * sizeof(Value);
+  assert(row_bytes <= file_.page_size() && "row wider than a page");
+  rows_per_page_ = file_.page_size() / row_bytes;
+
+  std::vector<std::byte> image;
+  image.reserve(file_.page_size());
+  for (PointId pid = 0; pid < size_; ++pid) {
+    for (const Value v : db.point(pid)) PutScalar(&image, v);
+    if ((pid + 1) % rows_per_page_ == 0) {
+      file_.AppendPage(image);
+      image.clear();
+    }
+  }
+  if (!image.empty()) file_.AppendPage(image);
+}
+
+size_t RowStore::OpenStream() const { return disk_->OpenStream(); }
+
+std::span<const Value> RowStore::ReadRow(size_t stream, PointId pid,
+                                         std::vector<Value>* buf) const {
+  assert(pid < size_);
+  const size_t page = pid / rows_per_page_;
+  const size_t slot = pid % rows_per_page_;
+  std::span<const std::byte> image = file_.ReadPage(stream, page);
+  buf->resize(dims_);
+  for (size_t dim = 0; dim < dims_; ++dim) {
+    (*buf)[dim] = GetScalar<Value>(
+        image, (slot * dims_ + dim) * sizeof(Value));
+  }
+  return {buf->data(), buf->size()};
+}
+
+void RowStore::ForEachRow(
+    size_t stream,
+    const std::function<void(PointId, std::span<const Value>)>& fn) const {
+  std::vector<Value> buf(dims_);
+  PointId pid = 0;
+  for (size_t page = 0; page < file_.num_pages(); ++page) {
+    std::span<const std::byte> image = file_.ReadPage(stream, page);
+    for (size_t slot = 0; slot < rows_per_page_ && pid < size_;
+         ++slot, ++pid) {
+      for (size_t dim = 0; dim < dims_; ++dim) {
+        buf[dim] =
+            GetScalar<Value>(image, (slot * dims_ + dim) * sizeof(Value));
+      }
+      fn(pid, std::span<const Value>(buf.data(), buf.size()));
+    }
+  }
+}
+
+}  // namespace knmatch

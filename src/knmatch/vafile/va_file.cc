@@ -1,0 +1,133 @@
+#include "knmatch/vafile/va_file.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace knmatch {
+
+namespace {
+
+/// Writes `bits` low bits of `code` into the bit stream at bit offset
+/// `bit_pos`.
+void PutBits(std::vector<std::byte>* out, size_t bit_pos, uint32_t code,
+             unsigned bits) {
+  for (unsigned b = 0; b < bits; ++b) {
+    const size_t pos = bit_pos + b;
+    const size_t byte = pos / 8;
+    const unsigned shift = pos % 8;
+    if (byte >= out->size()) out->resize(byte + 1, std::byte{0});
+    if ((code >> b) & 1u) {
+      (*out)[byte] |= std::byte{1} << shift;
+    }
+  }
+}
+
+/// Reads `bits` bits from the image at bit offset `bit_pos`.
+uint32_t GetBits(std::span<const std::byte> in, size_t bit_pos,
+                 unsigned bits) {
+  uint32_t code = 0;
+  for (unsigned b = 0; b < bits; ++b) {
+    const size_t pos = bit_pos + b;
+    const size_t byte = pos / 8;
+    const unsigned shift = pos % 8;
+    if ((static_cast<uint8_t>(in[byte]) >> shift) & 1u) {
+      code |= 1u << b;
+    }
+  }
+  return code;
+}
+
+}  // namespace
+
+VaFile::VaFile(const Dataset& db, DiskSimulator* disk, unsigned bits)
+    : size_(db.size()),
+      dims_(db.dims()),
+      bits_(bits),
+      cells_(1u << bits),
+      disk_(disk),
+      file_(disk) {
+  assert(bits >= 1 && bits <= 16);
+  row_bytes_ = (dims_ * bits_ + 7) / 8;
+  assert(row_bytes_ <= file_.page_size());
+  rows_per_page_ = file_.page_size() / row_bytes_;
+
+  // Per-dimension ranges for the equi-width grid.
+  dim_lo_.assign(dims_, std::numeric_limits<Value>::infinity());
+  dim_width_.assign(dims_, 0);
+  std::vector<Value> dim_hi(dims_,
+                            -std::numeric_limits<Value>::infinity());
+  for (PointId pid = 0; pid < size_; ++pid) {
+    auto p = db.point(pid);
+    for (size_t dim = 0; dim < dims_; ++dim) {
+      dim_lo_[dim] = std::min(dim_lo_[dim], p[dim]);
+      dim_hi[dim] = std::max(dim_hi[dim], p[dim]);
+    }
+  }
+  for (size_t dim = 0; dim < dims_; ++dim) {
+    dim_width_[dim] = dim_hi[dim] - dim_lo_[dim];
+  }
+
+  // Quantize and serialize, page by page.
+  std::vector<std::byte> image;
+  image.reserve(file_.page_size());
+  size_t rows_in_page = 0;
+  for (PointId pid = 0; pid < size_; ++pid) {
+    auto p = db.point(pid);
+    const size_t row_base_bits = rows_in_page * row_bytes_ * 8;
+    for (size_t dim = 0; dim < dims_; ++dim) {
+      PutBits(&image, row_base_bits + dim * bits_, Quantize(dim, p[dim]),
+              bits_);
+    }
+    // PutBits only grows the buffer as far as set bits reach; pad the
+    // row to its full width so offsets stay aligned.
+    image.resize((rows_in_page + 1) * row_bytes_, std::byte{0});
+    if (++rows_in_page == rows_per_page_) {
+      file_.AppendPage(image);
+      image.clear();
+      rows_in_page = 0;
+    }
+  }
+  if (!image.empty()) file_.AppendPage(image);
+}
+
+Value VaFile::CellLower(size_t dim, uint32_t code) const {
+  return dim_lo_[dim] +
+         dim_width_[dim] * static_cast<Value>(code) / cells_;
+}
+
+Value VaFile::CellUpper(size_t dim, uint32_t code) const {
+  return dim_lo_[dim] +
+         dim_width_[dim] * static_cast<Value>(code + 1) / cells_;
+}
+
+uint32_t VaFile::Quantize(size_t dim, Value v) const {
+  if (dim_width_[dim] <= 0) return 0;
+  const Value frac = (v - dim_lo_[dim]) / dim_width_[dim];
+  const auto code = static_cast<int64_t>(frac * cells_);
+  return static_cast<uint32_t>(
+      std::clamp<int64_t>(code, 0, cells_ - 1));
+}
+
+size_t VaFile::OpenStream() const { return disk_->OpenStream(); }
+
+void VaFile::ForEachApprox(
+    size_t stream,
+    const std::function<void(PointId, std::span<const uint32_t>)>& fn)
+    const {
+  std::vector<uint32_t> codes(dims_);
+  PointId pid = 0;
+  for (size_t page = 0; page < file_.num_pages(); ++page) {
+    std::span<const std::byte> image = file_.ReadPage(stream, page);
+    for (size_t row = 0; row < rows_per_page_ && pid < size_;
+         ++row, ++pid) {
+      const size_t row_base_bits = row * row_bytes_ * 8;
+      for (size_t dim = 0; dim < dims_; ++dim) {
+        codes[dim] = GetBits(image, row_base_bits + dim * bits_, bits_);
+      }
+      fn(pid, std::span<const uint32_t>(codes.data(), codes.size()));
+    }
+  }
+}
+
+}  // namespace knmatch

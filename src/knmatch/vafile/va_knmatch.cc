@@ -1,0 +1,101 @@
+#include "knmatch/vafile/va_knmatch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "knmatch/common/top_k.h"
+#include "knmatch/core/nmatch.h"
+#include "knmatch/core/nmatch_naive.h"
+
+namespace knmatch {
+
+Result<VaFrequentKnMatchResult> VaKnMatchSearcher::FrequentKnMatch(
+    std::span<const Value> query, size_t n0, size_t n1, size_t k) const {
+  Status s = ValidateMatchParams(va_.size(), va_.dims(), query.size(), n0,
+                                 n1, k);
+  if (!s.ok()) return s;
+  if (va_.size() != rows_.size() || va_.dims() != rows_.dims()) {
+    return Status::FailedPrecondition(
+        "VA-file and row store describe different datasets");
+  }
+
+  const size_t d = va_.dims();
+  const size_t range = n1 - n0 + 1;
+
+  // Phase 1: scan the approximation, maintain per-n thresholds (k-th
+  // smallest upper bound seen so far) and collect candidates.
+  using UbHeap = BoundedTopK<PointId, Value, PointId>;
+  std::vector<UbHeap> thresholds;
+  thresholds.reserve(range);
+  for (size_t i = 0; i < range; ++i) thresholds.emplace_back(k);
+
+  std::vector<PointId> candidates;
+  std::vector<Value> lb(d), ub(d);
+  const size_t va_stream = va_.OpenStream();
+  va_.ForEachApprox(va_stream, [&](PointId pid,
+                                   std::span<const uint32_t> codes) {
+    for (size_t dim = 0; dim < d; ++dim) {
+      const Value lo = va_.CellLower(dim, codes[dim]);
+      const Value hi = va_.CellUpper(dim, codes[dim]);
+      const Value q = query[dim];
+      if (q < lo) {
+        lb[dim] = lo - q;
+      } else if (q > hi) {
+        lb[dim] = q - hi;
+      } else {
+        lb[dim] = 0;
+      }
+      ub[dim] = std::max(std::abs(q - lo), std::abs(q - hi));
+    }
+    std::sort(lb.begin(), lb.end());
+    std::sort(ub.begin(), ub.end());
+
+    bool candidate = false;
+    for (size_t n = n0; n <= n1; ++n) {
+      UbHeap& heap = thresholds[n - n0];
+      // Threshold is +inf until k upper bounds have been seen.
+      if (!candidate &&
+          (!heap.full() || lb[n - 1] <= heap.threshold())) {
+        candidate = true;
+      }
+      heap.Offer(ub[n - 1], pid, pid);
+    }
+    if (candidate) candidates.push_back(pid);
+  });
+
+  // Phase 2: fetch candidates (ascending pid, so co-located candidates
+  // share page reads) and compute exact n-match differences.
+  using Accumulator = BoundedTopK<PointId, Value, PointId>;
+  std::vector<Accumulator> per_n;
+  per_n.reserve(range);
+  for (size_t i = 0; i < range; ++i) per_n.emplace_back(k);
+
+  const size_t row_stream = rows_.OpenStream();
+  std::vector<Value> buf, diffs;
+  for (const PointId pid : candidates) {
+    std::span<const Value> p = rows_.ReadRow(row_stream, pid, &buf);
+    SortedAbsDifferences(p, query, &diffs);
+    for (size_t n = n0; n <= n1; ++n) {
+      per_n[n - n0].Offer(diffs[n - 1], pid, pid);
+    }
+  }
+
+  VaFrequentKnMatchResult result;
+  result.points_refined = candidates.size();
+  result.base.per_n_sets.resize(range);
+  for (size_t i = 0; i < range; ++i) {
+    for (auto& e : per_n[i].TakeSorted()) {
+      result.base.per_n_sets[i].push_back(Neighbor{e.item, e.score});
+    }
+  }
+  // Phase 1 reads every approximation (c*d quantized attributes);
+  // phase 2 reads d exact attributes per refined point.
+  result.base.attributes_retrieved =
+      static_cast<uint64_t>(va_.size()) * d +
+      static_cast<uint64_t>(candidates.size()) * d;
+  RankByFrequency(k, &result.base);
+  return result;
+}
+
+}  // namespace knmatch

@@ -1,0 +1,58 @@
+#ifndef KNMATCH_VAFILE_VA_KNMATCH_H_
+#define KNMATCH_VAFILE_VA_KNMATCH_H_
+
+#include <span>
+
+#include "knmatch/common/status.h"
+#include "knmatch/core/match_types.h"
+#include "knmatch/storage/row_store.h"
+#include "knmatch/vafile/va_file.h"
+
+namespace knmatch {
+
+/// Result of a VA-file (frequent) k-n-match query, extending the base
+/// result with the phase statistics Figure 10 reports.
+struct VaFrequentKnMatchResult {
+  FrequentKnMatchResult base;
+  /// Points that survived phase-1 pruning and were fetched from the row
+  /// store in phase 2 (Figure 10(a)'s "number of points retrieved").
+  uint64_t points_refined = 0;
+};
+
+/// The compression-based competitor of Section 4.2: frequent k-n-match
+/// over a VA-file.
+///
+/// Phase 1 scans the approximation sequentially, computing for every
+/// point lower/upper bounds of its n-match difference for each n in
+/// [n0, n1] (the n-th smallest per-dimension lower/upper difference
+/// bound). Running k-th-smallest upper-bound thresholds prune points
+/// whose lower bound exceeds the threshold for *every* n — pruning with
+/// a shrinking threshold is conservative, so the candidate set is a
+/// superset of every true answer set. Phase 2 fetches the candidates
+/// from the row store (random I/O) and computes exact differences, so
+/// the final answer is exact and identical to the naive algorithm's.
+class VaKnMatchSearcher {
+ public:
+  /// Searches `va` with refinement reads served by `rows`. Both stores
+  /// must outlive the searcher and should share a DiskSimulator.
+  VaKnMatchSearcher(const VaFile& va, const RowStore& rows)
+      : va_(va), rows_(rows) {}
+
+  /// Frequent k-n-match over [n0, n1].
+  Result<VaFrequentKnMatchResult> FrequentKnMatch(
+      std::span<const Value> query, size_t n0, size_t n1, size_t k) const;
+
+  /// Plain k-n-match (the n0 == n1 special case).
+  Result<VaFrequentKnMatchResult> KnMatch(std::span<const Value> query,
+                                          size_t n, size_t k) const {
+    return FrequentKnMatch(query, n, n, k);
+  }
+
+ private:
+  const VaFile& va_;
+  const RowStore& rows_;
+};
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_VAFILE_VA_KNMATCH_H_

@@ -1,0 +1,154 @@
+#include "knmatch/core/ad_algorithm.h"
+
+#include <gtest/gtest.h>
+
+#include "knmatch/core/nmatch.h"
+#include "knmatch/core/nmatch_naive.h"
+#include "knmatch/datagen/generators.h"
+#include "paper_data.h"
+
+namespace knmatch {
+namespace {
+
+using testing::Figure3Database;
+using testing::Figure3Query;
+
+TEST(AdSearcherTest, ValidatesParameters) {
+  Dataset db = Figure3Database();
+  AdSearcher searcher(db);
+  auto q = Figure3Query();
+  EXPECT_FALSE(searcher.KnMatch(q, 0, 1).ok());
+  EXPECT_FALSE(searcher.KnMatch(q, 4, 1).ok());
+  EXPECT_FALSE(searcher.KnMatch(q, 1, 0).ok());
+  EXPECT_FALSE(searcher.KnMatch(q, 1, 6).ok());
+  EXPECT_FALSE(searcher.FrequentKnMatch(q, 2, 1, 1).ok());
+}
+
+TEST(AdSearcherTest, MatchesNaiveOnFigure3) {
+  // Figure 3's data contains exact ties (e.g., points 1 and 4 both have
+  // 3-match difference 6.0), where the tie *order* is unspecified; the
+  // returned difference sequence and the per-match differences must
+  // still agree with the naive scan exactly.
+  Dataset db = Figure3Database();
+  AdSearcher searcher(db);
+  auto q = Figure3Query();
+  for (size_t n = 1; n <= 3; ++n) {
+    for (size_t k = 1; k <= 5; ++k) {
+      auto ad = searcher.KnMatch(q, n, k);
+      auto naive = KnMatchNaive(db, q, n, k);
+      ASSERT_TRUE(ad.ok());
+      ASSERT_TRUE(naive.ok());
+      ASSERT_EQ(ad.value().matches.size(), naive.value().matches.size());
+      for (size_t i = 0; i < ad.value().matches.size(); ++i) {
+        const Neighbor& nb = ad.value().matches[i];
+        EXPECT_DOUBLE_EQ(nb.distance, naive.value().matches[i].distance)
+            << "n=" << n << " k=" << k << " i=" << i;
+        EXPECT_DOUBLE_EQ(nb.distance,
+                         NMatchDifference(db.point(nb.pid), q, n));
+      }
+    }
+  }
+}
+
+TEST(AdSearcherTest, QueryOutsideDataRange) {
+  // All data in [0,1]; query far outside on both sides exercises the
+  // exhausted-direction handling.
+  Dataset db = datagen::MakeUniform(50, 4, 2);
+  AdSearcher searcher(db);
+  std::vector<Value> low(4, -5.0), high(4, 7.0);
+  auto r_low = searcher.KnMatch(low, 2, 3);
+  auto naive_low = KnMatchNaive(db, low, 2, 3);
+  ASSERT_TRUE(r_low.ok());
+  EXPECT_EQ(r_low.value().matches, naive_low.value().matches);
+
+  auto r_high = searcher.KnMatch(high, 4, 5);
+  auto naive_high = KnMatchNaive(db, high, 4, 5);
+  ASSERT_TRUE(r_high.ok());
+  EXPECT_EQ(r_high.value().matches, naive_high.value().matches);
+}
+
+TEST(AdSearcherTest, QueryEqualToDataValueConsumedOnce) {
+  // The up cursor owns values equal to the query attribute; the answer
+  // must still match the naive computation (no double counting).
+  Dataset db(Matrix::FromRows({
+      {0.5, 0.5},
+      {0.5, 0.9},
+      {0.1, 0.5},
+  }));
+  AdSearcher searcher(db);
+  std::vector<Value> q = {0.5, 0.5};
+  for (size_t n = 1; n <= 2; ++n) {
+    auto ad = searcher.KnMatch(q, n, 3);
+    auto naive = KnMatchNaive(db, q, n, 3);
+    ASSERT_TRUE(ad.ok());
+    // Distances must agree even if tie order differs.
+    ASSERT_EQ(ad.value().matches.size(), naive.value().matches.size());
+    for (size_t i = 0; i < ad.value().matches.size(); ++i) {
+      EXPECT_DOUBLE_EQ(ad.value().matches[i].distance,
+                       naive.value().matches[i].distance);
+    }
+  }
+  auto one = searcher.KnMatch(q, 1, 1);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one.value().matches[0].distance, 0.0);
+}
+
+TEST(AdSearcherTest, SinglePointDatabase) {
+  Dataset db(Matrix::FromRows({{0.3, 0.6, 0.9}}));
+  AdSearcher searcher(db);
+  std::vector<Value> q = {0.0, 0.0, 0.0};
+  auto r = searcher.KnMatch(q, 2, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().matches[0].pid, 0u);
+  EXPECT_NEAR(r.value().matches[0].distance, 0.6, 1e-12);
+}
+
+TEST(AdSearcherTest, OneDimensionalDatabase) {
+  Dataset db(Matrix::FromRows({{0.1}, {0.4}, {0.6}, {0.95}}));
+  AdSearcher searcher(db);
+  std::vector<Value> q = {0.5};
+  auto r = searcher.KnMatch(q, 1, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().matches[0].pid, 1u);  // 0.4, diff 0.1
+  EXPECT_EQ(r.value().matches[1].pid, 2u);  // 0.6, diff 0.1
+}
+
+TEST(AdSearcherTest, FrequentSingleNEqualsKnMatch) {
+  Dataset db = datagen::MakeUniform(120, 6, 4);
+  AdSearcher searcher(db);
+  std::vector<Value> q(6, 0.42);
+  auto frequent = searcher.FrequentKnMatch(q, 4, 4, 9);
+  auto plain = searcher.KnMatch(q, 4, 9);
+  ASSERT_TRUE(frequent.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(frequent.value().per_n_sets[0], plain.value().matches);
+  EXPECT_EQ(frequent.value().attributes_retrieved,
+            plain.value().attributes_retrieved);
+}
+
+TEST(AdSearcherTest, FrequentCostEqualsTerminalKnMatchCost) {
+  // Theorem 3.3: FKNMatchAD retrieves exactly as many attributes as a
+  // k-n1-match search.
+  Dataset db = datagen::MakeUniform(300, 8, 12);
+  AdSearcher searcher(db);
+  std::vector<Value> q(8, 0.77);
+  auto frequent = searcher.FrequentKnMatch(q, 2, 6, 5);
+  auto terminal = searcher.KnMatch(q, 6, 5);
+  ASSERT_TRUE(frequent.ok());
+  ASSERT_TRUE(terminal.ok());
+  EXPECT_EQ(frequent.value().attributes_retrieved,
+            terminal.value().attributes_retrieved);
+}
+
+TEST(AdSearcherTest, RetrievesFarFewerAttributesThanScanOnSelectiveQuery) {
+  Dataset db = datagen::MakeUniform(2000, 16, 33);
+  AdSearcher searcher(db);
+  std::vector<Value> q(db.point(17).begin(), db.point(17).end());
+  auto r = searcher.KnMatch(q, 4, 10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r.value().attributes_retrieved,
+            static_cast<uint64_t>(db.size()) * db.dims() / 2);
+}
+
+}  // namespace
+}  // namespace knmatch

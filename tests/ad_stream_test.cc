@@ -1,0 +1,161 @@
+#include "knmatch/core/ad_stream.h"
+
+#include <gtest/gtest.h>
+
+#include "knmatch/common/random.h"
+#include "knmatch/core/ad_algorithm.h"
+#include "knmatch/core/categorical.h"
+#include "knmatch/core/nmatch_naive.h"
+#include "knmatch/datagen/generators.h"
+
+namespace knmatch {
+namespace {
+
+TEST(AdMatchStreamTest, PrefixEqualsKnMatch) {
+  Dataset db = datagen::MakeUniform(400, 6, 81);
+  SortedColumns columns(db);
+  AdSearcher searcher(db);
+  std::vector<Value> q(6, 0.37);
+
+  AdMatchStream stream(columns, q, 3);
+  auto batch = searcher.KnMatch(q, 3, 25);
+  ASSERT_TRUE(batch.ok());
+  for (const Neighbor& expected : batch.value().matches) {
+    auto next = stream.Next();
+    ASSERT_TRUE(next.has_value());
+    EXPECT_EQ(*next, expected);
+  }
+  EXPECT_EQ(stream.yielded(), 25u);
+}
+
+TEST(AdMatchStreamTest, StoppingEarlyRetrievesKnMatchCost) {
+  Dataset db = datagen::MakeUniform(500, 5, 82);
+  SortedColumns columns(db);
+  AdSearcher searcher(db);
+  std::vector<Value> q(5, 0.61);
+
+  AdMatchStream stream(columns, q, 2);
+  for (int i = 0; i < 10; ++i) stream.Next();
+  auto batch = searcher.KnMatch(q, 2, 10);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(stream.attributes_retrieved(),
+            batch.value().attributes_retrieved);
+}
+
+TEST(AdMatchStreamTest, DrainsExactlyAllPoints) {
+  Dataset db = datagen::MakeUniform(120, 4, 83);
+  SortedColumns columns(db);
+  std::vector<Value> q(4, 0.5);
+  AdMatchStream stream(columns, q, 4);
+  size_t count = 0;
+  Value last = -1;
+  while (auto next = stream.Next()) {
+    EXPECT_GE(next->distance, last);
+    last = next->distance;
+    ++count;
+  }
+  EXPECT_EQ(count, 120u);
+  // Draining the stream read every attribute exactly once.
+  EXPECT_EQ(stream.attributes_retrieved(), 120u * 4u);
+  // A drained stream stays drained.
+  EXPECT_FALSE(stream.Next().has_value());
+}
+
+TEST(AdMatchStreamTest, QueryVectorNeedNotOutliveConstruction) {
+  Dataset db = datagen::MakeUniform(100, 3, 84);
+  SortedColumns columns(db);
+  auto make_stream = [&columns]() {
+    std::vector<Value> local_query = {0.2, 0.4, 0.6};  // dies at return
+    return std::make_unique<AdMatchStream>(columns, local_query, 2);
+  };
+  auto stream = make_stream();
+  auto first = stream->Next();
+  ASSERT_TRUE(first.has_value());
+  auto batch = KnMatchNaive(db, std::vector<Value>{0.2, 0.4, 0.6}, 2, 1);
+  EXPECT_EQ(first->pid, batch.value().matches[0].pid);
+}
+
+TEST(WeightedAdTest, MatchesWeightedScan) {
+  Dataset db = datagen::MakeUniform(300, 5, 85);
+  AdSearcher searcher(db);
+  Rng rng(86);
+  std::vector<Value> q(5), w(5);
+  for (Value& v : q) v = rng.Uniform01();
+  for (Value& v : w) v = rng.Uniform(0.1, 5.0);
+
+  MixedSchema schema;  // all numeric + weights == weighted n-match
+  schema.weights = w;
+  for (size_t n = 1; n <= 5; ++n) {
+    auto ad = searcher.KnMatch(q, n, 8, w);
+    auto scan = MixedKnMatch(db, q, schema, n, 8);
+    ASSERT_TRUE(ad.ok());
+    ASSERT_TRUE(scan.ok());
+    ASSERT_EQ(ad.value().matches.size(), scan.value().matches.size());
+    for (size_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(ad.value().matches[i].pid, scan.value().matches[i].pid)
+          << "n=" << n << " i=" << i;
+      EXPECT_NEAR(ad.value().matches[i].distance,
+                  scan.value().matches[i].distance, 1e-12);
+    }
+  }
+}
+
+TEST(WeightedAdTest, FrequentWeightedMatchesScan) {
+  Dataset db = datagen::MakeUniform(250, 6, 87);
+  AdSearcher searcher(db);
+  std::vector<Value> q(6, 0.44);
+  std::vector<Value> w = {1, 2, 0.5, 3, 1.5, 0.25};
+  MixedSchema schema;
+  schema.weights = w;
+  auto ad = searcher.FrequentKnMatch(q, 2, 5, 7, w);
+  auto scan = MixedFrequentKnMatch(db, q, schema, 2, 5, 7);
+  ASSERT_TRUE(ad.ok());
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(ad.value().matches, scan.value().matches);
+  EXPECT_EQ(ad.value().frequencies, scan.value().frequencies);
+}
+
+TEST(WeightedAdTest, UnitWeightsEqualUnweighted) {
+  Dataset db = datagen::MakeUniform(200, 4, 88);
+  AdSearcher searcher(db);
+  std::vector<Value> q(4, 0.3);
+  std::vector<Value> ones(4, 1.0);
+  auto weighted = searcher.KnMatch(q, 2, 6, ones);
+  auto plain = searcher.KnMatch(q, 2, 6);
+  ASSERT_TRUE(weighted.ok());
+  EXPECT_EQ(weighted.value().matches, plain.value().matches);
+  EXPECT_EQ(weighted.value().attributes_retrieved,
+            plain.value().attributes_retrieved);
+}
+
+TEST(WeightedAdTest, RejectsBadWeights) {
+  Dataset db = datagen::MakeUniform(50, 3, 89);
+  AdSearcher searcher(db);
+  std::vector<Value> q(3, 0.5);
+  EXPECT_FALSE(searcher.KnMatch(q, 1, 1, std::vector<Value>{1, 2}).ok());
+  EXPECT_FALSE(
+      searcher.KnMatch(q, 1, 1, std::vector<Value>{1, 0, 2}).ok());
+  EXPECT_FALSE(
+      searcher.KnMatch(q, 1, 1, std::vector<Value>{1, -1, 2}).ok());
+}
+
+TEST(WeightedAdTest, WeightChangesWinner) {
+  // Point A matches the query in dim 0 only; B in dim 1 only.
+  // Up-weighting dim 0's differences pushes A's mismatch cost up.
+  Dataset db(Matrix::FromRows({
+      {0.50, 0.90},  // A: perfect in dim 0
+      {0.90, 0.50},  // B: perfect in dim 1
+  }));
+  AdSearcher searcher(db);
+  std::vector<Value> q = {0.5, 0.5};
+  // 2-match difference (max of weighted diffs): A = w0*0 vs w1*0.4.
+  auto heavy_dim0 = searcher.KnMatch(q, 2, 1, std::vector<Value>{10, 1});
+  ASSERT_TRUE(heavy_dim0.ok());
+  EXPECT_EQ(heavy_dim0.value().matches[0].pid, 0u);  // A: 0.4 < 4.0
+  auto heavy_dim1 = searcher.KnMatch(q, 2, 1, std::vector<Value>{1, 10});
+  ASSERT_TRUE(heavy_dim1.ok());
+  EXPECT_EQ(heavy_dim1.value().matches[0].pid, 1u);
+}
+
+}  // namespace
+}  // namespace knmatch

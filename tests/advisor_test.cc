@@ -1,0 +1,95 @@
+#include "knmatch/eval/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "knmatch/datagen/generators.h"
+#include "knmatch/datagen/texture_like.h"
+#include "knmatch/diskalgo/disk_ad.h"
+#include "knmatch/diskalgo/disk_scan.h"
+#include "knmatch/storage/column_store.h"
+#include "knmatch/storage/row_store.h"
+#include "knmatch/vafile/va_file.h"
+#include "knmatch/vafile/va_knmatch.h"
+
+namespace knmatch::eval {
+namespace {
+
+TEST(QueryAdvisorTest, ValidatesParameters) {
+  Dataset db = datagen::MakeUniform(1000, 8, 96);
+  QueryAdvisor advisor(db);
+  std::vector<Value> q(8, 0.5);
+  EXPECT_FALSE(advisor.Estimate(q, 0, 8, 10).ok());
+  EXPECT_FALSE(advisor.Estimate(q, 1, 9, 10).ok());
+  std::vector<Value> bad(7, 0.5);
+  EXPECT_FALSE(advisor.Estimate(bad, 1, 8, 10).ok());
+}
+
+TEST(QueryAdvisorTest, SelectiveQueryPrefersAd) {
+  Dataset db = datagen::MakeTextureLike(97, 20000);
+  QueryAdvisor advisor(db);
+  std::vector<Value> q(db.point(11).begin(), db.point(11).end());
+  auto estimate = advisor.Estimate(q, 4, 8, 10);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(estimate.value().best, SearchMethod::kDiskAd);
+  EXPECT_LT(estimate.value().ad_attribute_fraction, 0.5);
+}
+
+TEST(QueryAdvisorTest, FullRangeUniformPrefersScanOverAd) {
+  // n1 = d on uniform data: Figure 12(a) shows AD reading nearly the
+  // whole column file, so scanning wins (per-page costs equal, AD adds
+  // seeks).
+  Dataset db = datagen::MakeUniform(20000, 16, 98);
+  QueryAdvisor advisor(db);
+  std::vector<Value> q(16, 0.5);
+  auto estimate = advisor.Estimate(q, 14, 16, 50);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_GT(estimate.value().ad_attribute_fraction, 0.5);
+  EXPECT_LT(estimate.value().scan_seconds, estimate.value().ad_seconds);
+}
+
+TEST(QueryAdvisorTest, EstimatedOrderingMatchesMeasuredOrdering) {
+  Dataset db = datagen::MakeTextureLike(99, 15000);
+  QueryAdvisor advisor(db);
+  std::vector<Value> q(db.point(42).begin(), db.point(42).end());
+  auto estimate = advisor.Estimate(q, 4, 8, 10);
+  ASSERT_TRUE(estimate.ok());
+
+  // Measure all three for real.
+  DiskSimulator disk;
+  RowStore rows(db, &disk);
+  ColumnStore columns(db, &disk);
+  VaFile va(db, &disk, 8);
+  DiskScan scan(rows);
+  DiskAdSearcher ad(columns);
+  VaKnMatchSearcher va_search(va, rows);
+
+  disk.ResetCounters();
+  scan.FrequentKnMatch(q, 4, 8, 10).value();
+  const double scan_io = disk.SimulatedIoSeconds();
+  disk.ResetCounters();
+  ad.FrequentKnMatch(q, 4, 8, 10).value();
+  const double ad_io = disk.SimulatedIoSeconds();
+  disk.ResetCounters();
+  va_search.FrequentKnMatch(q, 4, 8, 10).value();
+  const double va_io = disk.SimulatedIoSeconds();
+
+  // The advisor picked AD; AD must indeed be the measured minimum.
+  EXPECT_EQ(estimate.value().best, SearchMethod::kDiskAd);
+  EXPECT_LT(ad_io, scan_io);
+  EXPECT_LT(ad_io, va_io);
+  // Estimates should be in the right ballpark (within 3x of measured).
+  EXPECT_LT(estimate.value().scan_seconds, 3 * scan_io);
+  EXPECT_GT(estimate.value().scan_seconds, scan_io / 3);
+  EXPECT_LT(estimate.value().ad_seconds, 3 * ad_io);
+  EXPECT_GT(estimate.value().ad_seconds, ad_io / 3);
+}
+
+TEST(QueryAdvisorTest, SampleLargerThanDatasetIsClamped) {
+  Dataset db = datagen::MakeUniform(100, 4, 100);
+  QueryAdvisor advisor(db, DiskConfig(), /*sample_size=*/100000);
+  std::vector<Value> q(4, 0.5);
+  EXPECT_TRUE(advisor.Estimate(q, 1, 4, 5).ok());
+}
+
+}  // namespace
+}  // namespace knmatch::eval

@@ -1,0 +1,134 @@
+#include "knmatch/core/categorical.h"
+
+#include <gtest/gtest.h>
+
+#include "knmatch/core/nmatch.h"
+#include "knmatch/core/nmatch_naive.h"
+#include "knmatch/datagen/generators.h"
+
+namespace knmatch {
+namespace {
+
+TEST(MixedNMatchTest, AllNumericEqualsPlainNMatch) {
+  Dataset db = datagen::MakeUniform(80, 5, 14);
+  std::vector<Value> q(5, 0.5);
+  MixedSchema schema;  // defaults: all numeric, no weights
+  for (size_t n = 1; n <= 5; ++n) {
+    auto mixed = MixedKnMatch(db, q, schema, n, 7);
+    auto plain = KnMatchNaive(db, q, n, 7);
+    ASSERT_TRUE(mixed.ok());
+    ASSERT_TRUE(plain.ok());
+    EXPECT_EQ(mixed.value().matches, plain.value().matches);
+  }
+}
+
+TEST(MixedNMatchTest, CategoricalExactMatchScoresZero) {
+  MixedSchema schema;
+  schema.kinds = {AttributeKind::kCategorical, AttributeKind::kCategorical,
+                  AttributeKind::kNumeric};
+  const Value p[] = {2.0, 3.0, 0.5};
+  const Value q[] = {2.0, 4.0, 0.45};
+  // Differences: 0 (match), 1 (mismatch penalty), 0.05.
+  EXPECT_DOUBLE_EQ(MixedNMatchDifference(p, q, schema, 1), 0.0);
+  EXPECT_NEAR(MixedNMatchDifference(p, q, schema, 2), 0.05, 1e-12);
+  EXPECT_DOUBLE_EQ(MixedNMatchDifference(p, q, schema, 3), 1.0);
+}
+
+TEST(MixedNMatchTest, MismatchPenaltyConfigurable) {
+  MixedSchema schema;
+  schema.kinds = {AttributeKind::kCategorical};
+  schema.mismatch_penalty = 7.5;
+  const Value p[] = {1.0};
+  const Value q[] = {2.0};
+  EXPECT_DOUBLE_EQ(MixedNMatchDifference(p, q, schema, 1), 7.5);
+}
+
+TEST(MixedNMatchTest, WeightsScaleDifferences) {
+  MixedSchema schema;
+  schema.kinds = {AttributeKind::kNumeric, AttributeKind::kNumeric};
+  schema.weights = {10.0, 1.0};
+  const Value p[] = {0.1, 0.0};
+  const Value q[] = {0.0, 0.5};
+  // Weighted diffs: 1.0 and 0.5 -> order flips relative to unweighted.
+  EXPECT_DOUBLE_EQ(MixedNMatchDifference(p, q, schema, 1), 0.5);
+  EXPECT_DOUBLE_EQ(MixedNMatchDifference(p, q, schema, 2), 1.0);
+}
+
+TEST(MixedNMatchTest, ZeroWeightIgnoresDimension) {
+  MixedSchema schema;
+  schema.kinds = {AttributeKind::kNumeric, AttributeKind::kNumeric};
+  schema.weights = {0.0, 1.0};
+  const Value p[] = {0.9, 0.2};
+  const Value q[] = {0.0, 0.2};
+  EXPECT_DOUBLE_EQ(MixedNMatchDifference(p, q, schema, 1), 0.0);
+}
+
+TEST(MixedKnMatchTest, FindsCategoricalPartialMatches) {
+  // Points with two matching categorical attributes beat points that are
+  // numerically close but categorically different, at n = 2.
+  Matrix m = Matrix::FromRows({
+      {1.0, 2.0, 0.50},  // both categories match the query
+      {9.0, 9.0, 0.50},  // categories differ, numeric exact
+      {1.0, 9.0, 0.49},  // one category matches
+  });
+  Dataset db(std::move(m));
+  MixedSchema schema;
+  schema.kinds = {AttributeKind::kCategorical, AttributeKind::kCategorical,
+                  AttributeKind::kNumeric};
+  const std::vector<Value> q = {1.0, 2.0, 0.5};
+  auto r = MixedKnMatch(db, q, schema, 2, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().matches[0].pid, 0u);
+  EXPECT_DOUBLE_EQ(r.value().matches[0].distance, 0.0);
+  EXPECT_EQ(r.value().matches[1].pid, 2u);  // one match + close numeric
+}
+
+TEST(MixedKnMatchTest, ValidatesSchema) {
+  Dataset db = datagen::MakeUniform(10, 3, 1);
+  std::vector<Value> q(3, 0.5);
+  MixedSchema bad_kinds;
+  bad_kinds.kinds = {AttributeKind::kNumeric};  // wrong arity
+  EXPECT_FALSE(MixedKnMatch(db, q, bad_kinds, 1, 1).ok());
+
+  MixedSchema bad_weights;
+  bad_weights.weights = {1.0, -1.0, 1.0};
+  EXPECT_FALSE(MixedKnMatch(db, q, bad_weights, 1, 1).ok());
+
+  MixedSchema bad_penalty;
+  bad_penalty.mismatch_penalty = -2.0;
+  EXPECT_FALSE(MixedKnMatch(db, q, bad_penalty, 1, 1).ok());
+}
+
+TEST(MixedFrequentTest, AllNumericEqualsPlainFrequent) {
+  Dataset db = datagen::MakeUniform(60, 6, 15);
+  std::vector<Value> q(6, 0.25);
+  MixedSchema schema;
+  auto mixed = MixedFrequentKnMatch(db, q, schema, 2, 5, 4);
+  auto plain = FrequentKnMatchNaive(db, q, 2, 5, 4);
+  ASSERT_TRUE(mixed.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(mixed.value().matches, plain.value().matches);
+  EXPECT_EQ(mixed.value().frequencies, plain.value().frequencies);
+}
+
+TEST(MixedFrequentTest, CategoricalDominantPointWins) {
+  // One point shares every categorical attribute with the query; it
+  // should appear in all answer sets.
+  Matrix m = Matrix::FromRows({
+      {1, 1, 1, 0.9},
+      {2, 1, 3, 0.5},
+      {4, 5, 6, 0.1},
+  });
+  Dataset db(std::move(m));
+  MixedSchema schema;
+  schema.kinds = {AttributeKind::kCategorical, AttributeKind::kCategorical,
+                  AttributeKind::kCategorical, AttributeKind::kNumeric};
+  const std::vector<Value> q = {1, 1, 1, 0.1};
+  auto r = MixedFrequentKnMatch(db, q, schema, 1, 4, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().matches[0].pid, 0u);
+  EXPECT_EQ(r.value().frequencies[0], 4u);
+}
+
+}  // namespace
+}  // namespace knmatch

@@ -1,0 +1,173 @@
+#include <cmath>
+
+#include "knmatch/datagen/coil_like.h"
+#include "knmatch/datagen/generators.h"
+#include "knmatch/datagen/texture_like.h"
+#include "knmatch/datagen/uci_like.h"
+
+#include <gtest/gtest.h>
+
+namespace knmatch::datagen {
+namespace {
+
+void ExpectInUnitCube(const Dataset& db) {
+  for (PointId pid = 0; pid < db.size(); ++pid) {
+    for (const Value v : db.point(pid)) {
+      ASSERT_GE(v, 0.0);
+      ASSERT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(GeneratorsTest, UniformShapeAndRange) {
+  Dataset db = MakeUniform(500, 8, 1);
+  EXPECT_EQ(db.size(), 500u);
+  EXPECT_EQ(db.dims(), 8u);
+  EXPECT_FALSE(db.labelled());
+  ExpectInUnitCube(db);
+  EXPECT_TRUE(db.Validate().ok());
+}
+
+TEST(GeneratorsTest, UniformDeterministicPerSeed) {
+  Dataset a = MakeUniform(50, 4, 7);
+  Dataset b = MakeUniform(50, 4, 7);
+  Dataset c = MakeUniform(50, 4, 8);
+  EXPECT_EQ(a.matrix().data(), b.matrix().data());
+  EXPECT_NE(a.matrix().data(), c.matrix().data());
+}
+
+TEST(GeneratorsTest, ClusteredIsLabelledWithRequestedClasses) {
+  ClusteredSpec spec;
+  spec.cardinality = 400;
+  spec.dims = 12;
+  spec.num_classes = 5;
+  spec.seed = 3;
+  Dataset db = MakeClustered(spec);
+  EXPECT_EQ(db.size(), 400u);
+  EXPECT_EQ(db.dims(), 12u);
+  ASSERT_TRUE(db.labelled());
+  EXPECT_EQ(db.num_classes(), 5u);
+  ExpectInUnitCube(db);
+}
+
+TEST(GeneratorsTest, ClusteredPointsOfSameClassAreCloser) {
+  ClusteredSpec spec;
+  spec.cardinality = 300;
+  spec.dims = 16;
+  spec.num_classes = 2;
+  spec.noise_dim_fraction = 0.0;
+  spec.outlier_prob = 0.0;
+  spec.seed = 5;
+  Dataset db = MakeClustered(spec);
+
+  // Average within-class L1 distance should be well below cross-class.
+  double within = 0, cross = 0;
+  size_t nw = 0, nc = 0;
+  for (PointId a = 0; a < 60; ++a) {
+    for (PointId b = a + 1; b < 60; ++b) {
+      double dist = 0;
+      for (size_t dim = 0; dim < db.dims(); ++dim) {
+        dist += std::abs(db.at(a, dim) - db.at(b, dim));
+      }
+      if (db.label(a) == db.label(b)) {
+        within += dist;
+        ++nw;
+      } else {
+        cross += dist;
+        ++nc;
+      }
+    }
+  }
+  ASSERT_GT(nw, 0u);
+  ASSERT_GT(nc, 0u);
+  EXPECT_LT(within / nw, 0.5 * (cross / nc));
+}
+
+TEST(GeneratorsTest, SkewedIsSkewed) {
+  Dataset db = MakeSkewed(2000, 8, 11);
+  ExpectInUnitCube(db);
+  // Low-end bias: the grand mean should sit clearly below 0.5.
+  double sum = 0;
+  for (const Value v : db.matrix().data()) sum += v;
+  EXPECT_LT(sum / static_cast<double>(db.matrix().data().size()), 0.45);
+}
+
+TEST(GeneratorsTest, CorrelatedDimensionsCorrelate) {
+  Dataset db = MakeCorrelated(2000, 6, 13);
+  ExpectInUnitCube(db);
+  // Compute Pearson correlation between dims 0 and 1; the shared latent
+  // factors should induce visible positive correlation.
+  double mx = 0, my = 0;
+  for (PointId pid = 0; pid < db.size(); ++pid) {
+    mx += db.at(pid, 0);
+    my += db.at(pid, 1);
+  }
+  mx /= static_cast<double>(db.size());
+  my /= static_cast<double>(db.size());
+  double sxy = 0, sxx = 0, syy = 0;
+  for (PointId pid = 0; pid < db.size(); ++pid) {
+    const double dx = db.at(pid, 0) - mx;
+    const double dy = db.at(pid, 1) - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  EXPECT_GT(sxy / std::sqrt(sxx * syy), 0.2);
+}
+
+TEST(UciLikeTest, ReplicasMatchPaperShapes) {
+  struct Expectation {
+    UciName name;
+    size_t c, d, classes;
+  };
+  const Expectation expectations[] = {
+      {UciName::kIonosphere, 351, 34, 2},
+      {UciName::kSegmentation, 300, 19, 7},
+      {UciName::kWdbc, 569, 30, 2},
+      {UciName::kGlass, 214, 9, 7},
+      {UciName::kIris, 150, 4, 3},
+  };
+  for (const auto& e : expectations) {
+    Dataset db = MakeUciLike(e.name);
+    EXPECT_EQ(db.size(), e.c) << UciDisplayName(e.name);
+    EXPECT_EQ(db.dims(), e.d) << UciDisplayName(e.name);
+    EXPECT_EQ(db.num_classes(), e.classes) << UciDisplayName(e.name);
+    ExpectInUnitCube(db);
+  }
+  EXPECT_EQ(AllUciNames().size(), 5u);
+}
+
+TEST(CoilLikeTest, ShapeAndDeterminism) {
+  Dataset a = MakeCoilLike();
+  EXPECT_EQ(a.size(), kCoilObjects);
+  EXPECT_EQ(a.dims(), kCoilFeatures);
+  ExpectInUnitCube(a);
+  Dataset b = MakeCoilLike();
+  EXPECT_EQ(a.matrix().data(), b.matrix().data());
+}
+
+TEST(CoilLikeTest, BoatSharesTextureAndShapeButNotColor) {
+  Dataset db = MakeCoilLike();
+  const auto q = db.point(CoilLikeIds::kQuery);
+  const auto boat = db.point(CoilLikeIds::kBoat);
+  // Texture+shape dims [18, 54): close.
+  for (size_t i = kCoilGroupSize; i < kCoilFeatures; ++i) {
+    EXPECT_LT(std::abs(q[i] - boat[i]), 0.15) << "dim " << i;
+  }
+  // Color dims: far on average.
+  double color_gap = 0;
+  for (size_t i = 0; i < kCoilGroupSize; ++i) {
+    color_gap += std::abs(q[i] - boat[i]);
+  }
+  EXPECT_GT(color_gap / kCoilGroupSize, 0.3);
+}
+
+TEST(TextureLikeTest, DefaultShape) {
+  Dataset db = MakeTextureLike(9, 5000);
+  EXPECT_EQ(db.size(), 5000u);
+  EXPECT_EQ(db.dims(), 16u);
+  ExpectInUnitCube(db);
+}
+
+}  // namespace
+}  // namespace knmatch::datagen

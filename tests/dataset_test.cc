@@ -1,0 +1,53 @@
+#include "knmatch/common/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace knmatch {
+namespace {
+
+TEST(DatasetTest, UnlabelledBasics) {
+  Dataset db(Matrix::FromRows({{0.1, 0.2}, {0.3, 0.4}, {0.5, 0.6}}));
+  EXPECT_EQ(db.size(), 3u);
+  EXPECT_EQ(db.dims(), 2u);
+  EXPECT_FALSE(db.labelled());
+  EXPECT_EQ(db.label(0), kNoLabel);
+  EXPECT_EQ(db.num_classes(), 0u);
+  EXPECT_EQ(db.at(1, 1), 0.4);
+  EXPECT_EQ(db.point(2)[0], 0.5);
+}
+
+TEST(DatasetTest, LabelledBasics) {
+  Dataset db(Matrix::FromRows({{1}, {2}, {3}, {4}}), {0, 1, 0, 2});
+  EXPECT_TRUE(db.labelled());
+  EXPECT_EQ(db.label(1), 1);
+  EXPECT_EQ(db.num_classes(), 3u);
+}
+
+TEST(DatasetTest, NameRoundTrips) {
+  Dataset db;
+  db.set_name("demo");
+  EXPECT_EQ(db.name(), "demo");
+}
+
+TEST(DatasetTest, NormalizeScalesToUnitRange) {
+  Dataset db(Matrix::FromRows({{0, 100}, {10, 200}}));
+  db.Normalize();
+  EXPECT_DOUBLE_EQ(db.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(db.at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(db.at(1, 1), 1.0);
+}
+
+TEST(DatasetTest, ValidateAcceptsFiniteData) {
+  Dataset db(Matrix::FromRows({{1, 2}}));
+  EXPECT_TRUE(db.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateRejectsNonFinite) {
+  Matrix m = Matrix::FromRows({{1, 2}});
+  m.at(0, 1) = std::numeric_limits<Value>::quiet_NaN();
+  Dataset db(std::move(m));
+  EXPECT_FALSE(db.Validate().ok());
+}
+
+}  // namespace
+}  // namespace knmatch

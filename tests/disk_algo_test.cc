@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "knmatch/common/random.h"
+#include "knmatch/core/ad_algorithm.h"
+#include "knmatch/core/nmatch_naive.h"
+#include "knmatch/datagen/generators.h"
+#include "knmatch/diskalgo/disk_ad.h"
+#include "knmatch/diskalgo/disk_scan.h"
+#include "knmatch/baselines/knn_scan.h"
+#include "knmatch/storage/column_store.h"
+#include "knmatch/storage/row_store.h"
+
+namespace knmatch {
+namespace {
+
+class DiskAlgoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = datagen::MakeUniform(6000, 8, 19);
+    rows_.emplace(db_, &disk_);
+    columns_.emplace(db_, &disk_);
+    Rng rng(4242);
+    query_.resize(db_.dims());
+    for (Value& v : query_) v = rng.Uniform01();
+  }
+
+  Dataset db_;
+  DiskSimulator disk_;
+  std::optional<RowStore> rows_;
+  std::optional<ColumnStore> columns_;
+  std::vector<Value> query_;
+};
+
+TEST_F(DiskAlgoTest, DiskScanKnMatchEqualsNaive) {
+  DiskScan scan(*rows_);
+  for (size_t n : {size_t{1}, size_t{4}, size_t{8}}) {
+    auto disk_result = scan.KnMatch(query_, n, 10);
+    auto mem_result = KnMatchNaive(db_, query_, n, 10);
+    ASSERT_TRUE(disk_result.ok());
+    EXPECT_EQ(disk_result.value().matches, mem_result.value().matches);
+  }
+}
+
+TEST_F(DiskAlgoTest, DiskScanFrequentEqualsNaive) {
+  DiskScan scan(*rows_);
+  auto disk_result = scan.FrequentKnMatch(query_, 2, 7, 6);
+  auto mem_result = FrequentKnMatchNaive(db_, query_, 2, 7, 6);
+  ASSERT_TRUE(disk_result.ok());
+  EXPECT_EQ(disk_result.value().matches, mem_result.value().matches);
+  EXPECT_EQ(disk_result.value().per_n_sets, mem_result.value().per_n_sets);
+}
+
+TEST_F(DiskAlgoTest, DiskScanKnnEqualsMemoryKnn) {
+  DiskScan scan(*rows_);
+  auto disk_result = scan.KnnEuclidean(query_, 12);
+  auto mem_result = KnnScan(db_, query_, 12, Metric::kEuclidean);
+  ASSERT_TRUE(disk_result.ok());
+  EXPECT_EQ(disk_result.value().matches, mem_result.value().matches);
+}
+
+TEST_F(DiskAlgoTest, DiskScanIoIsOneSequentialPass) {
+  DiskScan scan(*rows_);
+  disk_.ResetCounters();
+  auto r = scan.FrequentKnMatch(query_, 1, 8, 5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(disk_.total_reads(), rows_->num_pages());
+  EXPECT_EQ(disk_.random_reads(), 1u);  // the initial seek only
+}
+
+TEST_F(DiskAlgoTest, DiskAdEqualsMemoryAdIncludingCost) {
+  AdSearcher mem(db_);
+  DiskAdSearcher ad(*columns_);
+  for (size_t n : {size_t{1}, size_t{3}, size_t{8}}) {
+    auto disk_result = ad.KnMatch(query_, n, 7);
+    auto mem_result = mem.KnMatch(query_, n, 7);
+    ASSERT_TRUE(disk_result.ok());
+    EXPECT_EQ(disk_result.value().matches, mem_result.value().matches);
+    EXPECT_EQ(disk_result.value().attributes_retrieved,
+              mem_result.value().attributes_retrieved);
+  }
+}
+
+TEST_F(DiskAlgoTest, DiskAdFrequentEqualsMemory) {
+  AdSearcher mem(db_);
+  DiskAdSearcher ad(*columns_);
+  auto disk_result = ad.FrequentKnMatch(query_, 3, 6, 9);
+  auto mem_result = mem.FrequentKnMatch(query_, 3, 6, 9);
+  ASSERT_TRUE(disk_result.ok());
+  EXPECT_EQ(disk_result.value().matches, mem_result.value().matches);
+  EXPECT_EQ(disk_result.value().frequencies, mem_result.value().frequencies);
+  EXPECT_EQ(disk_result.value().per_n_sets, mem_result.value().per_n_sets);
+}
+
+TEST_F(DiskAlgoTest, DiskAdReadsFewerPagesThanScanOnSelectiveQuery) {
+  DiskAdSearcher ad(*columns_);
+  DiskScan scan(*rows_);
+
+  // A selective query (small n1), as in the paper's Figure 12 regime.
+  disk_.ResetCounters();
+  auto ad_result = ad.FrequentKnMatch(query_, 1, 3, 10);
+  ASSERT_TRUE(ad_result.ok());
+  const uint64_t ad_pages = disk_.total_reads();
+
+  disk_.ResetCounters();
+  auto scan_result = scan.FrequentKnMatch(query_, 1, 3, 10);
+  ASSERT_TRUE(scan_result.ok());
+  const uint64_t scan_pages = disk_.total_reads();
+
+  EXPECT_LT(ad_pages, scan_pages);
+}
+
+TEST_F(DiskAlgoTest, BatchScanMatchesIndividualQueries) {
+  DiskScan scan(*rows_);
+  Rng rng(777);
+  std::vector<std::vector<Value>> queries(3);
+  for (auto& q : queries) {
+    q.resize(db_.dims());
+    for (Value& v : q) v = rng.Uniform01();
+  }
+  auto batch = scan.FrequentKnMatchBatch(queries, 2, 6, 7);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch.value().size(), 3u);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    auto single = scan.FrequentKnMatch(queries[qi], 2, 6, 7);
+    EXPECT_EQ(batch.value()[qi].matches, single.value().matches);
+    EXPECT_EQ(batch.value()[qi].per_n_sets, single.value().per_n_sets);
+  }
+}
+
+TEST_F(DiskAlgoTest, BatchScanPaysIoOnce) {
+  DiskScan scan(*rows_);
+  std::vector<std::vector<Value>> queries(
+      4, std::vector<Value>(db_.dims(), 0.5));
+  queries[1].assign(db_.dims(), 0.2);
+  queries[2].assign(db_.dims(), 0.8);
+  queries[3].assign(db_.dims(), 0.35);
+
+  disk_.ResetCounters();
+  auto batch = scan.FrequentKnMatchBatch(queries, 1, 4, 5);
+  ASSERT_TRUE(batch.ok());
+  const uint64_t batch_pages = disk_.total_reads();
+
+  disk_.ResetCounters();
+  for (const auto& q : queries) {
+    scan.FrequentKnMatch(q, 1, 4, 5).value();
+  }
+  const uint64_t individual_pages = disk_.total_reads();
+  EXPECT_EQ(batch_pages, rows_->num_pages());
+  EXPECT_EQ(individual_pages, 4 * rows_->num_pages());
+}
+
+TEST_F(DiskAlgoTest, BatchScanValidatesEveryQuery) {
+  DiskScan scan(*rows_);
+  std::vector<std::vector<Value>> queries = {
+      std::vector<Value>(db_.dims(), 0.5),
+      std::vector<Value>(db_.dims() - 1, 0.5),  // wrong arity
+  };
+  EXPECT_FALSE(scan.FrequentKnMatchBatch(queries, 1, 4, 5).ok());
+}
+
+TEST_F(DiskAlgoTest, DiskAdForwardRunsAreMostlySequential) {
+  DiskAdSearcher ad(*columns_);
+  disk_.ResetCounters();
+  // A large-n query reads long runs per cursor.
+  auto r = ad.FrequentKnMatch(query_, 2, 8, 30);
+  ASSERT_TRUE(r.ok());
+  // Random reads are bounded by roughly one seek per cursor direction
+  // (2d), not by the number of pages touched.
+  EXPECT_LE(disk_.random_reads(), 2 * db_.dims() + 2);
+  EXPECT_GT(disk_.sequential_reads(), 0u);
+}
+
+}  // namespace
+}  // namespace knmatch

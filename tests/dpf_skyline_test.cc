@@ -1,0 +1,144 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "knmatch/baselines/dpf.h"
+#include "knmatch/baselines/knn_scan.h"
+#include "knmatch/baselines/skyline.h"
+#include "knmatch/core/nmatch_naive.h"
+#include "knmatch/datagen/generators.h"
+
+namespace knmatch {
+namespace {
+
+TEST(DpfTest, NEqualsDimsAndR1IsManhattan) {
+  const Value p[] = {0.1, 0.5, 0.9};
+  const Value q[] = {0.2, 0.2, 0.2};
+  EXPECT_NEAR(DpfDistance(p, q, 3, 1.0),
+              MetricDistance(p, q, Metric::kManhattan), 1e-12);
+}
+
+TEST(DpfTest, UsesOnlySmallestNDifferences) {
+  const Value p[] = {0.0, 0.0, 10.0};
+  const Value q[] = {0.1, 0.2, 0.0};
+  EXPECT_NEAR(DpfDistance(p, q, 1, 1.0), 0.1, 1e-12);
+  EXPECT_NEAR(DpfDistance(p, q, 2, 1.0), 0.3, 1e-12);
+  EXPECT_NEAR(DpfDistance(p, q, 3, 1.0), 10.3, 1e-12);
+}
+
+TEST(DpfTest, MonotoneInN) {
+  Dataset db = datagen::MakeUniform(50, 8, 40);
+  std::vector<Value> q(8, 0.5);
+  for (PointId pid = 0; pid < 10; ++pid) {
+    Value prev = 0;
+    for (size_t n = 1; n <= 8; ++n) {
+      const Value dist = DpfDistance(db.point(pid), q, n);
+      EXPECT_GE(dist, prev);
+      prev = dist;
+    }
+  }
+}
+
+TEST(DpfTest, EuclideanNormVariant) {
+  const Value p[] = {0.3, 0.4};
+  const Value q[] = {0.0, 0.0};
+  EXPECT_NEAR(DpfDistance(p, q, 2, 2.0), 0.5, 1e-12);
+}
+
+TEST(DpfTest, KnnScanReturnsAscending) {
+  Dataset db = datagen::MakeUniform(300, 6, 41);
+  std::vector<Value> q(6, 0.4);
+  auto r = DpfKnn(db, q, 4, 10);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().matches.size(), 10u);
+  for (size_t i = 0; i + 1 < 10; ++i) {
+    EXPECT_LE(r.value().matches[i].distance,
+              r.value().matches[i + 1].distance);
+  }
+  for (const Neighbor& nb : r.value().matches) {
+    EXPECT_DOUBLE_EQ(nb.distance, DpfDistance(db.point(nb.pid), q, 4));
+  }
+}
+
+TEST(DpfTest, RejectsBadNorm) {
+  Dataset db = datagen::MakeUniform(10, 3, 42);
+  std::vector<Value> q(3, 0.5);
+  EXPECT_FALSE(DpfKnn(db, q, 2, 1, 0.0).ok());
+}
+
+// The paper's Figure 2 layout (2-d points around a query): the skyline
+// of the differences is {A, B, C}, while e.g. the 3-1-match is {A, D,
+// E} — different answers, as Section 2.1 stresses.
+TEST(SkylineTest, Figure2Contrast) {
+  // Differences |p - q| per point, chosen to mimic Figure 2:
+  //   A: tiny x-diff, large y-diff
+  //   B: small both
+  //   C: large x-diff, tiny y-diff
+  //   D: small x-diff, larger y than B
+  //   E: slightly larger x than D, large y
+  Dataset db(Matrix::FromRows({
+      {0.05, 0.80},  // A
+      {0.30, 0.30},  // B
+      {0.90, 0.02},  // C
+      {0.10, 0.60},  // D
+      {0.15, 0.90},  // E
+  }));
+  std::vector<Value> q = {0.0, 0.0};
+
+  auto skyline = SkylineOfDifferences(db, q);
+  EXPECT_EQ(skyline, (std::vector<PointId>{0, 1, 2, 3}));  // A,B,C,D
+
+  // 3-1-match: three points with the smallest single-dimension diff.
+  auto knm = KnMatchNaive(db, q, 1, 3);
+  ASSERT_TRUE(knm.ok());
+  std::vector<PointId> pids;
+  for (const auto& nb : knm.value().matches) pids.push_back(nb.pid);
+  std::sort(pids.begin(), pids.end());
+  EXPECT_EQ(pids, (std::vector<PointId>{0, 2, 3}));  // A, C, D
+}
+
+TEST(SkylineTest, SinglePointIsItsOwnSkyline) {
+  Dataset db(Matrix::FromRows({{0.5, 0.5}}));
+  EXPECT_EQ(SkylineBnl(db), std::vector<PointId>{0});
+}
+
+TEST(SkylineTest, DominatedChainCollapsesToOnePoint) {
+  Dataset db(Matrix::FromRows({{3, 3}, {2, 2}, {1, 1}}));
+  EXPECT_EQ(SkylineBnl(db), std::vector<PointId>{2});
+}
+
+TEST(SkylineTest, AntichainIsFullyKept) {
+  Dataset db(Matrix::FromRows({{1, 4}, {2, 3}, {3, 2}, {4, 1}}));
+  EXPECT_EQ(SkylineBnl(db), (std::vector<PointId>{0, 1, 2, 3}));
+}
+
+TEST(SkylineTest, DuplicatePointsDoNotDominateEachOther) {
+  Dataset db(Matrix::FromRows({{1, 1}, {1, 1}}));
+  EXPECT_EQ(SkylineBnl(db), (std::vector<PointId>{0, 1}));
+}
+
+TEST(SkylineTest, MatchesBruteForceOnRandomData) {
+  Dataset db = datagen::MakeUniform(150, 3, 43);
+  auto skyline = SkylineBnl(db);
+
+  // Brute force check.
+  std::vector<PointId> expected;
+  for (PointId a = 0; a < db.size(); ++a) {
+    bool dominated = false;
+    for (PointId b = 0; b < db.size() && !dominated; ++b) {
+      if (a == b) continue;
+      bool all_le = true, one_lt = false;
+      for (size_t dim = 0; dim < 3; ++dim) {
+        if (db.at(b, dim) > db.at(a, dim)) all_le = false;
+        if (db.at(b, dim) < db.at(a, dim)) one_lt = true;
+      }
+      dominated = all_le && one_lt;
+    }
+    if (!dominated) expected.push_back(a);
+  }
+  EXPECT_EQ(skyline, expected);
+}
+
+}  // namespace
+}  // namespace knmatch

@@ -1,0 +1,165 @@
+#include "knmatch/baselines/fagin.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "knmatch/common/random.h"
+#include "knmatch/core/ad_algorithm.h"
+#include "knmatch/core/nmatch.h"
+#include "knmatch/datagen/generators.h"
+#include "paper_data.h"
+
+namespace knmatch {
+namespace {
+
+/// Builds descending grade lists from a dataset, one per dimension.
+std::vector<GradeList> GradeListsOf(const Dataset& db) {
+  std::vector<GradeList> lists(db.dims());
+  for (size_t dim = 0; dim < db.dims(); ++dim) {
+    for (PointId pid = 0; pid < db.size(); ++pid) {
+      lists[dim].emplace_back(pid, db.at(pid, dim));
+    }
+    std::sort(lists[dim].begin(), lists[dim].end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+  }
+  return lists;
+}
+
+/// Brute-force top-k for reference.
+std::vector<Neighbor> BruteTopK(const Dataset& db,
+                                const Aggregation& aggregate, size_t k) {
+  std::vector<std::pair<Value, PointId>> scored;
+  std::vector<Value> grades(db.dims());
+  for (PointId pid = 0; pid < db.size(); ++pid) {
+    auto p = db.point(pid);
+    std::copy(p.begin(), p.end(), grades.begin());
+    scored.emplace_back(aggregate(grades), pid);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<Neighbor> result;
+  for (size_t i = 0; i < k; ++i) {
+    result.push_back(Neighbor{scored[i].second, scored[i].first});
+  }
+  return result;
+}
+
+const Aggregation kMin = [](std::span<const Value> g) {
+  return *std::min_element(g.begin(), g.end());
+};
+const Aggregation kSum = [](std::span<const Value> g) {
+  Value s = 0;
+  for (const Value v : g) s += v;
+  return s;
+};
+
+TEST(FaginTest, FaMatchesBruteForceForMonotoneAggregations) {
+  Dataset db = datagen::MakeUniform(300, 4, 101);
+  auto lists = GradeListsOf(db);
+  for (const auto* agg : {&kMin, &kSum}) {
+    for (const size_t k : {size_t{1}, size_t{5}, size_t{20}}) {
+      auto fa = FaTopK(lists, *agg, k);
+      ASSERT_TRUE(fa.ok());
+      EXPECT_EQ(fa.value(), BruteTopK(db, *agg, k));
+    }
+  }
+}
+
+TEST(FaginTest, TaMatchesBruteForceForMonotoneAggregations) {
+  Dataset db = datagen::MakeUniform(300, 4, 102);
+  auto lists = GradeListsOf(db);
+  for (const auto* agg : {&kMin, &kSum}) {
+    for (const size_t k : {size_t{1}, size_t{5}, size_t{20}}) {
+      auto ta = TaTopK(lists, *agg, k);
+      ASSERT_TRUE(ta.ok());
+      EXPECT_EQ(ta.value(), BruteTopK(db, *agg, k));
+    }
+  }
+}
+
+TEST(FaginTest, TaStopsEarlyOnSkewedGrades) {
+  Dataset db = datagen::MakeSkewed(2000, 3, 103);
+  auto lists = GradeListsOf(db);
+  MiddlewareStats stats;
+  auto ta = TaTopK(lists, kSum, 5, &stats);
+  ASSERT_TRUE(ta.ok());
+  EXPECT_EQ(ta.value(), BruteTopK(db, kSum, 5));
+  EXPECT_LT(stats.sorted_accesses, 3u * 2000u / 2);
+}
+
+TEST(FaginTest, FaReportsAccessCounts) {
+  Dataset db = datagen::MakeUniform(100, 3, 104);
+  auto lists = GradeListsOf(db);
+  MiddlewareStats stats;
+  auto fa = FaTopK(lists, kMin, 3, &stats);
+  ASSERT_TRUE(fa.ok());
+  EXPECT_GT(stats.sorted_accesses, 0u);
+  EXPECT_LE(stats.sorted_accesses, 3u * 100u);
+}
+
+TEST(FaginTest, ValidatesInput) {
+  GradeList good = {{0, 0.9}, {1, 0.5}};
+  GradeList bad_order = {{0, 0.5}, {1, 0.9}};
+  GradeList wrong_size = {{0, 0.9}};
+  std::vector<GradeList> ok = {good, good};
+  EXPECT_TRUE(FaTopK(ok, kMin, 1).ok());
+  std::vector<GradeList> unsorted = {good, bad_order};
+  EXPECT_FALSE(FaTopK(unsorted, kMin, 1).ok());
+  std::vector<GradeList> ragged = {good, wrong_size};
+  EXPECT_FALSE(FaTopK(ragged, kMin, 1).ok());
+  EXPECT_FALSE(FaTopK(ok, kMin, 0).ok());
+  EXPECT_FALSE(FaTopK(ok, kMin, 3).ok());
+  EXPECT_FALSE(TaTopK(unsorted, kMin, 1).ok());
+}
+
+// Section 3's central demonstration: apply FA to the 1-match query of
+// Figure 3 — lists sorted by attribute value (as FA requires for its
+// model), aggregation = negated 1-match difference (bigger = better,
+// so FA's top-1 is the supposed 1-match). FA returns point 1, but the
+// true 1-match is point 2: the n-match difference is not monotone, so
+// FA's stopping rule is unsound for it.
+TEST(FaginTest, PaperCounterexampleFaIsWrongForNMatch) {
+  Dataset db = testing::Figure3Database();
+  const auto q = testing::Figure3Query();
+
+  // FA's sorted lists: descending by attribute value (the direction FA
+  // walks them, mirroring the paper's Figure 5 organization).
+  auto lists = GradeListsOf(db);
+  const Aggregation neg_one_match = [&](std::span<const Value> grades) {
+    // Reconstruct the 1-match difference from the point's attribute
+    // values (grades are exactly the coordinates here).
+    Value best = kInfValue;
+    for (size_t i = 0; i < grades.size(); ++i) {
+      best = std::min(best, std::abs(grades[i] - q[i]));
+    }
+    return -best;
+  };
+
+  // Walking Figure 3's lists in descending value order, object 4
+  // (pid 3) tops every list, completes at depth 1, and FA stops: it
+  // returns point 4, whose 1-match difference is 2.0. (The paper's
+  // text walks the ascending direction and gets point 1, difference
+  // 2.6 — either way, not the correct answer.)
+  auto fa = FaTopK(lists, neg_one_match, 1);
+  ASSERT_TRUE(fa.ok());
+  EXPECT_EQ(fa.value()[0].pid, 3u);  // object 4 — wrong
+
+  // The true 1-match is point 2 (pid 1), per the paper; the AD
+  // algorithm gets it right because its stopping rule does not assume
+  // monotonicity.
+  AdSearcher searcher(db);
+  auto truth = searcher.KnMatch(q, 1, 1);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ(truth.value().matches[0].pid, 1u);
+  EXPECT_NE(fa.value()[0].pid, truth.value().matches[0].pid);
+}
+
+}  // namespace
+}  // namespace knmatch

@@ -1,0 +1,145 @@
+#include "knmatch/baselines/igrid.h"
+
+#include <gtest/gtest.h>
+
+#include "knmatch/common/random.h"
+#include "knmatch/datagen/generators.h"
+
+namespace knmatch {
+namespace {
+
+TEST(IGridTest, DefaultPartitionsAreHalfDims) {
+  Dataset db = datagen::MakeUniform(500, 16, 31);
+  IGridIndex index(db);
+  EXPECT_EQ(index.partitions(), 8u);
+}
+
+TEST(IGridTest, PartitionsOverride) {
+  Dataset db = datagen::MakeUniform(500, 16, 31);
+  IGridIndex index(db, IGridOptions{.partitions = 4});
+  EXPECT_EQ(index.partitions(), 4u);
+}
+
+TEST(IGridTest, LowDimensionalFloorOfTwoPartitions) {
+  Dataset db = datagen::MakeUniform(100, 2, 32);
+  IGridIndex index(db);
+  EXPECT_EQ(index.partitions(), 2u);
+}
+
+TEST(IGridTest, LocateRangeCoversWholeAxis) {
+  Dataset db = datagen::MakeUniform(1000, 4, 33);
+  IGridIndex index(db);
+  for (size_t dim = 0; dim < 4; ++dim) {
+    EXPECT_EQ(index.LocateRange(dim, -1.0), 0u);
+    EXPECT_EQ(index.LocateRange(dim, 2.0), index.partitions() - 1);
+    Rng rng(dim);
+    for (int t = 0; t < 50; ++t) {
+      const size_t r = index.LocateRange(dim, rng.Uniform01());
+      EXPECT_LT(r, index.partitions());
+    }
+  }
+}
+
+TEST(IGridTest, EquiDepthPartitionsAreBalanced) {
+  Dataset db = datagen::MakeSkewed(3000, 6, 34);
+  IGridIndex index(db);
+  // Count points per range in dimension 0 via LocateRange; equi-depth
+  // partitioning should give each range roughly c/p points even on
+  // skewed data.
+  std::vector<size_t> counts(index.partitions(), 0);
+  for (PointId pid = 0; pid < db.size(); ++pid) {
+    ++counts[index.LocateRange(0, db.at(pid, 0))];
+  }
+  const size_t expected = db.size() / index.partitions();
+  for (const size_t count : counts) {
+    EXPECT_GT(count, expected / 3);
+    EXPECT_LT(count, expected * 3);
+  }
+}
+
+TEST(IGridTest, SelfQueryIsTopResult) {
+  Dataset db = datagen::MakeUniform(400, 8, 35);
+  IGridIndex index(db);
+  for (PointId pid : {PointId{0}, PointId{123}, PointId{399}}) {
+    auto r = index.Search(db.point(pid), 3);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().matches[0].pid, pid);
+  }
+}
+
+TEST(IGridTest, ReturnsExactlyK) {
+  Dataset db = datagen::MakeUniform(200, 6, 36);
+  IGridIndex index(db);
+  std::vector<Value> q(6, 0.5);
+  auto r = index.Search(q, 17);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().matches.size(), 17u);
+  // Best-first: negated similarity ascends.
+  for (size_t i = 0; i + 1 < 17; ++i) {
+    EXPECT_LE(r.value().matches[i].distance,
+              r.value().matches[i + 1].distance);
+  }
+}
+
+TEST(IGridTest, AccessedFractionIsRoughlyTwoOverD) {
+  const size_t d = 16;
+  Dataset db = datagen::MakeUniform(4000, d, 37);
+  IGridIndex index(db);
+  std::vector<Value> q(d, 0.3);
+  auto r = index.Search(q, 10);
+  ASSERT_TRUE(r.ok());
+  const double fraction =
+      static_cast<double>(r.value().attributes_retrieved) /
+      (static_cast<double>(db.size()) * d);
+  // One list per dimension, each ~c/p entries with p = d/2 -> 2/d = 12.5%.
+  EXPECT_NEAR(fraction, 2.0 / d, 0.06);
+}
+
+TEST(IGridTest, ContiguousLayoutChargesOneSeekPerDimension) {
+  Dataset db = datagen::MakeUniform(5000, 8, 38);
+  DiskSimulator disk;
+  IGridIndex index(db, IGridOptions{.fragmented = false}, &disk);
+  std::vector<Value> q(8, 0.5);
+  disk.ResetCounters();
+  auto r = index.Search(q, 10);
+  ASSERT_TRUE(r.ok());
+  // One random seek per touched list (one per dimension), remainder
+  // sequential within lists.
+  EXPECT_EQ(disk.random_reads(), 8u);
+  EXPECT_GT(disk.sequential_reads(), 0u);
+}
+
+TEST(IGridTest, FragmentedLayoutMakesEveryPageRandom) {
+  Dataset db = datagen::MakeUniform(5000, 8, 38);
+  DiskSimulator disk;
+  IGridIndex index(db, IGridOptions{.fragmented = true}, &disk);
+  std::vector<Value> q(8, 0.5);
+  disk.ResetCounters();
+  auto r = index.Search(q, 10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(disk.sequential_reads(), 0u);
+  EXPECT_GE(disk.random_reads(), 8u);
+
+  // Same pages touched overall; both layouts return identical answers.
+  DiskSimulator disk2;
+  IGridIndex contiguous(db, IGridOptions{.fragmented = false}, &disk2);
+  auto r2 = contiguous.Search(q, 10);
+  const uint64_t frag_total = disk.total_reads();
+  disk2.ResetCounters();
+  r2 = contiguous.Search(q, 10);
+  EXPECT_EQ(frag_total, disk2.total_reads());
+  EXPECT_EQ(r.value().matches, r2.value().matches);
+}
+
+TEST(IGridTest, ValidatesParameters) {
+  Dataset db = datagen::MakeUniform(10, 3, 39);
+  IGridIndex index(db);
+  std::vector<Value> q(3, 0.5);
+  EXPECT_FALSE(index.Search(q, 0).ok());
+  EXPECT_FALSE(index.Search(q, 11).ok());
+  std::vector<Value> bad(2, 0.5);
+  EXPECT_FALSE(index.Search(bad, 1).ok());
+}
+
+}  // namespace
+}  // namespace knmatch

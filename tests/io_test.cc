@@ -1,0 +1,204 @@
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "knmatch/datagen/generators.h"
+#include "knmatch/io/binary.h"
+#include "knmatch/io/csv.h"
+
+namespace knmatch::io {
+namespace {
+
+class TempDir : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+};
+
+using CsvTest = TempDir;
+using BinaryTest = TempDir;
+
+TEST_F(CsvTest, RoundTripUnlabelled) {
+  Dataset original = datagen::MakeUniform(50, 4, 90);
+  const std::string path = Path("unlabelled.csv");
+  ASSERT_TRUE(WriteCsv(original, path).ok());
+
+  CsvOptions options;
+  options.normalize = false;
+  auto loaded = LoadCsv(path, options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 50u);
+  ASSERT_EQ(loaded.value().dims(), 4u);
+  for (PointId pid = 0; pid < 50; ++pid) {
+    for (size_t dim = 0; dim < 4; ++dim) {
+      EXPECT_DOUBLE_EQ(loaded.value().at(pid, dim),
+                       original.at(pid, dim));
+    }
+  }
+}
+
+TEST_F(CsvTest, RoundTripLabelled) {
+  datagen::ClusteredSpec spec;
+  spec.cardinality = 30;
+  spec.dims = 3;
+  spec.num_classes = 3;
+  spec.seed = 91;
+  Dataset original = datagen::MakeClustered(spec);
+  const std::string path = Path("labelled.csv");
+  ASSERT_TRUE(WriteCsv(original, path).ok());
+
+  CsvOptions options;
+  options.label_column = 3;  // label written as the last column
+  options.normalize = false;
+  auto loaded = LoadCsv(path, options);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded.value().labelled());
+  EXPECT_EQ(loaded.value().num_classes(), 3u);
+  EXPECT_EQ(loaded.value().dims(), 3u);
+}
+
+TEST_F(CsvTest, ParsesHeaderAndTextLabels) {
+  const std::string path = Path("iris_style.csv");
+  std::ofstream out(path);
+  out << "sepal_l,sepal_w,species\n"
+         "5.1,3.5,setosa\n"
+         "4.9,3.0,setosa\n"
+         "6.3,2.9,virginica\n";
+  out.close();
+
+  CsvOptions options;
+  options.has_header = true;
+  options.label_column = 2;
+  options.normalize = true;
+  auto loaded = LoadCsv(path, options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().size(), 3u);
+  EXPECT_EQ(loaded.value().dims(), 2u);
+  EXPECT_EQ(loaded.value().num_classes(), 2u);
+  // Labels are interned in first-seen order: setosa=0, virginica=1.
+  EXPECT_EQ(loaded.value().label(0), 0);
+  EXPECT_EQ(loaded.value().label(2), 1);
+  // Normalized to [0, 1].
+  EXPECT_DOUBLE_EQ(loaded.value().at(2, 0), 1.0);
+}
+
+TEST_F(CsvTest, RejectsMissingFile) {
+  EXPECT_EQ(LoadCsv(Path("nope.csv")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CsvTest, RejectsRaggedRows) {
+  const std::string path = Path("ragged.csv");
+  std::ofstream out(path);
+  out << "1,2,3\n1,2\n";
+  out.close();
+  EXPECT_EQ(LoadCsv(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, RejectsNonNumericCoordinates) {
+  const std::string path = Path("text.csv");
+  std::ofstream out(path);
+  out << "1,banana,3\n";
+  out.close();
+  EXPECT_EQ(LoadCsv(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, RejectsEmptyFile) {
+  const std::string path = Path("empty.csv");
+  std::ofstream out(path);
+  out.close();
+  EXPECT_EQ(LoadCsv(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, HandlesWindowsLineEndings) {
+  const std::string path = Path("crlf.csv");
+  std::ofstream out(path);
+  out << "0.25,0.5\r\n0.75,1.0\r\n";
+  out.close();
+  CsvOptions options;
+  options.normalize = false;
+  auto loaded = LoadCsv(path, options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.value().at(1, 1), 1.0);
+}
+
+TEST_F(BinaryTest, RoundTripUnlabelled) {
+  Dataset original = datagen::MakeUniform(200, 6, 92);
+  const std::string path = Path("data.knm");
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  auto loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().matrix().data(), original.matrix().data());
+  EXPECT_FALSE(loaded.value().labelled());
+}
+
+TEST_F(BinaryTest, RoundTripLabelled) {
+  datagen::ClusteredSpec spec;
+  spec.cardinality = 80;
+  spec.dims = 5;
+  spec.num_classes = 4;
+  spec.seed = 93;
+  Dataset original = datagen::MakeClustered(spec);
+  const std::string path = Path("labelled.knm");
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  auto loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded.value().labelled());
+  for (PointId pid = 0; pid < 80; ++pid) {
+    EXPECT_EQ(loaded.value().label(pid), original.label(pid));
+  }
+}
+
+TEST_F(BinaryTest, RejectsMissingFile) {
+  EXPECT_EQ(LoadDataset(Path("missing.knm")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(BinaryTest, RejectsWrongMagic) {
+  const std::string path = Path("wrong_magic.knm");
+  std::ofstream out(path, std::ios::binary);
+  out << "NOPE here is a long enough file to get past the size check";
+  out.close();
+  EXPECT_EQ(LoadDataset(path).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(BinaryTest, RejectsCorruption) {
+  Dataset original = datagen::MakeUniform(50, 3, 94);
+  const std::string path = Path("corrupt.knm");
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  // Flip one payload byte.
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(40);
+  char byte;
+  file.seekg(40);
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0xFF);
+  file.seekp(40);
+  file.write(&byte, 1);
+  file.close();
+  EXPECT_EQ(LoadDataset(path).status().code(), StatusCode::kInternal);
+}
+
+TEST_F(BinaryTest, RejectsTruncation) {
+  Dataset original = datagen::MakeUniform(50, 3, 95);
+  const std::string path = Path("truncated.knm");
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  // Rewrite the file without its last 16 bytes.
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(bytes.size() - 16);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  EXPECT_FALSE(LoadDataset(path).ok());
+}
+
+}  // namespace
+}  // namespace knmatch::io

@@ -1,0 +1,74 @@
+#include "knmatch/common/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace knmatch {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, SizedConstructionZeroInitializes) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(m.at(r, c), 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, FromRowsBuildsRowMajor) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  ASSERT_EQ(m.rows(), 2u);
+  ASSERT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.at(0, 0), 1.0);
+  EXPECT_EQ(m.at(1, 2), 6.0);
+}
+
+TEST(MatrixTest, RowSpanViewsUnderlyingData) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  auto row1 = m.row(1);
+  ASSERT_EQ(row1.size(), 2u);
+  EXPECT_EQ(row1[0], 3.0);
+  m.row(1)[0] = 7.0;
+  EXPECT_EQ(m.at(1, 0), 7.0);
+}
+
+TEST(MatrixTest, AppendRowDefinesColsOnFirstRow) {
+  Matrix m;
+  const Value row[] = {0.5, 0.25};
+  m.AppendRow(row);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 2u);
+  m.AppendRow(row);
+  EXPECT_EQ(m.rows(), 2u);
+}
+
+TEST(MatrixTest, NormalizeColumnsMapsToUnitRange) {
+  Matrix m = Matrix::FromRows({{0, 10}, {5, 20}, {10, 30}});
+  auto ranges = m.NormalizeColumns();
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0], (std::pair<Value, Value>{0, 10}));
+  EXPECT_EQ(ranges[1], (std::pair<Value, Value>{10, 30}));
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 1.0);
+}
+
+TEST(MatrixTest, NormalizeConstantColumnMapsToZero) {
+  Matrix m = Matrix::FromRows({{7, 1}, {7, 2}});
+  m.NormalizeColumns();
+  EXPECT_EQ(m.at(0, 0), 0.0);
+  EXPECT_EQ(m.at(1, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace knmatch

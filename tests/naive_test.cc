@@ -1,0 +1,148 @@
+#include "knmatch/core/nmatch_naive.h"
+
+#include <gtest/gtest.h>
+
+#include "knmatch/core/nmatch.h"
+#include "knmatch/datagen/generators.h"
+#include "paper_data.h"
+
+namespace knmatch {
+namespace {
+
+using testing::Figure3Database;
+using testing::Figure3Query;
+
+TEST(KnMatchNaiveTest, ValidatesParameters) {
+  Dataset db = Figure3Database();
+  auto q = Figure3Query();
+  EXPECT_FALSE(KnMatchNaive(db, q, 0, 1).ok());
+  EXPECT_FALSE(KnMatchNaive(db, q, 4, 1).ok());
+  EXPECT_FALSE(KnMatchNaive(db, q, 1, 0).ok());
+  EXPECT_FALSE(KnMatchNaive(db, q, 1, 6).ok());
+  std::vector<Value> wrong_dims = {1.0, 2.0};
+  EXPECT_FALSE(KnMatchNaive(db, wrong_dims, 1, 1).ok());
+}
+
+TEST(KnMatchNaiveTest, ResultsAscendAndCarryExactDifferences) {
+  Dataset db = Figure3Database();
+  auto q = Figure3Query();
+  auto r = KnMatchNaive(db, q, 2, 5);
+  ASSERT_TRUE(r.ok());
+  const auto& matches = r.value().matches;
+  ASSERT_EQ(matches.size(), 5u);
+  for (size_t i = 0; i + 1 < matches.size(); ++i) {
+    EXPECT_LE(matches[i].distance, matches[i + 1].distance);
+  }
+  for (const Neighbor& nb : matches) {
+    EXPECT_DOUBLE_EQ(nb.distance, NMatchDifference(db.point(nb.pid), q, 2));
+  }
+}
+
+TEST(KnMatchNaiveTest, KEqualsCardinalityReturnsAll) {
+  Dataset db = Figure3Database();
+  auto q = Figure3Query();
+  auto r = KnMatchNaive(db, q, 1, db.size());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().matches.size(), db.size());
+}
+
+TEST(KnMatchNaiveTest, CostIsFullScan) {
+  Dataset db = Figure3Database();
+  auto q = Figure3Query();
+  auto r = KnMatchNaive(db, q, 1, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().attributes_retrieved, db.size() * db.dims());
+}
+
+TEST(KnMatchNaiveTest, NEqualsDimsIsChebyshevRanking) {
+  // For n = d the n-match difference is the maximum per-dimension
+  // difference, i.e., the Chebyshev distance.
+  Dataset db = datagen::MakeUniform(200, 6, 21);
+  std::vector<Value> q(6, 0.5);
+  auto r = KnMatchNaive(db, q, 6, 5);
+  ASSERT_TRUE(r.ok());
+  for (const Neighbor& nb : r.value().matches) {
+    Value cheb = 0;
+    for (size_t i = 0; i < 6; ++i) {
+      cheb = std::max(cheb, std::abs(db.at(nb.pid, i) - q[i]));
+    }
+    EXPECT_DOUBLE_EQ(nb.distance, cheb);
+  }
+}
+
+TEST(FrequentKnMatchNaiveTest, PerNSetsHaveKEntriesEach) {
+  Dataset db = Figure3Database();
+  auto q = Figure3Query();
+  auto r = FrequentKnMatchNaive(db, q, 1, 3, 2);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().per_n_sets.size(), 3u);
+  for (const auto& set : r.value().per_n_sets) {
+    EXPECT_EQ(set.size(), 2u);
+  }
+}
+
+TEST(FrequentKnMatchNaiveTest, FrequenciesAreDescendingAndBounded) {
+  Dataset db = datagen::MakeUniform(100, 8, 5);
+  std::vector<Value> q(8, 0.3);
+  auto r = FrequentKnMatchNaive(db, q, 1, 8, 10);
+  ASSERT_TRUE(r.ok());
+  const auto& freqs = r.value().frequencies;
+  ASSERT_EQ(freqs.size(), 10u);
+  for (size_t i = 0; i + 1 < freqs.size(); ++i) {
+    EXPECT_GE(freqs[i], freqs[i + 1]);
+  }
+  for (const uint32_t f : freqs) {
+    EXPECT_GE(f, 1u);
+    EXPECT_LE(f, 8u);
+  }
+}
+
+TEST(FrequentKnMatchNaiveTest, SingleNRangeMatchesPlainKnMatch) {
+  Dataset db = datagen::MakeUniform(150, 5, 6);
+  std::vector<Value> q(5, 0.7);
+  auto frequent = FrequentKnMatchNaive(db, q, 3, 3, 7);
+  auto plain = KnMatchNaive(db, q, 3, 7);
+  ASSERT_TRUE(frequent.ok());
+  ASSERT_TRUE(plain.ok());
+  ASSERT_EQ(frequent.value().per_n_sets.size(), 1u);
+  EXPECT_EQ(frequent.value().per_n_sets[0], plain.value().matches);
+}
+
+TEST(FrequentKnMatchNaiveTest, QueryPointInDatabaseDominates) {
+  // A point identical to the query appears in every answer set.
+  Dataset db = datagen::MakeUniform(100, 6, 8);
+  std::vector<Value> q(db.point(42).begin(), db.point(42).end());
+  auto r = FrequentKnMatchNaive(db, q, 1, 6, 5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().matches[0].pid, 42u);
+  EXPECT_EQ(r.value().frequencies[0], 6u);
+}
+
+TEST(RankByFrequencyTest, TieBrokenByBestDifferenceThenPid) {
+  FrequentKnMatchResult result;
+  // pid 5 appears twice (best diff 0.2), pid 9 twice (best diff 0.1),
+  // pid 1 once.
+  result.per_n_sets = {
+      {{5, 0.2}, {9, 0.3}},
+      {{9, 0.1}, {5, 0.4}},
+      {{1, 0.05}},
+  };
+  RankByFrequency(3, &result);
+  ASSERT_EQ(result.matches.size(), 3u);
+  EXPECT_EQ(result.matches[0].pid, 9u);  // freq 2, best 0.1
+  EXPECT_EQ(result.matches[1].pid, 5u);  // freq 2, best 0.2
+  EXPECT_EQ(result.matches[2].pid, 1u);  // freq 1
+  EXPECT_EQ(result.frequencies, (std::vector<uint32_t>{2, 2, 1}));
+}
+
+TEST(RankByFrequencyTest, TruncatesToK) {
+  FrequentKnMatchResult result;
+  result.per_n_sets = {{{1, 0.1}, {2, 0.2}, {3, 0.3}, {4, 0.4}}};
+  RankByFrequency(2, &result);
+  EXPECT_EQ(result.matches.size(), 2u);
+  EXPECT_EQ(result.matches[0].pid, 1u);
+  EXPECT_EQ(result.matches[1].pid, 2u);
+}
+
+}  // namespace
+}  // namespace knmatch

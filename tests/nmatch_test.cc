@@ -1,0 +1,87 @@
+#include "knmatch/core/nmatch.h"
+
+#include <gtest/gtest.h>
+
+namespace knmatch {
+namespace {
+
+TEST(NMatchDifferenceTest, SortedAbsDifferencesSorts) {
+  const Value p[] = {1.0, 5.0, 2.0};
+  const Value q[] = {2.0, 1.0, 2.0};
+  std::vector<Value> out;
+  SortedAbsDifferences(p, q, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 0.0);
+  EXPECT_EQ(out[1], 1.0);
+  EXPECT_EQ(out[2], 4.0);
+}
+
+TEST(NMatchDifferenceTest, MatchesDefinitionOneBased) {
+  const Value p[] = {0.1, 0.5, 0.9};
+  const Value q[] = {0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(NMatchDifference(p, q, 1), 0.1);
+  EXPECT_DOUBLE_EQ(NMatchDifference(p, q, 2), 0.5);
+  EXPECT_DOUBLE_EQ(NMatchDifference(p, q, 3), 0.9);
+}
+
+TEST(NMatchDifferenceTest, Symmetric) {
+  const Value p[] = {0.3, 0.7};
+  const Value q[] = {0.5, 0.1};
+  EXPECT_EQ(NMatchDifference(p, q, 2), NMatchDifference(q, p, 2));
+}
+
+TEST(NMatchDifferenceTest, MonotoneInN) {
+  const Value p[] = {0.9, 0.2, 0.4, 0.6};
+  const Value q[] = {0.0, 0.0, 0.0, 0.0};
+  Value prev = 0;
+  for (size_t n = 1; n <= 4; ++n) {
+    const Value diff = NMatchDifference(p, q, n);
+    EXPECT_GE(diff, prev);
+    prev = diff;
+  }
+}
+
+// Section 2.1's demonstration that the n-match difference is not a
+// metric: F(0.1,0.5,0.9), G(0.1,0.1,0.1), H(0.5,0.5,0.5) violate the
+// triangle inequality under the 1-match difference.
+TEST(NMatchDifferenceTest, PaperTriangleInequalityCounterexample) {
+  const Value f[] = {0.1, 0.5, 0.9};
+  const Value g[] = {0.1, 0.1, 0.1};
+  const Value h[] = {0.5, 0.5, 0.5};
+  const Value fg = NMatchDifference(f, g, 1);
+  const Value fh = NMatchDifference(f, h, 1);
+  const Value gh = NMatchDifference(g, h, 1);
+  EXPECT_DOUBLE_EQ(fg, 0.0);
+  EXPECT_DOUBLE_EQ(fh, 0.0);
+  EXPECT_DOUBLE_EQ(gh, 0.4);
+  EXPECT_LT(fg + fh, gh);  // triangle inequality fails
+}
+
+TEST(ValidateMatchParamsTest, AcceptsValid) {
+  EXPECT_TRUE(ValidateMatchParams(10, 4, 4, 1, 4, 10).ok());
+  EXPECT_TRUE(ValidateMatchParams(10, 4, 4, 2, 2, 1).ok());
+}
+
+TEST(ValidateMatchParamsTest, RejectsEmptyDatabase) {
+  EXPECT_EQ(ValidateMatchParams(0, 4, 4, 1, 4, 1).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ValidateMatchParamsTest, RejectsDimensionMismatch) {
+  EXPECT_EQ(ValidateMatchParams(10, 4, 5, 1, 4, 1).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateMatchParamsTest, RejectsBadNRange) {
+  EXPECT_FALSE(ValidateMatchParams(10, 4, 4, 0, 4, 1).ok());
+  EXPECT_FALSE(ValidateMatchParams(10, 4, 4, 1, 5, 1).ok());
+  EXPECT_FALSE(ValidateMatchParams(10, 4, 4, 3, 2, 1).ok());
+}
+
+TEST(ValidateMatchParamsTest, RejectsBadK) {
+  EXPECT_FALSE(ValidateMatchParams(10, 4, 4, 1, 4, 0).ok());
+  EXPECT_FALSE(ValidateMatchParams(10, 4, 4, 1, 4, 11).ok());
+}
+
+}  // namespace
+}  // namespace knmatch

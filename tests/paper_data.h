@@ -1,0 +1,42 @@
+#ifndef KNMATCH_TESTS_PAPER_DATA_H_
+#define KNMATCH_TESTS_PAPER_DATA_H_
+
+#include <vector>
+
+#include "knmatch/common/dataset.h"
+
+namespace knmatch::testing {
+
+// The example database of the paper's Figure 1 (10 dimensions, 4 data
+// objects). Note the paper numbers objects from 1; we use pids 0-3 for
+// its objects 1-4.
+inline Dataset Figure1Database() {
+  return Dataset(Matrix::FromRows({
+      {1.1, 100, 1.2, 1.6, 1.6, 1.1, 1.2, 1.2, 1, 1},    // object 1
+      {1.4, 1.4, 1.4, 1.5, 100, 1.4, 1.2, 1.2, 1, 1},    // object 2
+      {1, 1, 1, 1, 1, 1, 2, 100, 2, 2},                  // object 3
+      {20, 20, 20, 20, 20, 20, 20, 20, 20, 20},          // object 4
+  }));
+}
+
+inline std::vector<Value> Figure1Query() {
+  return {1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+}
+
+// The example database of the paper's Figure 3 (3 dimensions, 5 data
+// objects); pids 0-4 are its objects 1-5.
+inline Dataset Figure3Database() {
+  return Dataset(Matrix::FromRows({
+      {0.4, 1.0, 1.0},  // object 1
+      {2.8, 5.5, 2.0},  // object 2
+      {6.5, 7.8, 5.0},  // object 3
+      {9.0, 9.0, 9.0},  // object 4
+      {3.5, 1.5, 8.0},  // object 5
+  }));
+}
+
+inline std::vector<Value> Figure3Query() { return {3.0, 7.0, 4.0}; }
+
+}  // namespace knmatch::testing
+
+#endif  // KNMATCH_TESTS_PAPER_DATA_H_

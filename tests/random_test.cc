@@ -1,0 +1,137 @@
+#include "knmatch/common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace knmatch {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanNearHalf) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.Uniform01();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntInRangeAndCoversValues) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(5);
+    EXPECT_LT(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(17);
+  constexpr int kSamples = 100000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum2 / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianScaledMoments) {
+  Rng rng(19);
+  constexpr int kSamples = 50000;
+  double sum = 0;
+  for (int i = 0; i < kSamples; ++i) sum += rng.Gaussian(3.0, 0.5);
+  EXPECT_NEAR(sum / kSamples, 3.0, 0.02);
+}
+
+TEST(RngTest, ExponentialMeanIsInverseRate) {
+  Rng rng(23);
+  constexpr int kSamples = 100000;
+  double sum = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double e = rng.Exponential(2.0);
+    EXPECT_GE(e, 0.0);
+    sum += e;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequencyTracksP) {
+  Rng rng(29);
+  int hits = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(31);
+  auto perm = rng.Permutation(100);
+  std::set<uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(perm.size(), 100u);
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(37);
+  auto sample = rng.SampleWithoutReplacement(50, 20);
+  std::set<uint32_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(sample.size(), 20u);
+  EXPECT_EQ(seen.size(), 20u);
+  for (uint32_t v : sample) EXPECT_LT(v, 50u);
+}
+
+TEST(RngTest, SampleFullPopulation) {
+  Rng rng(41);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<uint32_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+}  // namespace
+}  // namespace knmatch

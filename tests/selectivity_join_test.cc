@@ -1,0 +1,163 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "knmatch/common/random.h"
+#include "knmatch/core/nmatch.h"
+#include "knmatch/core/nmatch_join.h"
+#include "knmatch/core/nmatch_naive.h"
+#include "knmatch/datagen/generators.h"
+#include "knmatch/core/ad_algorithm.h"
+#include "knmatch/eval/selectivity.h"
+
+namespace knmatch {
+namespace {
+
+TEST(SelectivityTest, MatchProbabilityIsACdfDifference) {
+  Dataset db = datagen::MakeUniform(20000, 1, 300);
+  eval::SelectivityEstimator est(db, 64);
+  // Uniform on [0,1]: P[|X - 0.5| <= eps] ~ 2 eps.
+  for (const double eps : {0.05, 0.1, 0.2}) {
+    EXPECT_NEAR(est.MatchProbability(0, 0.5, eps), 2 * eps, 0.02);
+  }
+  // At the border only one side contributes.
+  EXPECT_NEAR(est.MatchProbability(0, 0.0, 0.1), 0.1, 0.02);
+  // Covering everything.
+  EXPECT_NEAR(est.MatchProbability(0, 0.5, 2.0), 1.0, 1e-9);
+}
+
+TEST(SelectivityTest, SelectivityMatchesEmpiricalCountOnUniform) {
+  Dataset db = datagen::MakeUniform(5000, 6, 301);
+  eval::SelectivityEstimator est(db, 64);
+  std::vector<Value> q(6, 0.5);
+  for (const size_t n : {size_t{2}, size_t{4}, size_t{6}}) {
+    const Value eps = 0.15;
+    // Empirical fraction.
+    size_t qualifying = 0;
+    for (PointId pid = 0; pid < db.size(); ++pid) {
+      if (NMatchDifference(db.point(pid), q, n) <= eps) ++qualifying;
+    }
+    const double empirical =
+        static_cast<double>(qualifying) / static_cast<double>(db.size());
+    const double estimated = est.NMatchSelectivity(q, n, eps);
+    EXPECT_NEAR(estimated, empirical, 0.05) << "n=" << n;
+  }
+}
+
+TEST(SelectivityTest, EstimatedDifferenceNearTrueKthDifference) {
+  Dataset db = datagen::MakeUniform(4000, 8, 302);
+  eval::SelectivityEstimator est(db, 64);
+  std::vector<Value> q(8, 0.4);
+  const size_t n = 4, k = 20;
+  auto truth = KnMatchNaive(db, q, n, k);
+  ASSERT_TRUE(truth.ok());
+  const Value true_eps = truth.value().matches.back().distance;
+  const Value estimated = est.EstimateKnMatchDifference(q, n, k);
+  // Independence holds on uniform data, so the estimate is tight.
+  EXPECT_NEAR(estimated, true_eps, 0.35 * true_eps + 0.01);
+}
+
+TEST(SelectivityTest, AttributeFractionTracksMeasuredAdCost) {
+  Dataset db = datagen::MakeUniform(4000, 8, 303);
+  eval::SelectivityEstimator est(db, 64);
+  AdSearcher searcher(db);
+  std::vector<Value> q(8, 0.6);
+  const size_t n = 4, k = 20;
+  auto measured = searcher.KnMatch(q, n, k);
+  ASSERT_TRUE(measured.ok());
+  const double measured_fraction =
+      static_cast<double>(measured.value().attributes_retrieved) /
+      (static_cast<double>(db.size()) * 8);
+  const double estimated = est.EstimateAdAttributeFraction(q, n, k);
+  EXPECT_NEAR(estimated, measured_fraction,
+              0.5 * measured_fraction + 0.01);
+}
+
+TEST(SelectivityTest, TailMonotoneInEpsAndN) {
+  Dataset db = datagen::MakeSkewed(3000, 5, 304);
+  eval::SelectivityEstimator est(db, 32);
+  std::vector<Value> q(5, 0.3);
+  double prev = 0;
+  for (const double eps : {0.01, 0.05, 0.1, 0.3, 0.8}) {
+    const double sel = est.NMatchSelectivity(q, 3, eps);
+    EXPECT_GE(sel, prev - 1e-12);
+    prev = sel;
+  }
+  // Larger n -> stricter -> smaller selectivity.
+  EXPECT_GE(est.NMatchSelectivity(q, 1, 0.1),
+            est.NMatchSelectivity(q, 3, 0.1));
+  EXPECT_GE(est.NMatchSelectivity(q, 3, 0.1),
+            est.NMatchSelectivity(q, 5, 0.1));
+}
+
+std::vector<JoinPair> BruteForceJoin(const Dataset& db, size_t n,
+                                     Value eps) {
+  std::vector<JoinPair> pairs;
+  for (PointId a = 0; a < db.size(); ++a) {
+    for (PointId b = a + 1; b < db.size(); ++b) {
+      if (NMatchDifference(db.point(a), db.point(b), n) <= eps) {
+        pairs.push_back(JoinPair{a, b});
+      }
+    }
+  }
+  return pairs;
+}
+
+TEST(NMatchJoinTest, MatchesBruteForce) {
+  Dataset db = datagen::MakeUniform(200, 4, 305);
+  for (const size_t n : {size_t{1}, size_t{2}, size_t{4}}) {
+    for (const Value eps : {Value{0.02}, Value{0.1}}) {
+      auto join = NMatchSelfJoin(db, n, eps);
+      ASSERT_TRUE(join.ok());
+      EXPECT_EQ(join.value(), BruteForceJoin(db, n, eps))
+          << "n=" << n << " eps=" << eps;
+    }
+  }
+}
+
+TEST(NMatchJoinTest, ClusteredDataJoinsWithinClusters) {
+  datagen::ClusteredSpec spec;
+  spec.cardinality = 120;
+  spec.dims = 6;
+  spec.num_classes = 3;
+  spec.cluster_sigma = 0.01;
+  spec.noise_dim_fraction = 0;
+  spec.outlier_prob = 0;
+  spec.seed = 306;
+  Dataset db = datagen::MakeClustered(spec);
+  auto join = NMatchSelfJoin(db, 6, 0.08);
+  ASSERT_TRUE(join.ok());
+  EXPECT_GT(join.value().size(), 100u);  // dense within-cluster pairs
+  for (const JoinPair& pair : join.value()) {
+    EXPECT_EQ(db.label(pair.a), db.label(pair.b))
+        << pair.a << "," << pair.b;
+  }
+}
+
+TEST(NMatchJoinTest, EpsilonZeroFindsDuplicates) {
+  Dataset db(Matrix::FromRows({
+      {0.1, 0.2},
+      {0.1, 0.2},
+      {0.3, 0.2},
+  }));
+  auto join = NMatchSelfJoin(db, 2, 0.0);
+  ASSERT_TRUE(join.ok());
+  EXPECT_EQ(join.value(), (std::vector<JoinPair>{{0, 1}}));
+  // n = 1 at eps 0: pairs sharing any exact coordinate.
+  auto loose = NMatchSelfJoin(db, 1, 0.0);
+  EXPECT_EQ(loose.value(),
+            (std::vector<JoinPair>{{0, 1}, {0, 2}, {1, 2}}));
+}
+
+TEST(NMatchJoinTest, ValidatesParameters) {
+  Dataset db = datagen::MakeUniform(10, 3, 307);
+  EXPECT_FALSE(NMatchSelfJoin(db, 0, 0.1).ok());
+  EXPECT_FALSE(NMatchSelfJoin(db, 4, 0.1).ok());
+  EXPECT_FALSE(NMatchSelfJoin(db, 2, -0.5).ok());
+  Dataset empty;
+  EXPECT_FALSE(NMatchSelfJoin(empty, 1, 0.1).ok());
+}
+
+}  // namespace
+}  // namespace knmatch

@@ -1,0 +1,76 @@
+#include "knmatch/core/sorted_columns.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "knmatch/common/random.h"
+#include "knmatch/datagen/generators.h"
+
+namespace knmatch {
+namespace {
+
+TEST(SortedColumnsTest, EmptyDefault) {
+  SortedColumns columns;
+  EXPECT_EQ(columns.dims(), 0u);
+  EXPECT_EQ(columns.size(), 0u);
+}
+
+TEST(SortedColumnsTest, ColumnsAreSortedAndComplete) {
+  Dataset db = datagen::MakeUniform(200, 6, 3);
+  SortedColumns columns(db);
+  ASSERT_EQ(columns.dims(), 6u);
+  ASSERT_EQ(columns.size(), 200u);
+  for (size_t dim = 0; dim < 6; ++dim) {
+    auto col = columns.column(dim);
+    std::set<PointId> pids;
+    for (size_t i = 0; i < col.size(); ++i) {
+      if (i > 0) EXPECT_LE(col[i - 1].value, col[i].value);
+      EXPECT_EQ(col[i].value, db.at(col[i].pid, dim));
+      pids.insert(col[i].pid);
+    }
+    EXPECT_EQ(pids.size(), 200u) << "every pid appears exactly once";
+  }
+}
+
+TEST(SortedColumnsTest, DuplicateValuesTieBrokenByPid) {
+  Dataset db(Matrix::FromRows({{0.5}, {0.5}, {0.2}, {0.5}}));
+  SortedColumns columns(db);
+  auto col = columns.column(0);
+  EXPECT_EQ(col[0].pid, 2u);
+  EXPECT_EQ(col[1].pid, 0u);
+  EXPECT_EQ(col[2].pid, 1u);
+  EXPECT_EQ(col[3].pid, 3u);
+}
+
+TEST(SortedColumnsTest, LowerBoundSemantics) {
+  Dataset db(Matrix::FromRows({{0.1}, {0.3}, {0.3}, {0.7}}));
+  SortedColumns columns(db);
+  EXPECT_EQ(columns.LowerBound(0, 0.0), 0u);
+  EXPECT_EQ(columns.LowerBound(0, 0.1), 0u);
+  EXPECT_EQ(columns.LowerBound(0, 0.2), 1u);
+  EXPECT_EQ(columns.LowerBound(0, 0.3), 1u);   // first of the duplicates
+  EXPECT_EQ(columns.LowerBound(0, 0.31), 3u);
+  EXPECT_EQ(columns.LowerBound(0, 0.7), 3u);
+  EXPECT_EQ(columns.LowerBound(0, 0.8), 4u);   // past the end
+}
+
+TEST(SortedColumnsTest, LowerBoundAgreesWithStdLowerBound) {
+  Dataset db = datagen::MakeUniform(500, 3, 17);
+  SortedColumns columns(db);
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t dim = trial % 3;
+    const Value v = rng.Uniform(-0.1, 1.1);
+    auto col = columns.column(dim);
+    auto it = std::lower_bound(
+        col.begin(), col.end(), v,
+        [](const ColumnEntry& e, Value t) { return e.value < t; });
+    EXPECT_EQ(columns.LowerBound(dim, v),
+              static_cast<size_t>(it - col.begin()));
+  }
+}
+
+}  // namespace
+}  // namespace knmatch

@@ -1,0 +1,56 @@
+#include "knmatch/common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace knmatch {
+namespace {
+
+TEST(SummaryTest, EmptySummaryIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Stddev(), 0.0);
+  EXPECT_EQ(s.Min(), 0.0);
+  EXPECT_EQ(s.Max(), 0.0);
+}
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Stddev(), 2.0);  // classic textbook sample
+  EXPECT_EQ(s.Min(), 2.0);
+  EXPECT_EQ(s.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 40.0);
+}
+
+TEST(SummaryTest, PercentileInterpolates) {
+  Summary s;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 25.0);
+}
+
+TEST(SummaryTest, AddAfterReadKeepsConsistency) {
+  Summary s;
+  s.Add(5.0);
+  EXPECT_EQ(s.Min(), 5.0);
+  s.Add(1.0);
+  EXPECT_EQ(s.Min(), 1.0);
+  EXPECT_EQ(s.Max(), 5.0);
+}
+
+TEST(TimerTest, MeasuresNonNegativeAndMonotonic) {
+  Timer t;
+  const double a = t.Seconds();
+  const double b = t.Seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  t.Reset();
+  EXPECT_GE(t.Seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace knmatch

@@ -1,0 +1,93 @@
+#include "knmatch/common/top_k.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace knmatch {
+namespace {
+
+using TopK = BoundedTopK<int, double, int>;
+
+TEST(BoundedTopKTest, FillsUpToK) {
+  TopK top(3);
+  EXPECT_FALSE(top.full());
+  EXPECT_TRUE(top.Offer(5.0, 1, 1));
+  EXPECT_TRUE(top.Offer(3.0, 2, 2));
+  EXPECT_EQ(top.size(), 2u);
+  EXPECT_TRUE(top.Offer(4.0, 3, 3));
+  EXPECT_TRUE(top.full());
+  EXPECT_EQ(top.threshold(), 5.0);
+}
+
+TEST(BoundedTopKTest, RejectsWorseWhenFull) {
+  TopK top(2);
+  top.Offer(1.0, 1, 1);
+  top.Offer(2.0, 2, 2);
+  EXPECT_FALSE(top.Offer(3.0, 3, 3));
+  EXPECT_EQ(top.threshold(), 2.0);
+}
+
+TEST(BoundedTopKTest, AcceptsBetterWhenFullAndEvictsWorst) {
+  TopK top(2);
+  top.Offer(1.0, 1, 1);
+  top.Offer(5.0, 2, 2);
+  EXPECT_TRUE(top.Offer(2.0, 3, 3));
+  EXPECT_EQ(top.threshold(), 2.0);
+  auto sorted = top.TakeSorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].item, 1);
+  EXPECT_EQ(sorted[1].item, 3);
+}
+
+TEST(BoundedTopKTest, TiesBrokenBySecondaryKey) {
+  TopK top(2);
+  top.Offer(1.0, 10, 10);
+  top.Offer(1.0, 20, 20);
+  // Equal score, larger tiebreak than the worst -> rejected.
+  EXPECT_FALSE(top.Offer(1.0, 30, 30));
+  // Equal score, smaller tiebreak than the worst -> accepted.
+  EXPECT_TRUE(top.Offer(1.0, 5, 5));
+  auto sorted = top.TakeSorted();
+  EXPECT_EQ(sorted[0].item, 5);
+  EXPECT_EQ(sorted[1].item, 10);
+}
+
+TEST(BoundedTopKTest, TakeSortedOrdersByScoreThenTiebreak) {
+  TopK top(4);
+  top.Offer(2.0, 9, 9);
+  top.Offer(1.0, 7, 7);
+  top.Offer(2.0, 3, 3);
+  top.Offer(0.5, 1, 1);
+  auto sorted = top.TakeSorted();
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_EQ(sorted[0].item, 1);
+  EXPECT_EQ(sorted[1].item, 7);
+  EXPECT_EQ(sorted[2].item, 3);
+  EXPECT_EQ(sorted[3].item, 9);
+  EXPECT_EQ(top.size(), 0u);
+}
+
+TEST(BoundedTopKTest, KOneKeepsSingleBest) {
+  TopK top(1);
+  for (int i = 0; i < 100; ++i) {
+    top.Offer(100.0 - i, i, i);
+  }
+  auto sorted = top.TakeSorted();
+  ASSERT_EQ(sorted.size(), 1u);
+  EXPECT_EQ(sorted[0].item, 99);
+  EXPECT_EQ(sorted[0].score, 1.0);
+}
+
+TEST(BoundedTopKTest, WorksWithMoveOnlyLikePayload) {
+  BoundedTopK<std::string, double, int> top(2);
+  top.Offer(1.0, 1, "one");
+  top.Offer(2.0, 2, "two");
+  top.Offer(0.5, 0, "half");
+  auto sorted = top.TakeSorted();
+  EXPECT_EQ(sorted[0].item, "half");
+  EXPECT_EQ(sorted[1].item, "one");
+}
+
+}  // namespace
+}  // namespace knmatch
