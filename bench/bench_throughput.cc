@@ -1,0 +1,206 @@
+// Batch-query throughput: queries-per-second for sequential per-query
+// execution vs the exec-layer batch API at several worker counts, on
+// the 100k x 16 uniform dataset the scaling roadmap tracks. No paper
+// figure corresponds to this — the paper measures per-query attribute
+// retrievals; this measures the serving throughput the exec subsystem
+// adds — so alongside the table it emits BENCH_throughput.json, giving
+// later PRs a machine-readable perf trajectory to compare against.
+//
+// Usage: bench_throughput [queries] [cardinality] [dims]
+//        (defaults 64, 100000, 16)
+//
+// Interpreting speedups: batch-at-T=1 vs sequential isolates the
+// AdScratch arena (per-query O(c) allocation replaced by an O(1) epoch
+// reset); higher T adds parallel fan-out, which needs physical cores —
+// on a single-core host every T collapses to ~1x and only the arena
+// win remains.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace knmatch;
+
+double Seconds(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct Workload {
+  std::string name;
+  // Runs the workload once over all queries, returning a checksum.
+  // `threads` < 0 means sequential per-query calls.
+  uint64_t (*run)(const SimilarityEngine&, const exec::BatchRequest&,
+                  int threads);
+};
+
+uint64_t Checksum(const std::vector<KnMatchResult>& results) {
+  uint64_t sum = 0;
+  for (const auto& r : results) {
+    for (const Neighbor& nb : r.matches) sum += nb.pid;
+  }
+  return sum;
+}
+
+uint64_t RunKnMatch(const SimilarityEngine& engine,
+                    const exec::BatchRequest& request, int threads) {
+  constexpr size_t kN = 8, kK = 10;
+  if (threads < 0) {
+    uint64_t sum = 0;
+    for (const auto& q : request.queries) {
+      auto r = engine.KnMatch(q, kN, kK);
+      for (const Neighbor& nb : r.value().matches) sum += nb.pid;
+    }
+    return sum;
+  }
+  exec::BatchRequest req = request;
+  req.options.threads = static_cast<size_t>(threads);
+  auto r = engine.KnMatchBatch(req, kN, kK);
+  return Checksum(r.value().results);
+}
+
+uint64_t RunFrequent(const SimilarityEngine& engine,
+                     const exec::BatchRequest& request, int threads) {
+  constexpr size_t kN0 = 4, kN1 = 8, kK = 10;
+  if (threads < 0) {
+    uint64_t sum = 0;
+    for (const auto& q : request.queries) {
+      auto r = engine.FrequentKnMatch(q, kN0, kN1, kK);
+      for (const Neighbor& nb : r.value().matches) sum += nb.pid;
+    }
+    return sum;
+  }
+  exec::BatchRequest req = request;
+  req.options.threads = static_cast<size_t>(threads);
+  auto r = engine.FrequentKnMatchBatch(req, kN0, kN1, kK);
+  uint64_t sum = 0;
+  for (const auto& result : r.value().results) {
+    for (const Neighbor& nb : result.matches) sum += nb.pid;
+  }
+  return sum;
+}
+
+uint64_t RunKnn(const SimilarityEngine& engine,
+                const exec::BatchRequest& request, int threads) {
+  constexpr size_t kK = 10;
+  if (threads < 0) {
+    uint64_t sum = 0;
+    for (const auto& q : request.queries) {
+      auto r = engine.Knn(q, kK);
+      for (const Neighbor& nb : r.value().matches) sum += nb.pid;
+    }
+    return sum;
+  }
+  exec::BatchRequest req = request;
+  req.options.threads = static_cast<size_t>(threads);
+  auto r = engine.KnnBatch(req, kK);
+  return Checksum(r.value().results);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace knmatch;
+  const size_t num_queries = argc > 1 ? std::strtoul(argv[1], nullptr, 10)
+                                      : 64;
+  const size_t cardinality = argc > 2 ? std::strtoul(argv[2], nullptr, 10)
+                                      : 100000;
+  const size_t dims = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 16;
+
+  bench::PrintHeader(
+      "Batch-query throughput: sequential vs exec-layer fan-out",
+      "no paper figure; the exec subsystem's serving-throughput goal");
+
+  std::printf("dataset: uniform %zu x %zu | queries: %zu | hardware "
+              "threads: %u\n\n",
+              cardinality, dims, num_queries,
+              std::thread::hardware_concurrency());
+
+  SimilarityEngine engine(datagen::MakeUniform(cardinality, dims, 20260807));
+  exec::BatchRequest request;
+  request.queries =
+      bench::SampleQueries(engine.dataset(), num_queries, 4242);
+
+  const Workload workloads[] = {
+      {"knmatch_n8_k10", RunKnMatch},
+      {"fknmatch_n4_8_k10", RunFrequent},
+      {"knn_k10", RunKnn},
+  };
+  const int thread_counts[] = {1, 2, 4, 8};
+
+  std::FILE* json = std::fopen("BENCH_throughput.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_throughput.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"throughput\",\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"dataset\": {\"kind\": \"uniform\", \"cardinality\": "
+               "%zu, \"dims\": %zu},\n"
+               "  \"queries\": %zu,\n  \"workloads\": [",
+               std::thread::hardware_concurrency(), cardinality, dims,
+               num_queries);
+
+  bool first_workload = true;
+  for (const Workload& w : workloads) {
+    // Warm up: builds the sorted columns and faults the data in, so
+    // the sequential pass is not charged index construction.
+    const uint64_t reference = w.run(engine, request, -1);
+
+    auto start = std::chrono::steady_clock::now();
+    const uint64_t seq_sum = w.run(engine, request, -1);
+    const double seq_seconds = Seconds(start);
+    const double seq_qps = num_queries / seq_seconds;
+
+    std::printf("%-20s sequential: %8.1f q/s\n", w.name.c_str(), seq_qps);
+    if (seq_sum != reference) {
+      std::fprintf(stderr, "checksum drift in sequential run\n");
+      return 1;
+    }
+
+    std::fprintf(json,
+                 "%s\n    {\"name\": \"%s\", \"sequential_qps\": %.1f, "
+                 "\"sequential_seconds\": %.4f, \"batch\": [",
+                 first_workload ? "" : ",", w.name.c_str(), seq_qps,
+                 seq_seconds);
+    first_workload = false;
+
+    bool first_t = true;
+    for (const int t : thread_counts) {
+      w.run(engine, request, t);  // warm the pool for this thread count
+      start = std::chrono::steady_clock::now();
+      const uint64_t batch_sum = w.run(engine, request, t);
+      const double batch_seconds = Seconds(start);
+      const double qps = num_queries / batch_seconds;
+      const double speedup = seq_seconds / batch_seconds;
+      std::printf("%-20s batch T=%d:  %8.1f q/s  (%.2fx vs sequential, "
+                  "checksum %s)\n",
+                  "", t, qps, speedup,
+                  batch_sum == reference ? "ok" : "MISMATCH");
+      if (batch_sum != reference) {
+        std::fprintf(stderr, "determinism violation at T=%d\n", t);
+        return 1;
+      }
+      std::fprintf(json,
+                   "%s\n      {\"threads\": %d, \"qps\": %.1f, "
+                   "\"speedup_vs_sequential\": %.3f}",
+                   first_t ? "" : ",", t, qps, speedup);
+      first_t = false;
+    }
+    std::fprintf(json, "\n    ]}");
+    std::printf("\n");
+  }
+  std::fprintf(json, "\n  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_throughput.json\n");
+  return 0;
+}

@@ -19,12 +19,21 @@
 //   join <n> <eps>                    epsilon-n-match self-join (pair count)
 //   estimate <n> <k> <pid>            analytic selectivity estimate
 //   insert <v1> <v2> ... <vd>         append a point (indexes rebuild lazily)
+//   threads <t>                       worker threads for batch commands
+//   batch knmatch <n> <k> <q>         q sampled queries, fanned across workers
+//   batch fknmatch <n0> <n1> <k> <q>
+//   batch knn <k> <q>
 //   help
 //   quit
 //
+// Flags: --threads <t> presets the batch worker count (equivalent to
+// the `threads` command; 0 = one per hardware thread).
+//
 // Try: printf 'gen coil\nknmatch 30 4 42\nknn 10 42\nquit\n' | ./knmatch_cli
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -39,6 +48,8 @@ using namespace knmatch;
 
 class Cli {
  public:
+  explicit Cli(size_t threads) : threads_(threads) {}
+
   int Run() {
     std::string line;
     std::printf("knmatch shell — 'help' lists commands\n");
@@ -101,7 +112,50 @@ class Cli {
           "knn <k> <pid> | igrid <k> <pid> |\n"
           "disk auto|scan|ad|va <n0> <n1> <k> <pid> | join <n> <eps> | "
           "estimate <n> <k> <pid> |\n"
-          "insert <v1> ... <vd> | quit\n");
+          "insert <v1> ... <vd> | threads <t> |\n"
+          "batch knmatch <n> <k> <q> | batch fknmatch <n0> <n1> <k> <q> | "
+          "batch knn <k> <q> | quit\n");
+      return true;
+    }
+
+    if (cmd == "threads") {
+      size_t t;
+      if (!(in >> t)) {
+        std::printf("usage: threads <t>   (0 = one per hardware thread)\n");
+        return true;
+      }
+      threads_ = t;
+      std::printf("batch commands now use %zu worker thread(s)\n",
+                  exec::ResolveThreads(threads_));
+      return true;
+    }
+
+    if (cmd == "batch") {
+      if (!RequireData()) return true;
+      std::string what;
+      in >> what;
+      size_t n0 = 0, n1 = 0, k = 0, q = 0;
+      if (what == "knmatch") {
+        if (!(in >> n0 >> k >> q)) {
+          std::printf("usage: batch knmatch <n> <k> <q>\n");
+          return true;
+        }
+        n1 = n0;
+      } else if (what == "fknmatch") {
+        if (!(in >> n0 >> n1 >> k >> q)) {
+          std::printf("usage: batch fknmatch <n0> <n1> <k> <q>\n");
+          return true;
+        }
+      } else if (what == "knn") {
+        if (!(in >> k >> q)) {
+          std::printf("usage: batch knn <k> <q>\n");
+          return true;
+        }
+      } else {
+        std::printf("usage: batch knmatch|fknmatch|knn ...\n");
+        return true;
+      }
+      RunBatch(what, n0, n1, k, q);
       return true;
     }
 
@@ -352,9 +406,88 @@ class Cli {
     return true;
   }
 
+  // Samples `q` dataset points as queries and runs them as one batch,
+  // reporting wall time, throughput, and a determinism checksum (the
+  // sum of all result pids — identical for every thread count).
+  void RunBatch(const std::string& what, size_t n0, size_t n1, size_t k,
+                size_t q) {
+    exec::BatchRequest request;
+    request.options.threads = threads_;
+    for (const PointId pid :
+         eval::SampleQueryPids(engine_->dataset(), q, /*seed=*/4242)) {
+      auto p = engine_->dataset().point(pid);
+      request.queries.emplace_back(p.begin(), p.end());
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    uint64_t checksum = 0;
+    uint64_t attributes = 0;
+    size_t answered = 0;
+    if (what == "knn") {
+      auto r = engine_->KnnBatch(request, k);
+      if (!r.ok()) {
+        std::printf("%s\n", r.status().ToString().c_str());
+        return;
+      }
+      answered = r.value().results.size();
+      for (const auto& result : r.value().results) {
+        for (const Neighbor& nb : result.matches) checksum += nb.pid;
+      }
+    } else if (what == "knmatch") {
+      auto r = engine_->KnMatchBatch(request, n0, k);
+      if (!r.ok()) {
+        std::printf("%s\n", r.status().ToString().c_str());
+        return;
+      }
+      answered = r.value().results.size();
+      attributes = r.value().attributes_retrieved;
+      for (const auto& result : r.value().results) {
+        for (const Neighbor& nb : result.matches) checksum += nb.pid;
+      }
+    } else {
+      auto r = engine_->FrequentKnMatchBatch(request, n0, n1, k);
+      if (!r.ok()) {
+        std::printf("%s\n", r.status().ToString().c_str());
+        return;
+      }
+      answered = r.value().results.size();
+      attributes = r.value().attributes_retrieved;
+      for (const auto& result : r.value().results) {
+        for (const Neighbor& nb : result.matches) checksum += nb.pid;
+      }
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    std::printf(
+        "  %zu queries on %zu worker(s): %.3f s  (%.1f queries/s)\n",
+        answered, exec::ResolveThreads(threads_), seconds,
+        seconds > 0 ? static_cast<double>(answered) / seconds : 0.0);
+    if (attributes > 0) {
+      std::printf("  %llu attributes retrieved in total\n",
+                  static_cast<unsigned long long>(attributes));
+    }
+    std::printf("  checksum %llu\n",
+                static_cast<unsigned long long>(checksum));
+  }
+
   std::unique_ptr<SimilarityEngine> engine_;
+  size_t threads_ = 0;
 };
 
 }  // namespace
 
-int main() { return Cli().Run(); }
+int main(int argc, char** argv) {
+  size_t threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads <t>]\n", argv[0]);
+      return 1;
+    }
+  }
+  return Cli(threads).Run();
+}

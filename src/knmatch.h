@@ -46,6 +46,9 @@
 #include "knmatch/vafile/va_knmatch.h"
 #include "knmatch/vafile/va_knn.h"
 
+#include "knmatch/exec/batch.h"
+#include "knmatch/exec/thread_pool.h"
+
 #include "knmatch/engine.h"
 
 #include "knmatch/baselines/dpf.h"

@@ -8,11 +8,9 @@
 
 namespace knmatch {
 
-namespace {
-
-Status ValidateWeights(std::span<const Value> weights, size_t d) {
+Status ValidateAdWeights(std::span<const Value> weights, size_t dims) {
   if (weights.empty()) return Status::OK();
-  if (weights.size() != d) {
+  if (weights.size() != dims) {
     return Status::InvalidArgument(
         "weights must be empty or have one entry per dimension");
   }
@@ -27,20 +25,18 @@ Status ValidateWeights(std::span<const Value> weights, size_t d) {
   return Status::OK();
 }
 
-}  // namespace
-
 Result<KnMatchResult> AdSearcher::KnMatch(
     std::span<const Value> query, size_t n, size_t k,
-    std::span<const Value> weights) const {
+    std::span<const Value> weights, internal::AdScratch* scratch) const {
   Status s =
       ValidateMatchParams(db_.size(), db_.dims(), query.size(), n, n, k);
   if (!s.ok()) return s;
-  s = ValidateWeights(weights, db_.dims());
+  s = ValidateAdWeights(weights, db_.dims());
   if (!s.ok()) return s;
 
   internal::MemoryColumnAccessor acc(columns_);
   internal::AdOutput out =
-      internal::RunAdSearch(acc, query, n, n, k, weights);
+      internal::RunAdSearch(acc, query, n, n, k, weights, scratch);
 
   KnMatchResult result;
   result.matches = std::move(out.per_n_sets[0]);
@@ -50,16 +46,16 @@ Result<KnMatchResult> AdSearcher::KnMatch(
 
 Result<FrequentKnMatchResult> AdSearcher::FrequentKnMatch(
     std::span<const Value> query, size_t n0, size_t n1, size_t k,
-    std::span<const Value> weights) const {
+    std::span<const Value> weights, internal::AdScratch* scratch) const {
   Status s =
       ValidateMatchParams(db_.size(), db_.dims(), query.size(), n0, n1, k);
   if (!s.ok()) return s;
-  s = ValidateWeights(weights, db_.dims());
+  s = ValidateAdWeights(weights, db_.dims());
   if (!s.ok()) return s;
 
   internal::MemoryColumnAccessor acc(columns_);
   internal::AdOutput out =
-      internal::RunAdSearch(acc, query, n0, n1, k, weights);
+      internal::RunAdSearch(acc, query, n0, n1, k, weights, scratch);
 
   FrequentKnMatchResult result;
   result.per_n_sets = std::move(out.per_n_sets);

@@ -10,6 +10,15 @@
 
 namespace knmatch {
 
+namespace internal {
+class AdScratch;
+}  // namespace internal
+
+/// Validates optional per-dimension AD weights: either empty or one
+/// strictly positive value per dimension. Shared by the single-query
+/// and batch entry points.
+Status ValidateAdWeights(std::span<const Value> weights, size_t dims);
+
 /// In-memory AD (Ascending Difference) searcher — the paper's optimal
 /// algorithms KNMatchAD and FKNMatchAD over per-dimension sorted
 /// columns.
@@ -42,15 +51,23 @@ class AdSearcher {
   /// each column's differences by a positive constant preserves their
   /// ascending order, so the AD algorithm's correctness and optimality
   /// carry over unchanged.
+  ///
+  /// Optional `scratch` reuses a caller-owned working arena (appearance
+  /// table, cursor heap) across queries — the answer is identical; only
+  /// per-query setup cost changes. A scratch must not be shared by
+  /// concurrent queries; the batch executor keeps one per worker.
   Result<KnMatchResult> KnMatch(std::span<const Value> query, size_t n,
                                 size_t k,
-                                std::span<const Value> weights = {}) const;
+                                std::span<const Value> weights = {},
+                                internal::AdScratch* scratch = nullptr) const;
 
   /// Algorithm FKNMatchAD (Fig. 6): the k points appearing most often in
-  /// the k-n-match answer sets for n in [n0, n1]. `weights` as above.
+  /// the k-n-match answer sets for n in [n0, n1]. `weights` and
+  /// `scratch` as above.
   Result<FrequentKnMatchResult> FrequentKnMatch(
       std::span<const Value> query, size_t n0, size_t n1, size_t k,
-      std::span<const Value> weights = {}) const;
+      std::span<const Value> weights = {},
+      internal::AdScratch* scratch = nullptr) const;
 
   /// The underlying sorted columns (exposed for tests and tools).
   const SortedColumns& columns() const { return columns_; }

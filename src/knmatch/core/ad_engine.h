@@ -4,11 +4,11 @@
 #include <cassert>
 #include <cstdint>
 #include <optional>
-#include <queue>
 #include <span>
 #include <vector>
 
 #include "knmatch/common/types.h"
+#include "knmatch/core/ad_scratch.h"
 #include "knmatch/core/match_types.h"
 #include "knmatch/core/sorted_columns.h"
 
@@ -39,6 +39,13 @@ struct AdOutput {
 ///   ColumnEntry ReadEntry(size_t dim, size_t idx, uint32_t slot);
 ///   size_t LocateLowerBound(size_t dim, Value v);   // first idx >= v
 ///
+/// An accessor may additionally provide
+///   size_t column_length(size_t dim) const;
+/// when its columns are ragged — shorter than the cardinality because
+/// some points lack a value in some dimension (missing attributes,
+/// heterogeneous sources). Without it every column is assumed to hold
+/// exactly `column_size()` entries.
+///
 /// `ReadEntry` calls are the retrieved attributes (the paper's cost
 /// metric); the engine counts them. Locating the query's position
 /// (binary search / index traversal) is charged by the accessor, not
@@ -48,7 +55,11 @@ struct AdOutput {
 /// The engine maintains the paper's g[] array of 2d direction cursors
 /// (even slot 2i = downward within dimension i, odd slot 2i+1 = upward)
 /// as a min-heap keyed on (difference, slot); the slot component makes
-/// pop order — and therefore the answer — fully deterministic.
+/// pop order — and therefore the answer — fully deterministic. The heap
+/// and the per-point appearance counters live in an AdScratch arena:
+/// pass one in to reuse its allocations (and O(1)-reset visit table)
+/// across queries on the same thread, or pass none and the engine owns
+/// a private arena.
 ///
 /// Optional positive per-dimension weights scale each difference before
 /// it enters the heap; scaling by a per-dimension constant preserves
@@ -66,22 +77,26 @@ class AdEngine {
   };
 
   AdEngine(Accessor& accessor, std::span<const Value> query,
-           std::span<const Value> weights = {})
+           std::span<const Value> weights = {}, AdScratch* scratch = nullptr)
       : acc_(accessor),
         query_(query),
         weights_(weights),
         c_(accessor.column_size()),
-        appear_(accessor.column_size(), 0),
-        next_idx_(2 * accessor.dims(), kExhausted) {
+        scratch_(scratch != nullptr ? scratch : &owned_scratch_) {
     const size_t d = acc_.dims();
     assert(query.size() == d);
     assert(weights.empty() || weights.size() == d);
+    scratch_->Prepare(c_, d);
+    g_ = &scratch_->heap();
+    next_idx_ = scratch_->next_idx();
     for (size_t dim = 0; dim < d; ++dim) {
-      const size_t pos = acc_.LocateLowerBound(dim, query_[dim]);
+      const size_t len = ColumnLength(dim);
+      size_t pos = acc_.LocateLowerBound(dim, query_[dim]);
+      if (pos > len) pos = len;
       const auto down = static_cast<uint32_t>(2 * dim);
       const uint32_t up = down + 1;
       next_idx_[down] = pos == 0 ? kExhausted : pos - 1;
-      next_idx_[up] = pos == c_ ? kExhausted : pos;
+      next_idx_[up] = pos == len ? kExhausted : pos;
       ReadAndPush(down);
       ReadAndPush(up);
     }
@@ -90,11 +105,11 @@ class AdEngine {
   /// Pops the next attribute in ascending difference order; nullopt
   /// once every attribute of every column has been consumed.
   std::optional<Pop> Step() {
-    if (g_.empty()) return std::nullopt;
-    const HeapItem item = g_.top();
-    g_.pop();
+    if (g_->empty()) return std::nullopt;
+    const AdHeapItem item = g_->top();
+    g_->Pop();
     const PointId pid = item.entry.pid;
-    const uint16_t a = ++appear_[pid];
+    const uint16_t a = scratch_->BumpAppearances(pid);
     ReadAndPush(item.slot);
     return Pop{pid, item.dif, a};
   }
@@ -105,17 +120,16 @@ class AdEngine {
  private:
   static constexpr size_t kExhausted = static_cast<size_t>(-1);
 
-  struct HeapItem {
-    Value dif;
-    uint32_t slot;
-    ColumnEntry entry;
-  };
-  struct HeapGreater {
-    bool operator()(const HeapItem& a, const HeapItem& b) const {
-      if (a.dif != b.dif) return a.dif > b.dif;
-      return a.slot > b.slot;
+  size_t ColumnLength(size_t dim) const {
+    if constexpr (requires(const Accessor& a, size_t i) {
+                    { a.column_length(i) } -> std::convertible_to<size_t>;
+                  }) {
+      return acc_.column_length(dim);
+    } else {
+      (void)dim;
+      return c_;
     }
-  };
+  }
 
   void ReadAndPush(uint32_t slot) {
     const size_t idx = next_idx_[slot];
@@ -126,11 +140,11 @@ class AdEngine {
     Value dif =
         slot % 2 == 0 ? query_[dim] - e.value : e.value - query_[dim];
     if (!weights_.empty()) dif *= weights_[dim];
-    g_.push(HeapItem{dif, slot, e});
+    g_->Push(AdHeapItem{dif, slot, e});
     if (slot % 2 == 0) {
       next_idx_[slot] = idx == 0 ? kExhausted : idx - 1;
     } else {
-      next_idx_[slot] = idx + 1 == c_ ? kExhausted : idx + 1;
+      next_idx_[slot] = idx + 1 == ColumnLength(dim) ? kExhausted : idx + 1;
     }
   }
 
@@ -139,30 +153,39 @@ class AdEngine {
   std::span<const Value> weights_;
   size_t c_;
   uint64_t attributes_retrieved_ = 0;
-  std::vector<uint16_t> appear_;
-  std::vector<size_t> next_idx_;
-  std::priority_queue<HeapItem, std::vector<HeapItem>, HeapGreater> g_;
+  AdScratch owned_scratch_;  // used when the caller supplies no arena
+  AdScratch* scratch_;
+  AdCursorHeap* g_ = nullptr;
+  size_t* next_idx_ = nullptr;
 };
 
 /// Batch driver: algorithms KNMatchAD (n0 == n1) and FKNMatchAD of the
 /// paper, on top of the stepping engine. Runs until the k-n1-match
 /// answer set is complete; by then every k-n-match set for n in
 /// [n0, n1] is complete as well (Sec. 3.2).
+///
+/// If the columns exhaust before k points complete n1 appearances —
+/// possible only with ragged column sources, where some points lack a
+/// value in some dimensions — the partial answer sets accumulated so
+/// far are returned: they are exactly the matches supported by the
+/// attributes that exist.
 template <typename Accessor>
 AdOutput RunAdSearch(Accessor& acc, std::span<const Value> query, size_t n0,
                      size_t n1, size_t k,
-                     std::span<const Value> weights = {}) {
+                     std::span<const Value> weights = {},
+                     AdScratch* scratch = nullptr) {
   assert(n0 >= 1 && n0 <= n1 && n1 <= acc.dims());
   assert(k >= 1 && k <= acc.column_size());
 
   AdOutput out;
   out.per_n_sets.resize(n1 - n0 + 1);
-  AdEngine<Accessor> engine(acc, query, weights);
+  for (auto& set : out.per_n_sets) set.reserve(k);
+  AdEngine<Accessor> engine(acc, query, weights, scratch);
 
   auto& terminal_set = out.per_n_sets[n1 - n0];
   while (terminal_set.size() < k) {
     std::optional<typename AdEngine<Accessor>::Pop> pop = engine.Step();
-    assert(pop.has_value() && "columns exhausted before k points matched");
+    if (!pop.has_value()) break;  // exhausted: return the partial sets
     const uint16_t a = pop->appearances;
     if (a >= n0 && a <= n1) {
       auto& set = out.per_n_sets[a - n0];

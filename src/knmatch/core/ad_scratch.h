@@ -1,0 +1,144 @@
+#ifndef KNMATCH_CORE_AD_SCRATCH_H_
+#define KNMATCH_CORE_AD_SCRATCH_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "knmatch/common/types.h"
+#include "knmatch/core/sorted_columns.h"
+
+namespace knmatch::internal {
+
+/// One attribute sitting in the AD cursor front: its (weighted)
+/// difference to the query, the direction cursor it came from, and the
+/// column entry itself. Factored out of AdEngine so the scratch arena
+/// can own the storage without depending on the accessor type.
+struct AdHeapItem {
+  Value dif = 0;
+  uint32_t slot = 0;
+  ColumnEntry entry;
+};
+
+/// Fixed-capacity flat binary min-heap over (difference, slot) — the
+/// g[] cursor front of the AD algorithm. Each of the 2d direction
+/// cursors has at most one outstanding item in the front, so capacity
+/// 2d is exact: storage is reserved once per query shape and the pop
+/// loop never allocates. Keyed identically to the previous
+/// std::priority_queue (difference, then slot), so pop order — and
+/// therefore every answer — is unchanged.
+class AdCursorHeap {
+ public:
+  /// Empties the heap and guarantees room for `capacity` items.
+  void Reset(size_t capacity) {
+    size_ = 0;
+    if (items_.size() < capacity) items_.resize(capacity);
+  }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  const AdHeapItem& top() const {
+    assert(size_ > 0);
+    return items_[0];
+  }
+
+  void Push(const AdHeapItem& item) {
+    assert(size_ < items_.size() && "heap capacity is one item per cursor");
+    size_t i = size_++;
+    while (i > 0) {
+      const size_t parent = (i - 1) / 2;
+      if (!Before(item, items_[parent])) break;
+      items_[i] = items_[parent];
+      i = parent;
+    }
+    items_[i] = item;
+  }
+
+  void Pop() {
+    assert(size_ > 0);
+    const AdHeapItem moved = items_[--size_];
+    if (size_ == 0) return;
+    size_t i = 0;
+    for (;;) {
+      size_t child = 2 * i + 1;
+      if (child >= size_) break;
+      if (child + 1 < size_ && Before(items_[child + 1], items_[child])) {
+        ++child;
+      }
+      if (!Before(items_[child], moved)) break;
+      items_[i] = items_[child];
+      i = child;
+    }
+    items_[i] = moved;
+  }
+
+ private:
+  static bool Before(const AdHeapItem& a, const AdHeapItem& b) {
+    if (a.dif != b.dif) return a.dif < b.dif;
+    return a.slot < b.slot;
+  }
+
+  std::vector<AdHeapItem> items_;
+  size_t size_ = 0;
+};
+
+/// Reusable per-query working state for AdEngine: the appearance
+/// counters, the 2d cursor positions, and the cursor-front heap.
+///
+/// A fresh AdEngine used to zero-initialize an O(cardinality) `appear_`
+/// vector per query — per-query setup cost that dwarfs the attribute
+/// retrievals the paper optimizes once queries are cheap and frequent.
+/// The scratch replaces it with an epoch-stamped visit table: each
+/// Prepare() bumps a 32-bit epoch, and a counter is treated as zero
+/// until its stamp matches the current epoch. Reset is O(1); the O(c)
+/// fill happens only on first use, growth, or epoch wrap (every 2^32
+/// queries).
+///
+/// A scratch is single-threaded state: share one per worker thread,
+/// never across concurrent queries. Any cardinality/dimensionality is
+/// accepted per Prepare(), so one scratch serves heterogeneous
+/// datasets back to back.
+class AdScratch {
+ public:
+  /// Readies the scratch for a query over `cardinality` points and
+  /// `dims` dimensions. O(1) amortized.
+  void Prepare(size_t cardinality, size_t dims) {
+    ++epoch_;
+    if (cardinality > stamp_.size() || epoch_ == 0) {
+      stamp_.assign(std::max(cardinality, stamp_.size()), 0);
+      count_.assign(stamp_.size(), 0);
+      epoch_ = 1;
+    }
+    if (next_idx_.size() < 2 * dims) next_idx_.resize(2 * dims);
+    heap_.Reset(2 * dims);
+  }
+
+  /// Increments and returns the appearance count of `pid` for the
+  /// current query (1 on first sighting).
+  uint16_t BumpAppearances(PointId pid) {
+    assert(pid < stamp_.size());
+    if (stamp_[pid] != epoch_) {
+      stamp_[pid] = epoch_;
+      count_[pid] = 0;
+    }
+    return ++count_[pid];
+  }
+
+  /// The cursor-front heap (valid until the next Prepare).
+  AdCursorHeap& heap() { return heap_; }
+
+  /// The 2d cursor positions (valid until the next Prepare).
+  size_t* next_idx() { return next_idx_.data(); }
+
+ private:
+  uint32_t epoch_ = 0;
+  std::vector<uint32_t> stamp_;  // epoch at which count_[pid] is valid
+  std::vector<uint16_t> count_;
+  std::vector<size_t> next_idx_;
+  AdCursorHeap heap_;
+};
+
+}  // namespace knmatch::internal
+
+#endif  // KNMATCH_CORE_AD_SCRATCH_H_

@@ -20,12 +20,4 @@ SortedColumns::SortedColumns(const Dataset& db) {
   }
 }
 
-size_t SortedColumns::LowerBound(size_t dim, Value v) const {
-  const auto& col = columns_[dim];
-  auto it = std::lower_bound(
-      col.begin(), col.end(), v,
-      [](const ColumnEntry& e, Value target) { return e.value < target; });
-  return static_cast<size_t>(it - col.begin());
-}
-
 }  // namespace knmatch

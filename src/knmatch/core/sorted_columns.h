@@ -1,6 +1,7 @@
 #ifndef KNMATCH_CORE_SORTED_COLUMNS_H_
 #define KNMATCH_CORE_SORTED_COLUMNS_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -45,7 +46,15 @@ class SortedColumns {
 
   /// Index of the first entry in `dim` whose value is >= v (i.e.,
   /// std::lower_bound). Entries at smaller indices are strictly < v.
-  size_t LowerBound(size_t dim, Value v) const;
+  /// Defined in-header (like the column reads above) so the AD hot
+  /// path inlines it.
+  size_t LowerBound(size_t dim, Value v) const {
+    const auto& col = columns_[dim];
+    auto it = std::lower_bound(
+        col.begin(), col.end(), v,
+        [](const ColumnEntry& e, Value target) { return e.value < target; });
+    return static_cast<size_t>(it - col.begin());
+  }
 
  private:
   std::vector<std::vector<ColumnEntry>> columns_;

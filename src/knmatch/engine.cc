@@ -9,31 +9,58 @@
 namespace knmatch {
 
 SimilarityEngine::SimilarityEngine(Dataset db, DiskConfig config)
-    : db_(std::move(db)), config_(config) {}
+    : db_(std::move(db)), config_(config) {
+  ResetOnceFlags();
+}
 
 SimilarityEngine::~SimilarityEngine() = default;
 
+void SimilarityEngine::ResetOnceFlags() {
+  ad_once_ = std::make_unique<std::once_flag>();
+  igrid_once_ = std::make_unique<std::once_flag>();
+  disk_once_ = std::make_unique<std::once_flag>();
+  advisor_once_ = std::make_unique<std::once_flag>();
+  estimator_once_ = std::make_unique<std::once_flag>();
+}
+
 void SimilarityEngine::EnsureAd() const {
-  if (ad_ == nullptr) ad_ = std::make_unique<AdSearcher>(db_);
+  std::call_once(*ad_once_,
+                 [this] { ad_ = std::make_unique<AdSearcher>(db_); });
 }
 
 void SimilarityEngine::EnsureIGrid() const {
-  if (igrid_ == nullptr) igrid_ = std::make_unique<IGridIndex>(db_);
+  std::call_once(*igrid_once_,
+                 [this] { igrid_ = std::make_unique<IGridIndex>(db_); });
 }
 
 void SimilarityEngine::EnsureDiskStores() const {
-  if (disk_ == nullptr) {
+  std::call_once(*disk_once_, [this] {
     disk_ = std::make_unique<DiskSimulator>(config_);
     rows_ = std::make_unique<RowStore>(db_, disk_.get());
     columns_ = std::make_unique<ColumnStore>(db_, disk_.get());
     va_ = std::make_unique<VaFile>(db_, disk_.get(), 8);
-  }
+  });
 }
 
 void SimilarityEngine::EnsureAdvisor() const {
-  if (advisor_ == nullptr) {
+  std::call_once(*advisor_once_, [this] {
     advisor_ = std::make_unique<eval::QueryAdvisor>(db_, config_);
+  });
+}
+
+void SimilarityEngine::EnsureEstimator() const {
+  std::call_once(*estimator_once_, [this] {
+    estimator_ = std::make_unique<eval::SelectivityEstimator>(db_);
+  });
+}
+
+exec::BatchExecutor& SimilarityEngine::AcquireExecutor(
+    size_t threads) const {
+  const size_t resolved = exec::ResolveThreads(threads);
+  if (executor_ == nullptr || executor_->threads() != resolved) {
+    executor_ = std::make_unique<exec::BatchExecutor>(resolved);
   }
+  return *executor_;
 }
 
 Result<KnMatchResult> SimilarityEngine::KnMatch(
@@ -55,6 +82,32 @@ Result<KnMatchResult> SimilarityEngine::Knn(std::span<const Value> query,
   return KnnScan(db_, query, k, metric);
 }
 
+Result<exec::KnMatchBatchResult> SimilarityEngine::KnMatchBatch(
+    const exec::BatchRequest& request, size_t n, size_t k,
+    std::span<const Value> weights) const {
+  EnsureAd();
+  std::scoped_lock lock(exec_mu_);
+  return AcquireExecutor(request.options.threads)
+      .KnMatch(*ad_, request, n, k, weights);
+}
+
+Result<exec::FrequentKnMatchBatchResult>
+SimilarityEngine::FrequentKnMatchBatch(const exec::BatchRequest& request,
+                                       size_t n0, size_t n1, size_t k,
+                                       std::span<const Value> weights) const {
+  EnsureAd();
+  std::scoped_lock lock(exec_mu_);
+  return AcquireExecutor(request.options.threads)
+      .FrequentKnMatch(*ad_, request, n0, n1, k, weights);
+}
+
+Result<exec::KnMatchBatchResult> SimilarityEngine::KnnBatch(
+    const exec::BatchRequest& request, size_t k, Metric metric) const {
+  std::scoped_lock lock(exec_mu_);
+  return AcquireExecutor(request.options.threads)
+      .Knn(db_, request, k, metric);
+}
+
 Result<KnMatchResult> SimilarityEngine::IGridSearch(
     std::span<const Value> query, size_t k) const {
   EnsureIGrid();
@@ -72,9 +125,7 @@ SimilarityEngine::EstimateSelectivity(std::span<const Value> query,
   Status s =
       ValidateMatchParams(db_.size(), db_.dims(), query.size(), n, n, k);
   if (!s.ok()) return s;
-  if (estimator_ == nullptr) {
-    estimator_ = std::make_unique<eval::SelectivityEstimator>(db_);
-  }
+  EnsureEstimator();
   SelectivityEstimate estimate;
   estimate.estimated_difference =
       estimator_->EstimateKnMatchDifference(query, n, k);
@@ -87,6 +138,9 @@ PointId SimilarityEngine::InsertPoint(std::span<const Value> coords,
                                       Label label) {
   const PointId pid = db_.Append(coords, label);
   // Invalidate every derived structure; each rebuilds on next use.
+  // InsertPoint requires exclusive access to the engine, so re-arming
+  // the call_once flags here is race-free. The batch executor survives:
+  // its scratch arenas adapt to any dataset shape per query.
   ad_.reset();
   igrid_.reset();
   disk_.reset();
@@ -95,6 +149,7 @@ PointId SimilarityEngine::InsertPoint(std::span<const Value> coords,
   va_.reset();
   advisor_.reset();
   estimator_.reset();
+  ResetOnceFlags();
   return pid;
 }
 

@@ -2,6 +2,7 @@
 #define KNMATCH_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <span>
 
 #include "knmatch/baselines/igrid.h"
@@ -15,6 +16,7 @@
 #include "knmatch/diskalgo/disk_scan.h"
 #include "knmatch/eval/advisor.h"
 #include "knmatch/eval/experiment.h"
+#include "knmatch/exec/batch.h"
 #include "knmatch/storage/column_store.h"
 #include "knmatch/storage/row_store.h"
 #include "knmatch/vafile/va_file.h"
@@ -36,7 +38,20 @@ class SelectivityEstimator;
 /// SimilarityEngine engine(datagen::MakeTextureLike());
 /// auto r = engine.FrequentKnMatch(q, 4, 8, 10);
 /// auto d = engine.DiskFrequentKnMatch(q, 4, 8, 10);  // advisor-routed
+///
+/// exec::BatchRequest batch;
+/// batch.queries = ...;            // Q independent queries
+/// batch.options.threads = 8;
+/// auto rs = engine.KnMatchBatch(batch, 8, 10);  // fanned across 8 workers
 /// ```
+///
+/// Thread-safety (see docs/parallelism.md for the full contract): the
+/// lazy builders are guarded by std::call_once, so the in-memory query
+/// methods — KnMatch, FrequentKnMatch, Knn, and the *Batch entry
+/// points — are safe to call concurrently from many threads. The Disk*
+/// methods and EstimateSelectivity record per-call state (last cost,
+/// simulator counters) and require external serialization, as does
+/// InsertPoint (it mutates the dataset and invalidates every index).
 class SimilarityEngine {
  public:
   /// Disk execution strategies for DiskFrequentKnMatch.
@@ -71,6 +86,26 @@ class SimilarityEngine {
   /// Exact kNN by scan.
   Result<KnMatchResult> Knn(std::span<const Value> query, size_t k,
                             Metric metric = Metric::kEuclidean) const;
+
+  /// Batch k-n-match: fans the request's queries across a fixed worker
+  /// pool over the shared sorted columns, each worker reusing a private
+  /// AdScratch arena. Results are index-aligned with the request's
+  /// queries and bit-for-bit identical to per-query KnMatch calls,
+  /// independent of thread count. Batch calls are internally
+  /// serialized; concurrent callers queue on a mutex.
+  Result<exec::KnMatchBatchResult> KnMatchBatch(
+      const exec::BatchRequest& request, size_t n, size_t k,
+      std::span<const Value> weights = {}) const;
+
+  /// Batch frequent k-n-match; semantics as KnMatchBatch.
+  Result<exec::FrequentKnMatchBatchResult> FrequentKnMatchBatch(
+      const exec::BatchRequest& request, size_t n0, size_t n1, size_t k,
+      std::span<const Value> weights = {}) const;
+
+  /// Batch exact kNN by scan; semantics as KnMatchBatch.
+  Result<exec::KnMatchBatchResult> KnnBatch(
+      const exec::BatchRequest& request, size_t k,
+      Metric metric = Metric::kEuclidean) const;
 
   /// IGrid similarity search (best-first; distance = negated
   /// similarity).
@@ -124,6 +159,14 @@ class SimilarityEngine {
   void EnsureIGrid() const;
   void EnsureDiskStores() const;
   void EnsureAdvisor() const;
+  void EnsureEstimator() const;
+
+  /// Returns the cached batch executor, rebuilding it if the requested
+  /// thread count differs. Caller must hold exec_mu_.
+  exec::BatchExecutor& AcquireExecutor(size_t threads) const;
+
+  /// Re-arms every call_once flag after an invalidation (InsertPoint).
+  void ResetOnceFlags();
 
   Dataset db_;
   DiskConfig config_;
@@ -137,6 +180,23 @@ class SimilarityEngine {
   mutable std::unique_ptr<eval::SelectivityEstimator> estimator_;
   mutable DiskMethod last_disk_method_ = DiskMethod::kScan;
   mutable eval::QueryCost last_disk_cost_;
+
+  // Lazy-builder guards. std::once_flag is not resettable, so each
+  // lives behind a unique_ptr that InsertPoint recreates when it
+  // invalidates the structures (InsertPoint already requires exclusive
+  // access — it swaps the dataset under every index).
+  mutable std::unique_ptr<std::once_flag> ad_once_;
+  mutable std::unique_ptr<std::once_flag> igrid_once_;
+  mutable std::unique_ptr<std::once_flag> disk_once_;
+  mutable std::unique_ptr<std::once_flag> advisor_once_;
+  mutable std::unique_ptr<std::once_flag> estimator_once_;
+
+  // Batch execution: one cached pool + per-worker scratch arenas,
+  // rebuilt when a request asks for a different thread count. The
+  // mutex serializes whole batch calls (the scratches are per-worker,
+  // not per-call).
+  mutable std::mutex exec_mu_;
+  mutable std::unique_ptr<exec::BatchExecutor> executor_;
 };
 
 }  // namespace knmatch

@@ -1,0 +1,100 @@
+#include "knmatch/exec/batch.h"
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+#include "knmatch/core/nmatch.h"
+
+namespace knmatch::exec {
+
+BatchExecutor::BatchExecutor(size_t threads)
+    : pool_(std::max<size_t>(1, ResolveThreads(threads))),
+      scratches_(pool_.size()) {}
+
+Status BatchExecutor::ValidateBatch(size_t cardinality, size_t dims,
+                                    const BatchRequest& request, size_t n0,
+                                    size_t n1, size_t k) const {
+  for (size_t i = 0; i < request.queries.size(); ++i) {
+    const Status s = ValidateMatchParams(
+        cardinality, dims, request.queries[i].size(), n0, n1, k);
+    if (!s.ok()) {
+      return Status(s.code(),
+                    "query " + std::to_string(i) + ": " + s.message());
+    }
+  }
+  return Status::OK();
+}
+
+Result<KnMatchBatchResult> BatchExecutor::KnMatch(
+    const AdSearcher& searcher, const BatchRequest& request, size_t n,
+    size_t k, std::span<const Value> weights) {
+  Status s = ValidateBatch(searcher.columns().size(),
+                           searcher.columns().dims(), request, n, n, k);
+  if (!s.ok()) return s;
+  s = ValidateAdWeights(weights, searcher.columns().dims());
+  if (!s.ok()) return s;
+
+  KnMatchBatchResult out;
+  out.results.resize(request.queries.size());
+  pool_.ParallelFor(
+      request.queries.size(), [&](size_t worker, size_t i) {
+        auto r = searcher.KnMatch(request.queries[i], n, k, weights,
+                                  &scratches_[worker]);
+        assert(r.ok() && "validated up front");
+        out.results[i] = std::move(r).value();
+      });
+  for (const KnMatchResult& r : out.results) {
+    out.attributes_retrieved += r.attributes_retrieved;
+  }
+  return out;
+}
+
+Result<FrequentKnMatchBatchResult> BatchExecutor::FrequentKnMatch(
+    const AdSearcher& searcher, const BatchRequest& request, size_t n0,
+    size_t n1, size_t k, std::span<const Value> weights) {
+  Status s = ValidateBatch(searcher.columns().size(),
+                           searcher.columns().dims(), request, n0, n1, k);
+  if (!s.ok()) return s;
+  s = ValidateAdWeights(weights, searcher.columns().dims());
+  if (!s.ok()) return s;
+
+  FrequentKnMatchBatchResult out;
+  out.results.resize(request.queries.size());
+  pool_.ParallelFor(
+      request.queries.size(), [&](size_t worker, size_t i) {
+        auto r = searcher.FrequentKnMatch(request.queries[i], n0, n1, k,
+                                          weights, &scratches_[worker]);
+        assert(r.ok() && "validated up front");
+        out.results[i] = std::move(r).value();
+      });
+  for (const FrequentKnMatchResult& r : out.results) {
+    out.attributes_retrieved += r.attributes_retrieved;
+  }
+  return out;
+}
+
+Result<KnMatchBatchResult> BatchExecutor::Knn(const Dataset& db,
+                                              const BatchRequest& request,
+                                              size_t k, Metric metric) {
+  // kNN has no n parameter; n0 = n1 = 1 is always legal for d >= 1, so
+  // this reuses the shared validator for the (c, d, query dims, k)
+  // checks.
+  const Status s = ValidateBatch(db.size(), db.dims(), request, 1, 1, k);
+  if (!s.ok()) return s;
+
+  KnMatchBatchResult out;
+  out.results.resize(request.queries.size());
+  pool_.ParallelFor(request.queries.size(),
+                    [&](size_t /*worker*/, size_t i) {
+                      auto r = KnnScan(db, request.queries[i], k, metric);
+                      assert(r.ok() && "validated up front");
+                      out.results[i] = std::move(r).value();
+                    });
+  for (const KnMatchResult& r : out.results) {
+    out.attributes_retrieved += r.attributes_retrieved;
+  }
+  return out;
+}
+
+}  // namespace knmatch::exec

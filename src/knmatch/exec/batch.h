@@ -1,0 +1,99 @@
+#ifndef KNMATCH_EXEC_BATCH_H_
+#define KNMATCH_EXEC_BATCH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "knmatch/baselines/knn_scan.h"
+#include "knmatch/common/dataset.h"
+#include "knmatch/common/status.h"
+#include "knmatch/common/types.h"
+#include "knmatch/core/ad_algorithm.h"
+#include "knmatch/core/ad_scratch.h"
+#include "knmatch/core/match_types.h"
+#include "knmatch/exec/thread_pool.h"
+
+namespace knmatch::exec {
+
+/// Execution knobs for a batch call.
+struct BatchOptions {
+  /// Worker threads fanning the batch out; 0 means "one per hardware
+  /// thread". 1 still runs on a pool of one worker — useful for
+  /// apples-to-apples throughput comparisons.
+  size_t threads = 0;
+};
+
+/// A batch of same-shaped queries. The match parameters (n, k, ...) are
+/// per call — a serving batch groups queries of one kind; per-query
+/// variation is the query vector itself.
+struct BatchRequest {
+  std::vector<std::vector<Value>> queries;
+  BatchOptions options;
+};
+
+/// Results of a batch call, index-aligned with BatchRequest::queries.
+/// Every query either succeeded or the whole batch call returned an
+/// error Status up front — validation happens before any work is
+/// fanned out, so a batch never returns a mix of answers and errors.
+template <typename ResultT>
+struct BatchResult {
+  std::vector<ResultT> results;
+  /// Sum of per-query attributes retrieved (the paper's cost metric);
+  /// 0 for algorithms that do not report it.
+  uint64_t attributes_retrieved = 0;
+};
+
+using KnMatchBatchResult = BatchResult<KnMatchResult>;
+using FrequentKnMatchBatchResult = BatchResult<FrequentKnMatchResult>;
+
+/// Fans batches of independent queries across a fixed thread pool over
+/// the shared read-only sorted columns, giving each worker a private
+/// AdScratch arena that is reused from query to query (the O(1)-reset
+/// epoch trick — no per-query O(cardinality) allocation).
+///
+/// Answers are bit-for-bit identical to running each query alone:
+/// every query is deterministic given its inputs, workers share no
+/// mutable state, and results are written into the slot of the query's
+/// index, so neither thread count nor scheduling order can show
+/// through.
+///
+/// The executor itself must not run two batches concurrently (the
+/// per-worker scratches would be shared); SimilarityEngine serializes
+/// its batch entry points.
+class BatchExecutor {
+ public:
+  /// Spawns `threads` workers (after ResolveThreads; 1 worker minimum).
+  explicit BatchExecutor(size_t threads);
+
+  /// Worker count (>= 1).
+  size_t threads() const { return pool_.size(); }
+
+  /// Batch KNMatchAD over `searcher`'s sorted columns.
+  Result<KnMatchBatchResult> KnMatch(const AdSearcher& searcher,
+                                     const BatchRequest& request, size_t n,
+                                     size_t k,
+                                     std::span<const Value> weights = {});
+
+  /// Batch FKNMatchAD over `searcher`'s sorted columns.
+  Result<FrequentKnMatchBatchResult> FrequentKnMatch(
+      const AdSearcher& searcher, const BatchRequest& request, size_t n0,
+      size_t n1, size_t k, std::span<const Value> weights = {});
+
+  /// Batch exact kNN by scan over `db`.
+  Result<KnMatchBatchResult> Knn(const Dataset& db,
+                                 const BatchRequest& request, size_t k,
+                                 Metric metric = Metric::kEuclidean);
+
+ private:
+  Status ValidateBatch(size_t cardinality, size_t dims,
+                       const BatchRequest& request, size_t n0, size_t n1,
+                       size_t k) const;
+
+  ThreadPool pool_;
+  std::vector<internal::AdScratch> scratches_;  // one per worker
+};
+
+}  // namespace knmatch::exec
+
+#endif  // KNMATCH_EXEC_BATCH_H_

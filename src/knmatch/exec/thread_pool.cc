@@ -1,0 +1,75 @@
+#include "knmatch/exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace knmatch::exec {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::ParallelFor(
+    size_t count, const std::function<void(size_t, size_t)>& body) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (size_t i = 0; i < count; ++i) body(0, i);
+    return;
+  }
+  std::unique_lock lock(mu_);
+  body_ = &body;
+  count_ = count;
+  next_.store(0, std::memory_order_relaxed);
+  active_ = workers_.size();
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  body_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t worker) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(size_t, size_t)>* body;
+    size_t count;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      body = body_;
+      count = count_;
+    }
+    for (;;) {
+      const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      (*body)(worker, i);
+    }
+    {
+      std::scoped_lock lock(mu_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+size_t ResolveThreads(size_t requested) {
+  if (requested == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+  return std::min<size_t>(requested, 256);
+}
+
+}  // namespace knmatch::exec

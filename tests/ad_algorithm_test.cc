@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "knmatch/core/ad_engine.h"
 #include "knmatch/core/nmatch.h"
 #include "knmatch/core/nmatch_naive.h"
 #include "knmatch/datagen/generators.h"
@@ -148,6 +149,89 @@ TEST(AdSearcherTest, RetrievesFarFewerAttributesThanScanOnSelectiveQuery) {
   ASSERT_TRUE(r.ok());
   EXPECT_LT(r.value().attributes_retrieved,
             static_cast<uint64_t>(db.size()) * db.dims() / 2);
+}
+
+// A column source with ragged columns: some points lack a value in some
+// dimensions (missing attributes / heterogeneous systems), so a column
+// may hold fewer than `column_size()` entries. Exercises the optional
+// `column_length` accessor extension and the graceful-exhaustion path
+// in RunAdSearch: with k close to the cardinality and n1 = d, the
+// columns run dry before k points complete n1 appearances, and the
+// partial answer sets must come back instead of the release-mode UB the
+// old unconditional `assert(pop.has_value())` left behind.
+class RaggedColumnAccessor {
+ public:
+  // columns[dim] must be sorted by (value, pid); `cardinality` is the
+  // total number of points (some absent from some columns).
+  RaggedColumnAccessor(std::vector<std::vector<ColumnEntry>> columns,
+                       size_t cardinality)
+      : columns_(std::move(columns)), cardinality_(cardinality) {}
+
+  size_t dims() const { return columns_.size(); }
+  size_t column_size() const { return cardinality_; }
+  size_t column_length(size_t dim) const { return columns_[dim].size(); }
+  ColumnEntry ReadEntry(size_t dim, size_t idx, uint32_t /*slot*/) const {
+    return columns_[dim][idx];
+  }
+  size_t LocateLowerBound(size_t dim, Value v) const {
+    const auto& col = columns_[dim];
+    size_t lo = 0;
+    while (lo < col.size() && col[lo].value < v) ++lo;
+    return lo;
+  }
+
+ private:
+  std::vector<std::vector<ColumnEntry>> columns_;
+  size_t cardinality_;
+};
+
+TEST(RunAdSearchTest, ExhaustedRaggedColumnsReturnPartialAnswerSets) {
+  // 4 points, 3 dims; point 3 is missing from dimensions 1 and 2, and
+  // point 2 is missing from dimension 2. Only points 0 and 1 can ever
+  // complete 3 appearances, so a k=4, n1=3 search must exhaust and
+  // return 2 terminal matches instead of crashing. All values are
+  // dyadic so every difference is exact and the expected pop order can
+  // be derived by hand.
+  std::vector<std::vector<ColumnEntry>> columns(3);
+  columns[0] = {{0.125, 0}, {0.25, 1}, {0.375, 2}, {0.5, 3}};
+  columns[1] = {{0.125, 0}, {0.3125, 1}, {0.625, 2}};
+  columns[2] = {{0.1875, 0}, {0.375, 1}};
+  RaggedColumnAccessor acc(columns, /*cardinality=*/4);
+
+  const std::vector<Value> query = {0.25, 0.25, 0.25};
+  internal::AdOutput out =
+      internal::RunAdSearch(acc, query, /*n0=*/1, /*n1=*/3, /*k=*/4);
+
+  // Every attribute that exists was consumed (9 of the 12 a full
+  // 4-point, 3-dim source would have).
+  EXPECT_EQ(out.attributes_retrieved, 9u);
+  ASSERT_EQ(out.per_n_sets.size(), 3u);
+  // 1-matches: every point with at least one attribute appears once.
+  EXPECT_EQ(out.per_n_sets[0].size(), 4u);
+  // 2-matches: point 3 has a single attribute and cannot appear.
+  EXPECT_EQ(out.per_n_sets[1].size(), 3u);
+  // 3-matches (terminal): only points 0 and 1 exist in all columns.
+  ASSERT_EQ(out.per_n_sets[2].size(), 2u);
+  EXPECT_EQ(out.per_n_sets[2][0].pid, 0u);
+  EXPECT_EQ(out.per_n_sets[2][1].pid, 1u);
+}
+
+TEST(RunAdSearchTest, RaggedColumnsWithEnoughMatchesStillComplete) {
+  // Same source, but k=2, n1=3 is satisfiable: the search terminates
+  // normally with the two fully-present points.
+  std::vector<std::vector<ColumnEntry>> columns(3);
+  columns[0] = {{0.125, 0}, {0.25, 1}, {0.375, 2}, {0.5, 3}};
+  columns[1] = {{0.125, 0}, {0.3125, 1}, {0.625, 2}};
+  columns[2] = {{0.1875, 0}, {0.375, 1}};
+  RaggedColumnAccessor acc(columns, /*cardinality=*/4);
+
+  const std::vector<Value> query = {0.25, 0.25, 0.25};
+  internal::AdOutput out =
+      internal::RunAdSearch(acc, query, /*n0=*/3, /*n1=*/3, /*k=*/2);
+  ASSERT_EQ(out.per_n_sets.size(), 1u);
+  ASSERT_EQ(out.per_n_sets[0].size(), 2u);
+  EXPECT_EQ(out.per_n_sets[0][0].pid, 0u);
+  EXPECT_EQ(out.per_n_sets[0][1].pid, 1u);
 }
 
 }  // namespace
