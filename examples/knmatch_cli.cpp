@@ -19,6 +19,11 @@
 //   join <n> <eps>                    epsilon-n-match self-join (pair count)
 //   estimate <n> <k> <pid>            analytic selectivity estimate
 //   insert <v1> <v2> ... <vd>         append a point (indexes rebuild lazily)
+//   faults rate <transient> <corrupt> [seed]   randomized fault schedule
+//   faults fail <page> <times>        script transient failures of a page
+//   faults corrupt <page>             script sticky corruption of a page
+//   faults clear                      heal the disk, lift quarantines
+//   faults status                     injected-fault and quarantine counters
 //   threads <t>                       worker threads for batch commands
 //   batch knmatch <n> <k> <q>         q sampled queries, fanned across workers
 //   batch fknmatch <n0> <n1> <k> <q>
@@ -86,10 +91,22 @@ class Cli {
 
   void Adopt(Dataset db) {
     engine_ = std::make_unique<SimilarityEngine>(std::move(db));
+    if (injector_ != nullptr) engine_->SetFaultInjector(injector_.get());
     std::printf("dataset: %s  (%zu points x %zu dims%s)\n",
                 engine_->dataset().name().c_str(),
                 engine_->dataset().size(), engine_->dataset().dims(),
                 engine_->dataset().labelled() ? ", labelled" : "");
+  }
+
+  static const char* MethodName(SimilarityEngine::DiskMethod m) {
+    switch (m) {
+      case SimilarityEngine::DiskMethod::kScan: return "scan";
+      case SimilarityEngine::DiskMethod::kAd: return "AD";
+      case SimilarityEngine::DiskMethod::kVaFile: return "VA-file";
+      case SimilarityEngine::DiskMethod::kMemoryAd: return "in-memory AD";
+      case SimilarityEngine::DiskMethod::kAuto: return "auto";
+    }
+    return "?";
   }
 
   void PrintMatches(const std::vector<Neighbor>& matches) {
@@ -110,9 +127,12 @@ class Cli {
           "save csv|knm <path> | info |\n"
           "knmatch <n> <k> <pid> | fknmatch <n0> <n1> <k> <pid> | "
           "knn <k> <pid> | igrid <k> <pid> |\n"
-          "disk auto|scan|ad|va <n0> <n1> <k> <pid> | join <n> <eps> | "
+          "disk auto|scan|ad|va|mem <n0> <n1> <k> <pid> | join <n> <eps> | "
           "estimate <n> <k> <pid> |\n"
           "insert <v1> ... <vd> | threads <t> |\n"
+          "faults rate <transient> <corrupt> [seed] | faults fail <page> "
+          "<times> | faults corrupt <page> |\n"
+          "faults clear | faults status |\n"
           "batch knmatch <n> <k> <q> | batch fknmatch <n0> <n1> <k> <q> | "
           "batch knn <k> <q> | quit\n");
       return true;
@@ -127,6 +147,67 @@ class Cli {
       threads_ = t;
       std::printf("batch commands now use %zu worker thread(s)\n",
                   exec::ResolveThreads(threads_));
+      return true;
+    }
+
+    if (cmd == "faults") {
+      if (!RequireData()) return true;
+      std::string what;
+      in >> what;
+      if (what == "rate") {
+        FaultInjector::Config config;
+        if (!(in >> config.transient_error_rate >> config.corruption_rate)) {
+          std::printf("usage: faults rate <transient> <corrupt> [seed]\n");
+          return true;
+        }
+        in >> config.seed;
+        injector_ = std::make_unique<FaultInjector>(config);
+        engine_->SetFaultInjector(injector_.get());
+        std::printf("fault schedule armed: %.4f transient, %.4f corrupt "
+                    "(seed %llu)\n",
+                    config.transient_error_rate, config.corruption_rate,
+                    static_cast<unsigned long long>(config.seed));
+      } else if (what == "fail" || what == "corrupt") {
+        uint64_t page = 0;
+        uint32_t times = 0;
+        if (!(in >> page) || (what == "fail" && !(in >> times))) {
+          std::printf("usage: faults fail <page> <times> | "
+                      "faults corrupt <page>\n");
+          return true;
+        }
+        if (injector_ == nullptr) {
+          injector_ = std::make_unique<FaultInjector>();
+          engine_->SetFaultInjector(injector_.get());
+        }
+        if (what == "fail") {
+          injector_->FailNextReads(page, times);
+          std::printf("next %u read(s) of page %llu will fail\n", times,
+                      static_cast<unsigned long long>(page));
+        } else {
+          injector_->CorruptPage(page);
+          std::printf("page %llu now delivers corrupt images\n",
+                      static_cast<unsigned long long>(page));
+        }
+      } else if (what == "clear") {
+        engine_->ClearFaults();
+        std::printf("faults cleared, quarantines lifted\n");
+      } else if (what == "status") {
+        if (injector_ == nullptr) {
+          std::printf("no fault schedule armed\n");
+        } else {
+          std::printf("  transient faults injected: %llu\n"
+                      "  corruptions injected:      %llu\n"
+                      "  quarantined pages:         %llu\n",
+                      static_cast<unsigned long long>(
+                          injector_->transient_faults_injected()),
+                      static_cast<unsigned long long>(
+                          injector_->corruptions_injected()),
+                      static_cast<unsigned long long>(
+                          engine_->disk_simulator()->quarantined_pages()));
+        }
+      } else {
+        std::printf("usage: faults rate|fail|corrupt|clear|status ...\n");
+      }
       return true;
     }
 
@@ -303,7 +384,7 @@ class Cli {
       std::string method_name;
       size_t n0, n1, k, pid;
       if (!(in >> method_name >> n0 >> n1 >> k >> pid)) {
-        std::printf("usage: disk auto|scan|ad|va <n0> <n1> <k> <pid>\n");
+        std::printf("usage: disk auto|scan|ad|va|mem <n0> <n1> <k> <pid>\n");
         return true;
       }
       SimilarityEngine::DiskMethod method =
@@ -314,6 +395,8 @@ class Cli {
         method = SimilarityEngine::DiskMethod::kAd;
       } else if (method_name == "va") {
         method = SimilarityEngine::DiskMethod::kVaFile;
+      } else if (method_name == "mem") {
+        method = SimilarityEngine::DiskMethod::kMemoryAd;
       } else if (method_name != "auto") {
         std::printf("unknown method '%s'\n", method_name.c_str());
         return true;
@@ -321,17 +404,15 @@ class Cli {
       std::vector<Value> q;
       if (!QueryOf(pid, &q)) return true;
       auto r = engine_->DiskFrequentKnMatch(q, n0, n1, k, method);
+      for (const auto& step : engine_->last_disk_fallback()) {
+        std::printf("  degraded: %s failed (%s)\n", MethodName(step.method),
+                    step.status.ToString().c_str());
+      }
       if (!r.ok()) {
         std::printf("%s\n", r.status().ToString().c_str());
         return true;
       }
-      const char* ran =
-          engine_->last_disk_method() == SimilarityEngine::DiskMethod::kAd
-              ? "AD"
-          : engine_->last_disk_method() ==
-                  SimilarityEngine::DiskMethod::kVaFile
-              ? "VA-file"
-              : "scan";
+      const char* ran = MethodName(engine_->last_disk_method());
       PrintMatches(r.value().matches);
       std::printf("  method: %s | io %.3fs (%llu seq + %llu rnd pages)\n",
                   ran, engine_->last_disk_cost().io_seconds,
@@ -423,13 +504,23 @@ class Cli {
     uint64_t checksum = 0;
     uint64_t attributes = 0;
     size_t answered = 0;
+    size_t skipped = 0;
+    auto tally = [&](const std::vector<Status>& statuses) {
+      for (const Status& s : statuses) {
+        if (s.ok()) {
+          ++answered;
+        } else {
+          ++skipped;
+        }
+      }
+    };
     if (what == "knn") {
       auto r = engine_->KnnBatch(request, k);
       if (!r.ok()) {
         std::printf("%s\n", r.status().ToString().c_str());
         return;
       }
-      answered = r.value().results.size();
+      tally(r.value().statuses);
       for (const auto& result : r.value().results) {
         for (const Neighbor& nb : result.matches) checksum += nb.pid;
       }
@@ -439,7 +530,7 @@ class Cli {
         std::printf("%s\n", r.status().ToString().c_str());
         return;
       }
-      answered = r.value().results.size();
+      tally(r.value().statuses);
       attributes = r.value().attributes_retrieved;
       for (const auto& result : r.value().results) {
         for (const Neighbor& nb : result.matches) checksum += nb.pid;
@@ -450,7 +541,7 @@ class Cli {
         std::printf("%s\n", r.status().ToString().c_str());
         return;
       }
-      answered = r.value().results.size();
+      tally(r.value().statuses);
       attributes = r.value().attributes_retrieved;
       for (const auto& result : r.value().results) {
         for (const Neighbor& nb : result.matches) checksum += nb.pid;
@@ -464,6 +555,9 @@ class Cli {
         "  %zu queries on %zu worker(s): %.3f s  (%.1f queries/s)\n",
         answered, exec::ResolveThreads(threads_), seconds,
         seconds > 0 ? static_cast<double>(answered) / seconds : 0.0);
+    if (skipped > 0) {
+      std::printf("  %zu queries skipped (deadline/cancel)\n", skipped);
+    }
     if (attributes > 0) {
       std::printf("  %llu attributes retrieved in total\n",
                   static_cast<unsigned long long>(attributes));
@@ -473,6 +567,7 @@ class Cli {
   }
 
   std::unique_ptr<SimilarityEngine> engine_;
+  std::unique_ptr<FaultInjector> injector_;
   size_t threads_ = 0;
 };
 

@@ -35,6 +35,8 @@
 #include "knmatch/storage/bplus_tree.h"
 #include "knmatch/storage/column_store.h"
 #include "knmatch/storage/disk_simulator.h"
+#include "knmatch/storage/fault_injector.h"
+#include "knmatch/storage/page_codec.h"
 #include "knmatch/storage/paged_file.h"
 #include "knmatch/storage/row_store.h"
 

@@ -52,7 +52,7 @@ IGridIndex::IGridIndex(const Dataset& db, IGridOptions options,
   if (disk_ != nullptr) {
     file_.emplace(disk_);
     list_locations_.resize(lists_.size());
-    const size_t entries_per_page = file_->page_size() / kListEntryBytes;
+    const size_t entries_per_page = file_->payload_capacity() / kListEntryBytes;
     std::vector<std::byte> image;
     for (size_t li = 0; li < lists_.size(); ++li) {
       list_locations_[li].first_page = file_->num_pages();

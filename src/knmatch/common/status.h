@@ -18,6 +18,13 @@ enum class StatusCode {
   kNotFound,
   kFailedPrecondition,
   kInternal,
+  /// Stored data is unrecoverably damaged (checksum mismatch, corrupt
+  /// page). Retrying will not help; the damaged unit is quarantined.
+  kDataLoss,
+  /// A transient failure (read error, timeout, cancellation) that did
+  /// not heal within the operation's retry budget. Retrying the whole
+  /// operation later may succeed.
+  kUnavailable,
 };
 
 /// A lightweight success-or-error value.
@@ -50,6 +57,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// True iff the status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -66,8 +79,13 @@ class Status {
     return std::string(CodeName(code_)) + ": " + message_;
   }
 
+  /// Statuses compare by code only: two errors of the same category are
+  /// interchangeable for control flow even when their messages differ.
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) {
+    return !(a == b);
   }
 
  private:
@@ -85,6 +103,10 @@ class Status {
         return "FailedPrecondition";
       case StatusCode::kInternal:
         return "Internal";
+      case StatusCode::kDataLoss:
+        return "DataLoss";
+      case StatusCode::kUnavailable:
+        return "Unavailable";
     }
     return "Unknown";
   }

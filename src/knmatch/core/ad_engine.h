@@ -7,12 +7,22 @@
 #include <span>
 #include <vector>
 
+#include "knmatch/common/status.h"
 #include "knmatch/common/types.h"
 #include "knmatch/core/ad_scratch.h"
 #include "knmatch/core/match_types.h"
 #include "knmatch/core/sorted_columns.h"
 
 namespace knmatch::internal {
+
+/// Detected on accessors that can fail (disk-backed ones): a non-OK
+/// status() after any ReadEntry/LocateLowerBound marks every value the
+/// accessor returned since as garbage, and the engine stops stepping.
+/// In-memory accessors omit status() and pay nothing for the checks.
+template <typename A>
+concept StatusReportingAccessor = requires(const A& a) {
+  { a.status() } -> std::convertible_to<const Status&>;
+};
 
 /// Output of one AD search: the k-n-match answer sets for every n in
 /// [n0, n1] (each capped at k entries, in ascending order of n-match
@@ -92,6 +102,7 @@ class AdEngine {
     for (size_t dim = 0; dim < d; ++dim) {
       const size_t len = ColumnLength(dim);
       size_t pos = acc_.LocateLowerBound(dim, query_[dim]);
+      if (AccessorFailed()) return;
       if (pos > len) pos = len;
       const auto down = static_cast<uint32_t>(2 * dim);
       const uint32_t up = down + 1;
@@ -99,18 +110,22 @@ class AdEngine {
       next_idx_[up] = pos == len ? kExhausted : pos;
       ReadAndPush(down);
       ReadAndPush(up);
+      if (AccessorFailed()) return;
     }
   }
 
   /// Pops the next attribute in ascending difference order; nullopt
-  /// once every attribute of every column has been consumed.
+  /// once every attribute of every column has been consumed — or once
+  /// the accessor reports a failure (check its status()).
   std::optional<Pop> Step() {
+    if (AccessorFailed()) return std::nullopt;
     if (g_->empty()) return std::nullopt;
     const AdHeapItem item = g_->top();
     g_->Pop();
     const PointId pid = item.entry.pid;
     const uint16_t a = scratch_->BumpAppearances(pid);
     ReadAndPush(item.slot);
+    if (AccessorFailed()) return std::nullopt;
     return Pop{pid, item.dif, a};
   }
 
@@ -131,11 +146,20 @@ class AdEngine {
     }
   }
 
+  bool AccessorFailed() const {
+    if constexpr (StatusReportingAccessor<Accessor>) {
+      return !acc_.status().ok();
+    } else {
+      return false;
+    }
+  }
+
   void ReadAndPush(uint32_t slot) {
     const size_t idx = next_idx_[slot];
     if (idx == kExhausted) return;
     const size_t dim = slot / 2;
     const ColumnEntry e = acc_.ReadEntry(dim, idx, slot);
+    if (AccessorFailed()) return;  // e is garbage; stop consuming
     ++attributes_retrieved_;
     Value dif =
         slot % 2 == 0 ? query_[dim] - e.value : e.value - query_[dim];

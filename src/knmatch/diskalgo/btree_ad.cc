@@ -20,11 +20,14 @@ BTreeColumns::BTreeColumns(const Dataset& db, DiskSimulator* disk) {
   }
 }
 
-void BTreeColumns::InsertPoint(PointId pid, std::span<const Value> coords) {
+Status BTreeColumns::InsertPoint(PointId pid,
+                                 std::span<const Value> coords) {
   assert(coords.size() == trees_.size());
   for (size_t dim = 0; dim < trees_.size(); ++dim) {
-    trees_[dim]->Insert(ColumnEntry{coords[dim], pid});
+    Status s = trees_[dim]->Insert(ColumnEntry{coords[dim], pid});
+    if (!s.ok()) return s;
   }
+  return Status::OK();
 }
 
 namespace {
@@ -61,6 +64,10 @@ class BTreeColumnAccessor {
         cursor.it.Next();
       }
     }
+    if (!cursor.it.status().ok()) {
+      status_ = cursor.it.status();
+      return ColumnEntry{};  // discarded once the engine sees status()
+    }
     assert(cursor.it.Valid() && "engine asked past the column end");
     (void)idx;
     return cursor.it.Get();
@@ -73,8 +80,16 @@ class BTreeColumnAccessor {
     if (locate_stream_ == kNoStream) {
       locate_stream_ = columns_.tree(dim).OpenStream();
     }
-    return columns_.tree(dim).RankOf(locate_stream_, v);
+    Result<size_t> rank = columns_.tree(dim).RankOf(locate_stream_, v);
+    if (!rank.ok()) {
+      status_ = rank.status();
+      return 0;
+    }
+    return rank.value();
   }
+
+  /// First traversal failure, latched; the engine stops once non-OK.
+  const Status& status() const { return status_; }
 
  private:
   static constexpr size_t kNoStream = static_cast<size_t>(-1);
@@ -87,6 +102,7 @@ class BTreeColumnAccessor {
   std::span<const Value> query_;
   std::vector<Cursor> cursors_;
   size_t locate_stream_ = kNoStream;
+  Status status_;
 };
 
 }  // namespace
@@ -99,6 +115,7 @@ Result<KnMatchResult> BTreeAdSearcher::KnMatch(std::span<const Value> query,
 
   BTreeColumnAccessor acc(columns_, query);
   internal::AdOutput out = internal::RunAdSearch(acc, query, n, n, k);
+  if (!acc.status().ok()) return acc.status();
 
   KnMatchResult result;
   result.matches = std::move(out.per_n_sets[0]);
@@ -114,6 +131,7 @@ Result<FrequentKnMatchResult> BTreeAdSearcher::FrequentKnMatch(
 
   BTreeColumnAccessor acc(columns_, query);
   internal::AdOutput out = internal::RunAdSearch(acc, query, n0, n1, k);
+  if (!acc.status().ok()) return acc.status();
 
   FrequentKnMatchResult result;
   result.per_n_sets = std::move(out.per_n_sets);

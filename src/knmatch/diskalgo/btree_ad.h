@@ -34,8 +34,10 @@ class BTreeColumns {
   BPlusTree& tree(size_t dim) { return *trees_[dim]; }
 
   /// Reflects the insertion of a new point (its id is the new
-  /// cardinality) across all dimension trees.
-  void InsertPoint(PointId pid, std::span<const Value> coords);
+  /// cardinality) across all dimension trees. Stops at the first tree
+  /// whose descent fails; earlier dimensions stay inserted, so treat a
+  /// failure as grounds for a rebuild.
+  Status InsertPoint(PointId pid, std::span<const Value> coords);
 
  private:
   std::vector<std::unique_ptr<BPlusTree>> trees_;

@@ -29,16 +29,25 @@ class DiskColumnAccessor {
   size_t column_size() const { return columns_.column_size(); }
 
   ColumnEntry ReadEntry(size_t dim, size_t idx, uint32_t slot) {
-    return columns_.ReadEntry(streams_[slot], dim, idx);
+    Result<ColumnEntry> e = columns_.ReadEntry(streams_[slot], dim, idx);
+    if (!e.ok()) {
+      status_ = e.status();
+      return ColumnEntry{};  // the engine discards it once status() trips
+    }
+    return e.value();
   }
 
   size_t LocateLowerBound(size_t dim, Value v) const {
     return columns_.LowerBound(dim, v);
   }
 
+  /// First read failure, latched; the engine stops once this is non-OK.
+  const Status& status() const { return status_; }
+
  private:
   const ColumnStore& columns_;
   std::vector<size_t> streams_;
+  Status status_;
 };
 
 }  // namespace
@@ -51,6 +60,7 @@ Result<KnMatchResult> DiskAdSearcher::KnMatch(std::span<const Value> query,
 
   DiskColumnAccessor acc(columns_);
   internal::AdOutput out = internal::RunAdSearch(acc, query, n, n, k);
+  if (!acc.status().ok()) return acc.status();
 
   KnMatchResult result;
   result.matches = std::move(out.per_n_sets[0]);
@@ -66,6 +76,7 @@ Result<FrequentKnMatchResult> DiskAdSearcher::FrequentKnMatch(
 
   DiskColumnAccessor acc(columns_);
   internal::AdOutput out = internal::RunAdSearch(acc, query, n0, n1, k);
+  if (!acc.status().ok()) return acc.status();
 
   FrequentKnMatchResult result;
   result.per_n_sets = std::move(out.per_n_sets);

@@ -18,10 +18,12 @@ Result<KnMatchResult> DiskScan::KnMatch(std::span<const Value> query,
   const size_t stream = rows_.OpenStream();
   BoundedTopK<PointId, Value, PointId> top(k);
   std::vector<Value> diffs;
-  rows_.ForEachRow(stream, [&](PointId pid, std::span<const Value> p) {
-    SortedAbsDifferences(p, query, &diffs);
-    top.Offer(diffs[n - 1], pid, pid);
-  });
+  Status io =
+      rows_.ForEachRow(stream, [&](PointId pid, std::span<const Value> p) {
+        SortedAbsDifferences(p, query, &diffs);
+        top.Offer(diffs[n - 1], pid, pid);
+      });
+  if (!io.ok()) return io;
 
   KnMatchResult result;
   for (auto& e : top.TakeSorted()) {
@@ -45,12 +47,14 @@ Result<FrequentKnMatchResult> DiskScan::FrequentKnMatch(
 
   const size_t stream = rows_.OpenStream();
   std::vector<Value> diffs;
-  rows_.ForEachRow(stream, [&](PointId pid, std::span<const Value> p) {
-    SortedAbsDifferences(p, query, &diffs);
-    for (size_t n = n0; n <= n1; ++n) {
-      per_n[n - n0].Offer(diffs[n - 1], pid, pid);
-    }
-  });
+  Status io =
+      rows_.ForEachRow(stream, [&](PointId pid, std::span<const Value> p) {
+        SortedAbsDifferences(p, query, &diffs);
+        for (size_t n = n0; n <= n1; ++n) {
+          per_n[n - n0].Offer(diffs[n - 1], pid, pid);
+        }
+      });
+  if (!io.ok()) return io;
 
   FrequentKnMatchResult result;
   result.per_n_sets.resize(per_n.size());
@@ -84,14 +88,16 @@ Result<std::vector<FrequentKnMatchResult>> DiskScan::FrequentKnMatchBatch(
 
   const size_t stream = rows_.OpenStream();
   std::vector<Value> diffs;
-  rows_.ForEachRow(stream, [&](PointId pid, std::span<const Value> p) {
-    for (size_t qi = 0; qi < queries.size(); ++qi) {
-      SortedAbsDifferences(p, queries[qi], &diffs);
-      for (size_t n = n0; n <= n1; ++n) {
-        per_query[qi][n - n0].Offer(diffs[n - 1], pid, pid);
-      }
-    }
-  });
+  Status io =
+      rows_.ForEachRow(stream, [&](PointId pid, std::span<const Value> p) {
+        for (size_t qi = 0; qi < queries.size(); ++qi) {
+          SortedAbsDifferences(p, queries[qi], &diffs);
+          for (size_t n = n0; n <= n1; ++n) {
+            per_query[qi][n - n0].Offer(diffs[n - 1], pid, pid);
+          }
+        }
+      });
+  if (!io.ok()) return io;
 
   std::vector<FrequentKnMatchResult> results(queries.size());
   for (size_t qi = 0; qi < queries.size(); ++qi) {
@@ -116,14 +122,16 @@ Result<KnMatchResult> DiskScan::KnnEuclidean(std::span<const Value> query,
 
   const size_t stream = rows_.OpenStream();
   BoundedTopK<PointId, Value, PointId> top(k);
-  rows_.ForEachRow(stream, [&](PointId pid, std::span<const Value> p) {
-    Value sum = 0;
-    for (size_t i = 0; i < p.size(); ++i) {
-      const Value diff = p[i] - query[i];
-      sum += diff * diff;
-    }
-    top.Offer(std::sqrt(sum), pid, pid);
-  });
+  Status io =
+      rows_.ForEachRow(stream, [&](PointId pid, std::span<const Value> p) {
+        Value sum = 0;
+        for (size_t i = 0; i < p.size(); ++i) {
+          const Value diff = p[i] - query[i];
+          sum += diff * diff;
+        }
+        top.Offer(std::sqrt(sum), pid, pid);
+      });
+  if (!io.ok()) return io;
 
   KnMatchResult result;
   for (auto& e : top.TakeSorted()) {

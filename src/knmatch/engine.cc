@@ -36,9 +36,12 @@ void SimilarityEngine::EnsureIGrid() const {
 void SimilarityEngine::EnsureDiskStores() const {
   std::call_once(*disk_once_, [this] {
     disk_ = std::make_unique<DiskSimulator>(config_);
+    // The stores are built before the injector attaches: construction
+    // writes pages, and the fault model covers reads only.
     rows_ = std::make_unique<RowStore>(db_, disk_.get());
     columns_ = std::make_unique<ColumnStore>(db_, disk_.get());
     va_ = std::make_unique<VaFile>(db_, disk_.get(), 8);
+    disk_->set_fault_injector(injector_);
   });
 }
 
@@ -153,12 +156,52 @@ PointId SimilarityEngine::InsertPoint(std::span<const Value> coords,
   return pid;
 }
 
+void SimilarityEngine::SetFaultInjector(FaultInjector* injector) {
+  injector_ = injector;
+  if (disk_ != nullptr) disk_->set_fault_injector(injector_);
+}
+
+void SimilarityEngine::ClearFaults() {
+  if (injector_ != nullptr) injector_->Clear();
+  if (disk_ != nullptr) disk_->ClearQuarantine();
+}
+
+DiskSimulator* SimilarityEngine::disk_simulator() const {
+  EnsureDiskStores();
+  return disk_.get();
+}
+
+Result<FrequentKnMatchResult> SimilarityEngine::RunDiskMethod(
+    DiskMethod method, std::span<const Value> query, size_t n0, size_t n1,
+    size_t k) const {
+  switch (method) {
+    case DiskMethod::kScan:
+      return DiskScan(*rows_).FrequentKnMatch(query, n0, n1, k);
+    case DiskMethod::kAd:
+      return DiskAdSearcher(*columns_).FrequentKnMatch(query, n0, n1, k);
+    case DiskMethod::kVaFile: {
+      auto va =
+          VaKnMatchSearcher(*va_, *rows_).FrequentKnMatch(query, n0, n1, k);
+      if (!va.ok()) return va.status();
+      return std::move(va).value().base;
+    }
+    case DiskMethod::kMemoryAd:
+      EnsureAd();
+      return ad_->FrequentKnMatch(query, n0, n1, k);
+    case DiskMethod::kAuto:
+      break;  // resolved by the caller
+  }
+  return Status::Internal("no disk method ran");
+}
+
 Result<FrequentKnMatchResult> SimilarityEngine::DiskFrequentKnMatch(
     std::span<const Value> query, size_t n0, size_t n1, size_t k,
     DiskMethod method) const {
   EnsureDiskStores();
+  last_disk_fallback_.clear();
 
-  if (method == DiskMethod::kAuto) {
+  const bool auto_routed = method == DiskMethod::kAuto;
+  if (auto_routed) {
     EnsureAdvisor();
     auto estimate = advisor_->Estimate(query, n0, n1, k);
     if (!estimate.ok()) return estimate.status();
@@ -174,30 +217,37 @@ Result<FrequentKnMatchResult> SimilarityEngine::DiskFrequentKnMatch(
         break;
     }
   }
-  last_disk_method_ = method;
+
+  // The advisor's pick, then — for auto-routed queries only — the
+  // degradation chain: cheapest-first among what remains, ending at the
+  // in-memory AD, which needs no disk and so always answers.
+  std::vector<DiskMethod> plan = {method};
+  if (auto_routed) {
+    for (DiskMethod fb : {DiskMethod::kAd, DiskMethod::kVaFile,
+                          DiskMethod::kScan, DiskMethod::kMemoryAd}) {
+      if (fb != method) plan.push_back(fb);
+    }
+  }
 
   Result<FrequentKnMatchResult> result =
       Status::Internal("no disk method ran");
   last_disk_cost_ = eval::MeasureQuery(disk_.get(), [&] {
-    switch (method) {
-      case DiskMethod::kScan:
-        result = DiskScan(*rows_).FrequentKnMatch(query, n0, n1, k);
-        break;
-      case DiskMethod::kAd:
-        result = DiskAdSearcher(*columns_).FrequentKnMatch(query, n0, n1, k);
-        break;
-      case DiskMethod::kVaFile: {
-        auto va = VaKnMatchSearcher(*va_, *rows_)
-                      .FrequentKnMatch(query, n0, n1, k);
-        if (va.ok()) {
-          result = std::move(va).value().base;
-        } else {
-          result = va.status();
-        }
-        break;
+    for (const DiskMethod attempt : plan) {
+      result = RunDiskMethod(attempt, query, n0, n1, k);
+      last_disk_method_ = attempt;
+      if (result.ok()) return;
+      const StatusCode code = result.status().code();
+      // Only availability errors degrade; anything else (bad
+      // parameters, internal bugs) surfaces immediately.
+      if (code != StatusCode::kDataLoss && code != StatusCode::kUnavailable) {
+        return;
       }
-      case DiskMethod::kAuto:
-        break;  // resolved above
+      // Only auto-routed queries degrade, so only they record fallback
+      // steps; an explicit method's failure is the final answer.
+      if (auto_routed) {
+        last_disk_fallback_.push_back(
+            DiskFallbackStep{attempt, result.status()});
+      }
     }
   });
   return result;

@@ -4,6 +4,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <vector>
 
 #include "knmatch/baselines/igrid.h"
 #include "knmatch/baselines/knn_scan.h"
@@ -18,6 +19,7 @@
 #include "knmatch/eval/experiment.h"
 #include "knmatch/exec/batch.h"
 #include "knmatch/storage/column_store.h"
+#include "knmatch/storage/fault_injector.h"
 #include "knmatch/storage/row_store.h"
 #include "knmatch/vafile/va_file.h"
 #include "knmatch/vafile/va_knmatch.h"
@@ -60,6 +62,7 @@ class SimilarityEngine {
     kScan,
     kAd,
     kVaFile,
+    kMemoryAd,  // in-memory AD: the last-resort fallback, no disk I/O
   };
 
   /// Takes ownership of the dataset. `config` parameterizes the
@@ -134,16 +137,50 @@ class SimilarityEngine {
   /// Frequent k-n-match against the simulated disk, with the execution
   /// method chosen explicitly or by the cost advisor. The I/O cost of
   /// the run is available from last_disk_cost() afterwards.
+  ///
+  /// Degradation: when routed with kAuto and the chosen method fails
+  /// with kDataLoss or kUnavailable, the engine falls back through the
+  /// remaining methods in order kAd -> kVaFile -> kScan -> kMemoryAd
+  /// (the in-memory AD terminal fallback cannot hit the faulty disk).
+  /// Every method computes identical answers, so a degraded query is
+  /// bit-for-bit the same as a healthy one — only its cost differs.
+  /// Explicitly-requested methods never fall back: their errors
+  /// surface, so callers probing a specific structure see the truth.
   Result<FrequentKnMatchResult> DiskFrequentKnMatch(
       std::span<const Value> query, size_t n0, size_t n1, size_t k,
       DiskMethod method = DiskMethod::kAuto) const;
 
-  /// The method DiskFrequentKnMatch actually executed last (interesting
-  /// when routing with kAuto).
+  /// The method DiskFrequentKnMatch actually executed last — with
+  /// kAuto, the one that produced the answer after any fallbacks.
   DiskMethod last_disk_method() const { return last_disk_method_; }
+
+  /// One abandoned attempt in the last query's degradation chain.
+  struct DiskFallbackStep {
+    DiskMethod method;
+    Status status;  // why the method was abandoned
+  };
+  /// The methods the last DiskFrequentKnMatch tried and abandoned, in
+  /// order; empty when the first choice succeeded.
+  const std::vector<DiskFallbackStep>& last_disk_fallback() const {
+    return last_disk_fallback_;
+  }
 
   /// Cost of the most recent DiskFrequentKnMatch call.
   const eval::QueryCost& last_disk_cost() const { return last_disk_cost_; }
+
+  /// Attaches a fault injector to the simulated disk (pass nullptr to
+  /// detach). The injector must outlive the engine; it survives
+  /// InsertPoint rebuilds. Requires external serialization like the
+  /// other Disk* state.
+  void SetFaultInjector(FaultInjector* injector);
+
+  /// Clears injected fault schedules and lifts every page quarantine —
+  /// "the operator replaced the disk". Subsequent queries run clean.
+  void ClearFaults();
+
+  /// The simulated disk behind the Disk* entry points (built on first
+  /// use). For tests and the CLI's fault tooling.
+  DiskSimulator* disk_simulator() const;
 
   /// Structure sizes, for diagnostics and the CLI's `info` command.
   struct StorageStats {
@@ -168,6 +205,12 @@ class SimilarityEngine {
   /// Re-arms every call_once flag after an invalidation (InsertPoint).
   void ResetOnceFlags();
 
+  /// Runs one concrete disk method (not kAuto) over the built stores.
+  Result<FrequentKnMatchResult> RunDiskMethod(DiskMethod method,
+                                              std::span<const Value> query,
+                                              size_t n0, size_t n1,
+                                              size_t k) const;
+
   Dataset db_;
   DiskConfig config_;
   mutable std::unique_ptr<AdSearcher> ad_;
@@ -180,6 +223,8 @@ class SimilarityEngine {
   mutable std::unique_ptr<eval::SelectivityEstimator> estimator_;
   mutable DiskMethod last_disk_method_ = DiskMethod::kScan;
   mutable eval::QueryCost last_disk_cost_;
+  mutable std::vector<DiskFallbackStep> last_disk_fallback_;
+  FaultInjector* injector_ = nullptr;
 
   // Lazy-builder guards. std::once_flag is not resettable, so each
   // lives behind a unique_ptr that InsertPoint recreates when it

@@ -1,6 +1,7 @@
 #include "knmatch/exec/batch.h"
 
 #include <cassert>
+#include <chrono>
 #include <string>
 #include <utility>
 
@@ -11,6 +12,40 @@ namespace knmatch::exec {
 BatchExecutor::BatchExecutor(size_t threads)
     : pool_(std::max<size_t>(1, ResolveThreads(threads))),
       scratches_(pool_.size()) {}
+
+/// Snapshot of one batch call's deadline and cancel flag. Admit() is
+/// consulted by every worker at each query's start boundary; a running
+/// query is never interrupted, so answers stay bit-identical to solo
+/// runs.
+class BatchExecutor::RunGuard {
+ public:
+  explicit RunGuard(const BatchOptions& options)
+      : cancel_(options.cancel), has_deadline_(options.deadline_ms > 0) {
+    if (has_deadline_) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          options.deadline_ms));
+    }
+  }
+
+  /// OK while the batch may still start queries.
+  Status Admit() const {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      return Status::Unavailable("batch cancelled");
+    }
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      return Status::Unavailable("batch deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> cancel_;
+  bool has_deadline_;
+  std::chrono::steady_clock::time_point deadline_;
+};
 
 Status BatchExecutor::ValidateBatch(size_t cardinality, size_t dims,
                                     const BatchRequest& request, size_t n0,
@@ -37,15 +72,23 @@ Result<KnMatchBatchResult> BatchExecutor::KnMatch(
 
   KnMatchBatchResult out;
   out.results.resize(request.queries.size());
+  out.statuses.assign(request.queries.size(), Status::OK());
+  const RunGuard guard(request.options);
   pool_.ParallelFor(
       request.queries.size(), [&](size_t worker, size_t i) {
+        if (Status admit = guard.Admit(); !admit.ok()) {
+          out.statuses[i] = std::move(admit);
+          return;
+        }
         auto r = searcher.KnMatch(request.queries[i], n, k, weights,
                                   &scratches_[worker]);
         assert(r.ok() && "validated up front");
         out.results[i] = std::move(r).value();
       });
-  for (const KnMatchResult& r : out.results) {
-    out.attributes_retrieved += r.attributes_retrieved;
+  for (size_t i = 0; i < out.results.size(); ++i) {
+    if (out.statuses[i].ok()) {
+      out.attributes_retrieved += out.results[i].attributes_retrieved;
+    }
   }
   return out;
 }
@@ -61,15 +104,23 @@ Result<FrequentKnMatchBatchResult> BatchExecutor::FrequentKnMatch(
 
   FrequentKnMatchBatchResult out;
   out.results.resize(request.queries.size());
+  out.statuses.assign(request.queries.size(), Status::OK());
+  const RunGuard guard(request.options);
   pool_.ParallelFor(
       request.queries.size(), [&](size_t worker, size_t i) {
+        if (Status admit = guard.Admit(); !admit.ok()) {
+          out.statuses[i] = std::move(admit);
+          return;
+        }
         auto r = searcher.FrequentKnMatch(request.queries[i], n0, n1, k,
                                           weights, &scratches_[worker]);
         assert(r.ok() && "validated up front");
         out.results[i] = std::move(r).value();
       });
-  for (const FrequentKnMatchResult& r : out.results) {
-    out.attributes_retrieved += r.attributes_retrieved;
+  for (size_t i = 0; i < out.results.size(); ++i) {
+    if (out.statuses[i].ok()) {
+      out.attributes_retrieved += out.results[i].attributes_retrieved;
+    }
   }
   return out;
 }
@@ -85,14 +136,22 @@ Result<KnMatchBatchResult> BatchExecutor::Knn(const Dataset& db,
 
   KnMatchBatchResult out;
   out.results.resize(request.queries.size());
+  out.statuses.assign(request.queries.size(), Status::OK());
+  const RunGuard guard(request.options);
   pool_.ParallelFor(request.queries.size(),
                     [&](size_t /*worker*/, size_t i) {
+                      if (Status admit = guard.Admit(); !admit.ok()) {
+                        out.statuses[i] = std::move(admit);
+                        return;
+                      }
                       auto r = KnnScan(db, request.queries[i], k, metric);
                       assert(r.ok() && "validated up front");
                       out.results[i] = std::move(r).value();
                     });
-  for (const KnMatchResult& r : out.results) {
-    out.attributes_retrieved += r.attributes_retrieved;
+  for (size_t i = 0; i < out.results.size(); ++i) {
+    if (out.statuses[i].ok()) {
+      out.attributes_retrieved += out.results[i].attributes_retrieved;
+    }
   }
   return out;
 }

@@ -1,7 +1,9 @@
 #ifndef KNMATCH_EXEC_BATCH_H_
 #define KNMATCH_EXEC_BATCH_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -22,6 +24,16 @@ struct BatchOptions {
   /// thread". 1 still runs on a pool of one worker — useful for
   /// apples-to-apples throughput comparisons.
   size_t threads = 0;
+  /// Wall-clock budget for the whole batch, measured from the moment
+  /// the executor starts fanning out; 0 means no deadline. Checked
+  /// cooperatively at query boundaries — a query already running is
+  /// finished, not interrupted, so the overshoot is bounded by one
+  /// query's latency per worker.
+  double deadline_ms = 0;
+  /// Optional cancellation flag shared with the caller: set it to true
+  /// (from any thread) and workers stop picking up queries at the next
+  /// boundary. Null means not cancellable.
+  std::shared_ptr<std::atomic<bool>> cancel;
 };
 
 /// A batch of same-shaped queries. The match parameters (n, k, ...) are
@@ -33,14 +45,20 @@ struct BatchRequest {
 };
 
 /// Results of a batch call, index-aligned with BatchRequest::queries.
-/// Every query either succeeded or the whole batch call returned an
-/// error Status up front — validation happens before any work is
-/// fanned out, so a batch never returns a mix of answers and errors.
+/// Malformed parameters fail the whole call up front (validation runs
+/// before any work is fanned out); after that, each query lands an OK
+/// status and an answer, or — when the batch's deadline passed or its
+/// cancel flag was set before the query started — kUnavailable and a
+/// default-constructed result. Queries that did run are bit-identical
+/// to solo execution regardless of which others were skipped.
 template <typename ResultT>
 struct BatchResult {
   std::vector<ResultT> results;
-  /// Sum of per-query attributes retrieved (the paper's cost metric);
-  /// 0 for algorithms that do not report it.
+  /// Per-query outcome, index-aligned with `results`. OK slots hold
+  /// answers; kUnavailable slots were skipped (deadline/cancel).
+  std::vector<Status> statuses;
+  /// Sum of attributes retrieved over the queries that ran (the
+  /// paper's cost metric); 0 for algorithms that do not report it.
   uint64_t attributes_retrieved = 0;
 };
 
@@ -89,6 +107,10 @@ class BatchExecutor {
   Status ValidateBatch(size_t cardinality, size_t dims,
                        const BatchRequest& request, size_t n0, size_t n1,
                        size_t k) const;
+
+  /// Tracks one batch's deadline and cancel flag; queries consult it
+  /// at their start boundary.
+  class RunGuard;
 
   ThreadPool pool_;
   std::vector<internal::AdScratch> scratches_;  // one per worker

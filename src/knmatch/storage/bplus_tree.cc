@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace knmatch {
 
@@ -18,8 +19,13 @@ uint32_t BPlusTree::NewNode(bool leaf) {
   return static_cast<uint32_t>(nodes_.size() - 1);
 }
 
-void BPlusTree::ChargeVisit(size_t stream, uint32_t node) const {
-  disk_->RecordRead(stream, page_of_[node]);
+Status BPlusTree::ChargeVisit(size_t stream, uint32_t node) const {
+  // Nodes live in memory; the page read is modelled. ChargedRead
+  // applies the standard fault policy: bounded retry of transient
+  // errors, quarantine on corruption (the node's modelled page image
+  // is what got damaged — indistinguishable, for the caller, from a
+  // checksum failure on a real page).
+  return disk_->ChargedRead(stream, page_of_[node]);
 }
 
 void BPlusTree::BulkLoad(std::span<const ColumnEntry> sorted_entries) {
@@ -83,11 +89,13 @@ void BPlusTree::BulkLoad(std::span<const ColumnEntry> sorted_entries) {
   root_ = level.front();
 }
 
-uint32_t BPlusTree::DescendToLeaf(size_t stream, const ColumnEntry& key,
-                                  std::vector<uint32_t>* path) const {
+Result<uint32_t> BPlusTree::DescendToLeaf(
+    size_t stream, const ColumnEntry& key,
+    std::vector<uint32_t>* path) const {
   uint32_t node = root_;
   for (;;) {
-    ChargeVisit(stream, node);
+    Status s = ChargeVisit(stream, node);
+    if (!s.ok()) return s;
     if (path != nullptr) path->push_back(node);
     const Node& n = nodes_[node];
     if (n.leaf) return node;
@@ -117,7 +125,12 @@ void BPlusTree::Iterator::Next() {
   // empty).
   uint32_t next = n->next;
   while (next != kInvalid) {
-    tree_->ChargeVisit(stream_, next);
+    Status s = tree_->ChargeVisit(stream_, next);
+    if (!s.ok()) {
+      status_ = std::move(s);
+      node_ = kInvalid;
+      return;
+    }
     if (!tree_->nodes_[next].entries.empty()) {
       node_ = next;
       slot_ = 0;
@@ -136,7 +149,12 @@ void BPlusTree::Iterator::Prev() {
   }
   uint32_t prev = tree_->nodes_[node_].prev;
   while (prev != kInvalid) {
-    tree_->ChargeVisit(stream_, prev);
+    Status s = tree_->ChargeVisit(stream_, prev);
+    if (!s.ok()) {
+      status_ = std::move(s);
+      node_ = kInvalid;
+      return;
+    }
     if (!tree_->nodes_[prev].entries.empty()) {
       node_ = prev;
       slot_ = tree_->nodes_[prev].entries.size() - 1;
@@ -154,7 +172,12 @@ BPlusTree::Iterator BPlusTree::SeekLowerBound(size_t stream,
   it.stream_ = stream;
   if (root_ == kInvalid) return it;
   const ColumnEntry key{v, 0};
-  const uint32_t leaf = DescendToLeaf(stream, key, nullptr);
+  auto leaf_or = DescendToLeaf(stream, key, nullptr);
+  if (!leaf_or.ok()) {
+    it.status_ = leaf_or.status();
+    return it;
+  }
+  const uint32_t leaf = leaf_or.value();
   const Node& n = nodes_[leaf];
   const size_t slot = static_cast<size_t>(
       std::lower_bound(n.entries.begin(), n.entries.end(), key,
@@ -170,13 +193,21 @@ BPlusTree::Iterator BPlusTree::SeekLowerBound(size_t stream,
     if (n.entries.empty()) {
       uint32_t next = n.next;
       while (next != kInvalid && nodes_[next].entries.empty()) {
-        ChargeVisit(stream, next);
+        if (Status s = ChargeVisit(stream, next); !s.ok()) {
+          it.status_ = std::move(s);
+          it.node_ = kInvalid;
+          return it;
+        }
         next = nodes_[next].next;
       }
       if (next == kInvalid) {
         it.node_ = kInvalid;
       } else {
-        ChargeVisit(stream, next);
+        if (Status s = ChargeVisit(stream, next); !s.ok()) {
+          it.status_ = std::move(s);
+          it.node_ = kInvalid;
+          return it;
+        }
         it.node_ = next;
         it.slot_ = 0;
       }
@@ -194,7 +225,12 @@ BPlusTree::Iterator BPlusTree::SeekBefore(size_t stream, Value v) const {
   it.stream_ = stream;
   if (root_ == kInvalid) return it;
   const ColumnEntry key{v, 0};
-  const uint32_t leaf = DescendToLeaf(stream, key, nullptr);
+  auto leaf_or = DescendToLeaf(stream, key, nullptr);
+  if (!leaf_or.ok()) {
+    it.status_ = leaf_or.status();
+    return it;
+  }
+  const uint32_t leaf = leaf_or.value();
   const Node& n = nodes_[leaf];
   const size_t slot = static_cast<size_t>(
       std::lower_bound(n.entries.begin(), n.entries.end(), key,
@@ -209,24 +245,30 @@ BPlusTree::Iterator BPlusTree::SeekBefore(size_t stream, Value v) const {
   // leaf's last entry.
   uint32_t prev = n.prev;
   while (prev != kInvalid && nodes_[prev].entries.empty()) {
-    ChargeVisit(stream, prev);
+    if (Status s = ChargeVisit(stream, prev); !s.ok()) {
+      it.status_ = std::move(s);
+      return it;
+    }
     prev = nodes_[prev].prev;
   }
   if (prev != kInvalid) {
-    ChargeVisit(stream, prev);
+    if (Status s = ChargeVisit(stream, prev); !s.ok()) {
+      it.status_ = std::move(s);
+      return it;
+    }
     it.node_ = prev;
     it.slot_ = nodes_[prev].entries.size() - 1;
   }
   return it;
 }
 
-size_t BPlusTree::RankOf(size_t stream, Value v) const {
-  if (root_ == kInvalid) return 0;
+Result<size_t> BPlusTree::RankOf(size_t stream, Value v) const {
+  if (root_ == kInvalid) return size_t{0};
   const ColumnEntry key{v, 0};
   size_t rank = 0;
   uint32_t node = root_;
   for (;;) {
-    ChargeVisit(stream, node);
+    if (Status s = ChargeVisit(stream, node); !s.ok()) return s;
     const Node& n = nodes_[node];
     if (n.leaf) {
       rank += static_cast<size_t>(
@@ -243,7 +285,7 @@ size_t BPlusTree::RankOf(size_t stream, Value v) const {
   }
 }
 
-void BPlusTree::Insert(ColumnEntry entry) {
+Status BPlusTree::Insert(ColumnEntry entry) {
   if (root_ == kInvalid) {
     root_ = NewNode(/*leaf=*/true);
     first_leaf_ = root_;
@@ -251,7 +293,9 @@ void BPlusTree::Insert(ColumnEntry entry) {
   }
   std::vector<uint32_t> path;
   const size_t stream = disk_->OpenStream();
-  const uint32_t leaf = DescendToLeaf(stream, entry, &path);
+  auto leaf_or = DescendToLeaf(stream, entry, &path);
+  if (!leaf_or.ok()) return leaf_or.status();
+  const uint32_t leaf = leaf_or.value();
   Node& n = nodes_[leaf];
   auto it = std::upper_bound(n.entries.begin(), n.entries.end(), entry,
                              EntryLess);
@@ -270,6 +314,7 @@ void BPlusTree::Insert(ColumnEntry entry) {
   if (nodes_[leaf].entries.size() > kLeafCapacity) {
     SplitUpward(path, leaf);
   }
+  return Status::OK();
 }
 
 void BPlusTree::SplitUpward(std::vector<uint32_t>& path,
@@ -353,11 +398,13 @@ void BPlusTree::SplitUpward(std::vector<uint32_t>& path,
   }
 }
 
-bool BPlusTree::Erase(ColumnEntry entry) {
+Result<bool> BPlusTree::Erase(ColumnEntry entry) {
   if (root_ == kInvalid) return false;
   std::vector<uint32_t> path;
   const size_t stream = disk_->OpenStream();
-  const uint32_t leaf = DescendToLeaf(stream, entry, &path);
+  auto leaf_or = DescendToLeaf(stream, entry, &path);
+  if (!leaf_or.ok()) return leaf_or.status();
+  const uint32_t leaf = leaf_or.value();
   Node& n = nodes_[leaf];
   auto it = std::lower_bound(n.entries.begin(), n.entries.end(), entry,
                              EntryLess);

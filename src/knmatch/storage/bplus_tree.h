@@ -37,12 +37,15 @@ class BPlusTree {
   void BulkLoad(std::span<const ColumnEntry> sorted_entries);
 
   /// Inserts one entry, splitting nodes as needed. O(log n) charged
-  /// page reads (plus uncharged writes, which are deferrable).
-  void Insert(ColumnEntry entry);
+  /// page reads (plus uncharged writes, which are deferrable). Fails
+  /// without modifying the tree when the root-to-leaf descent cannot
+  /// read a node page.
+  Status Insert(ColumnEntry entry);
 
   /// Removes the exact (value, pid) entry if present; returns whether
-  /// it was found. No rebalancing (see class comment).
-  bool Erase(ColumnEntry entry);
+  /// it was found. No rebalancing (see class comment). Fails without
+  /// modifying the tree when the descent cannot read a node page.
+  Result<bool> Erase(ColumnEntry entry);
 
   /// Number of entries.
   size_t size() const { return size_; }
@@ -51,11 +54,16 @@ class BPlusTree {
   /// Total nodes (== pages) in the tree.
   size_t num_nodes() const { return nodes_.size(); }
 
-  /// A charged cursor into the leaf level.
+  /// A charged cursor into the leaf level. A cursor that hits an
+  /// unreadable leaf page becomes invalid with a non-OK status();
+  /// distinguish "walked off the end" (invalid, OK status) from "the
+  /// store is damaged" (invalid, error status).
   class Iterator {
    public:
     /// True while the iterator points at an entry.
     bool Valid() const { return node_ != kInvalid; }
+    /// OK unless a leaf page failed to read during a seek or a move.
+    const Status& status() const { return status_; }
     /// The entry under the cursor. Requires Valid().
     ColumnEntry Get() const;
     /// Moves one entry forward (ascending). Crossing a leaf boundary
@@ -72,6 +80,7 @@ class BPlusTree {
     size_t stream_ = 0;
     uint32_t node_ = kInvalid;
     size_t slot_ = 0;
+    Status status_;
   };
 
   /// Opens an I/O stream for a cursor (each AD direction gets its own).
@@ -79,7 +88,8 @@ class BPlusTree {
 
   /// Seeks to the first entry with (value, pid) >= (v, 0); the
   /// traversal charges height() page reads to `stream`. The returned
-  /// iterator is invalid when every entry is smaller.
+  /// iterator is invalid when every entry is smaller — or, with a
+  /// non-OK status(), when a node page could not be read.
   Iterator SeekLowerBound(size_t stream, Value v) const;
 
   /// An iterator at the first entry smaller than (v, 0) — the starting
@@ -88,7 +98,7 @@ class BPlusTree {
 
   /// Rank (number of entries strictly below (v, 0)). Charges one
   /// root-to-leaf traversal to `stream`.
-  size_t RankOf(size_t stream, Value v) const;
+  Result<size_t> RankOf(size_t stream, Value v) const;
 
   /// Validates the B+-tree invariants (sortedness, fanout bounds, leaf
   /// chain consistency, key/child separators). For tests.
@@ -123,11 +133,14 @@ class BPlusTree {
   }
 
   uint32_t NewNode(bool leaf);
-  void ChargeVisit(size_t stream, uint32_t node) const;
+  /// One charged node-page read, with the simulator's standard fault
+  /// policy (retry, quarantine).
+  Status ChargeVisit(size_t stream, uint32_t node) const;
   /// Descends to the leaf that would contain `key`, charging each
   /// visited node; records the root-to-leaf path in `path` if non-null.
-  uint32_t DescendToLeaf(size_t stream, const ColumnEntry& key,
-                         std::vector<uint32_t>* path) const;
+  /// Fails when any node page on the way is unreadable.
+  Result<uint32_t> DescendToLeaf(size_t stream, const ColumnEntry& key,
+                                 std::vector<uint32_t>* path) const;
   /// Splits the child at path position `depth` after an overflow,
   /// propagating upward; may grow a new root.
   void SplitUpward(std::vector<uint32_t>& path, uint32_t overflowed);

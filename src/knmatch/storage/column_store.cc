@@ -11,7 +11,8 @@ constexpr size_t kEntryBytes = sizeof(Value) + sizeof(PointId);
 
 ColumnStore::ColumnStore(const Dataset& db, DiskSimulator* disk)
     : dims_(db.dims()), size_(db.size()), disk_(disk), file_(disk) {
-  entries_per_page_ = file_.page_size() / kEntryBytes;
+  entries_per_page_ = file_.payload_capacity() / kEntryBytes;
+  assert(entries_per_page_ > 0 && "page too small for one entry");
   pages_per_dim_ = (size_ + entries_per_page_ - 1) / entries_per_page_;
   first_values_.resize(dims_);
 
@@ -54,12 +55,12 @@ size_t ColumnStore::PageOf(size_t dim, size_t idx) const {
   return dim * pages_per_dim_ + idx / entries_per_page_;
 }
 
-ColumnEntry ColumnStore::ReadEntry(size_t stream, size_t dim,
-                                   size_t idx) const {
+Result<ColumnEntry> ColumnStore::ReadEntry(size_t stream, size_t dim,
+                                           size_t idx) const {
   assert(dim < dims_ && idx < size_);
-  std::span<const std::byte> image =
-      file_.ReadPage(stream, PageOf(dim, idx));
-  return DecodeEntry(image, idx % entries_per_page_);
+  auto image = file_.ReadPage(stream, PageOf(dim, idx));
+  if (!image.ok()) return image.status();
+  return DecodeEntry(image.value(), idx % entries_per_page_);
 }
 
 size_t ColumnStore::LowerBound(size_t dim, Value v) const {
@@ -74,9 +75,15 @@ size_t ColumnStore::LowerBound(size_t dim, Value v) const {
     page = static_cast<size_t>(it - firsts.begin()) - 1;
   }
   // In-page binary search over the peeked (uncharged) page image.
-  std::span<const std::byte> image =
-      file_.PeekPage(dim * pages_per_dim_ + page);
+  auto image_or = file_.PeekPage(dim * pages_per_dim_ + page);
   const size_t base = page * entries_per_page_;
+  if (!image_or.ok()) {
+    // The page is damaged. Fall back to the directory's bound (the
+    // page's first entry): never past the true lower bound, and the
+    // first charged read of this page will report the loss.
+    return base;
+  }
+  std::span<const std::byte> image = image_or.value();
   const size_t count = std::min(entries_per_page_, size_ - base);
   size_t lo = 0, hi = count;
   while (lo < hi) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "knmatch/common/dataset.h"
+#include "knmatch/common/status.h"
 #include "knmatch/common/types.h"
 #include "knmatch/core/sorted_columns.h"
 #include "knmatch/storage/paged_file.h"
@@ -36,12 +37,17 @@ class ColumnStore {
 
   /// Reads the idx-th smallest entry of `dim`, charging the page access
   /// to `stream`. Adjacent reads on the same stream touch the same page
-  /// and cost nothing extra.
-  ColumnEntry ReadEntry(size_t stream, size_t dim, size_t idx) const;
+  /// and cost nothing extra. Fails (kDataLoss / kUnavailable) when the
+  /// underlying page cannot be read intact.
+  Result<ColumnEntry> ReadEntry(size_t stream, size_t dim,
+                                size_t idx) const;
 
   /// Index of the first entry of `dim` whose value is >= v. Uses the
   /// in-memory page index plus an uncharged peek at one leaf page (see
-  /// class comment).
+  /// class comment). Infallible by design: if the peeked page is
+  /// damaged, the page-directory bound (the page's first entry) is
+  /// returned — conservative, and the cursor's first charged ReadEntry
+  /// of that page surfaces the error before any result is produced.
   size_t LowerBound(size_t dim, Value v) const;
 
  private:

@@ -1,6 +1,7 @@
 #include "knmatch/storage/disk_simulator.h"
 
 #include <cassert>
+#include <string>
 
 namespace knmatch {
 
@@ -12,23 +13,33 @@ uint64_t DiskSimulator::AllocatePages(uint64_t count) {
 
 size_t DiskSimulator::OpenStream() {
   stream_last_page_.push_back(0);
-  stream_has_read_.push_back(false);
+  stream_has_pos_.push_back(false);
+  stream_buffer_valid_.push_back(false);
   return stream_last_page_.size() - 1;
 }
 
-bool DiskSimulator::BufferPool::Touch(uint64_t page, size_t capacity) {
+bool DiskSimulator::BufferPool::Lookup(uint64_t page) {
   auto it = index.find(page);
-  if (it != index.end()) {
-    recency.splice(recency.begin(), recency, it->second);
-    return true;
-  }
+  if (it == index.end()) return false;
+  recency.splice(recency.begin(), recency, it->second);
+  return true;
+}
+
+void DiskSimulator::BufferPool::Insert(uint64_t page, size_t capacity) {
+  if (index.contains(page)) return;
   recency.push_front(page);
   index[page] = recency.begin();
   if (recency.size() > capacity) {
     index.erase(recency.back());
     recency.pop_back();
   }
-  return false;
+}
+
+void DiskSimulator::BufferPool::Erase(uint64_t page) {
+  auto it = index.find(page);
+  if (it == index.end()) return;
+  recency.erase(it->second);
+  index.erase(it);
 }
 
 void DiskSimulator::BufferPool::Clear() {
@@ -38,62 +49,121 @@ void DiskSimulator::BufferPool::Clear() {
 
 void DiskSimulator::DropBufferPool() { pool_.Clear(); }
 
-void DiskSimulator::RecordRead(size_t stream, uint64_t page) {
+void DiskSimulator::QuarantinePage(uint64_t page) {
+  quarantined_.insert(page);
+  pool_.Erase(page);
+}
+
+void DiskSimulator::EvictPage(uint64_t page) { pool_.Erase(page); }
+
+void DiskSimulator::SetPosition(size_t stream, uint64_t page,
+                                bool buffer_valid) {
+  if (config_.single_head) {
+    head_has_pos_ = true;
+    head_last_page_ = page;
+    head_buffer_valid_ = buffer_valid;
+  } else {
+    stream_has_pos_[stream] = true;
+    stream_last_page_[stream] = page;
+    stream_buffer_valid_[stream] = buffer_valid;
+  }
+}
+
+void DiskSimulator::ChargeAttempt(size_t stream, uint64_t page) {
+  const bool has_pos =
+      config_.single_head ? head_has_pos_ : stream_has_pos_[stream];
+  if (!has_pos) {
+    ++random_reads_;  // First access of a stream always seeks.
+    return;
+  }
+  const uint64_t last =
+      config_.single_head ? head_last_page_ : stream_last_page_[stream];
+  // Same page (only reachable when the buffer is invalid, i.e. a retry
+  // after a failed transfer) and +/-1 neighbors need no seek.
+  const bool adjacent =
+      page == last || page == last + 1 || last == page + 1;
+  if (adjacent) {
+    ++sequential_reads_;
+  } else {
+    ++random_reads_;
+  }
+}
+
+DiskSimulator::ReadOutcome DiskSimulator::ReadAttempt(size_t stream,
+                                                      uint64_t page) {
   assert(stream < stream_last_page_.size());
   assert(page < next_page_);
-  // Re-reading the reader's current page hits its own page buffer:
-  // free, and it does not touch the shared pool's recency either.
+  // Re-reading the contents held by the reader's own page buffer:
+  // free, no media access, and the shared pool's recency untouched.
   if (config_.single_head) {
-    if (head_has_read_ && page == head_last_page_) return;
-  } else if (stream_has_read_[stream] &&
+    if (head_buffer_valid_ && page == head_last_page_) {
+      return ReadOutcome::kOk;
+    }
+  } else if (stream_buffer_valid_[stream] &&
              stream_last_page_[stream] == page) {
-    return;
+    return ReadOutcome::kOk;
   }
-  // Shared buffer pool (when configured). A hit costs nothing; the
-  // reader's own page buffer now holds the page, so subsequent
-  // same-page reads are free too.
-  if (config_.buffer_pool_pages > 0 &&
-      pool_.Touch(page, config_.buffer_pool_pages)) {
+  // Shared buffer pool (when configured): resident pages are served
+  // from memory — no media access, so no fault opportunity either.
+  if (config_.buffer_pool_pages > 0 && pool_.Lookup(page)) {
     ++buffer_hits_;
-    if (config_.single_head) {
-      head_has_read_ = true;
-      head_last_page_ = page;
-    } else {
-      stream_has_read_[stream] = true;
-      stream_last_page_[stream] = page;
-    }
-    return;
+    SetPosition(stream, page, /*buffer_valid=*/true);
+    return ReadOutcome::kOk;
   }
-  if (config_.single_head) {
-    // Ablation model: one shared head, no per-cursor buffering.
-    if (head_has_read_) {
-      const bool adjacent =
-          page == head_last_page_ + 1 || head_last_page_ == page + 1;
-      if (adjacent) {
-        ++sequential_reads_;
-      } else {
-        ++random_reads_;
-      }
-    } else {
-      ++random_reads_;
-      head_has_read_ = true;
+  // Physical attempt: it costs I/O whether or not it succeeds.
+  ReadOutcome outcome = ReadOutcome::kOk;
+  if (injector_ != nullptr) {
+    switch (injector_->OnReadAttempt(page)) {
+      case FaultInjector::Outcome::kOk:
+        break;
+      case FaultInjector::Outcome::kTransientError:
+        outcome = ReadOutcome::kTransientError;
+        break;
+      case FaultInjector::Outcome::kCorruption:
+        outcome = ReadOutcome::kCorruption;
+        break;
     }
-    head_last_page_ = page;
-    return;
   }
-  if (stream_has_read_[stream]) {
-    const uint64_t last = stream_last_page_[stream];
-    const bool adjacent = page == last + 1 || last == page + 1;
-    if (adjacent) {
-      ++sequential_reads_;
-    } else {
-      ++random_reads_;
+  ChargeAttempt(stream, page);
+  if (outcome == ReadOutcome::kOk) {
+    if (config_.buffer_pool_pages > 0) {
+      pool_.Insert(page, config_.buffer_pool_pages);
     }
+    SetPosition(stream, page, /*buffer_valid=*/true);
   } else {
-    ++random_reads_;  // First access of a stream always seeks.
-    stream_has_read_[stream] = true;
+    // The head reached the page but nothing usable transferred; a
+    // corrupted transfer's garbage must not enter the pool either.
+    ++failed_reads_;
+    SetPosition(stream, page, /*buffer_valid=*/false);
   }
-  stream_last_page_[stream] = page;
+  return outcome;
+}
+
+void DiskSimulator::RecordRead(size_t stream, uint64_t page) {
+  (void)ReadAttempt(stream, page);
+}
+
+Status DiskSimulator::ChargedRead(size_t stream, uint64_t page) {
+  if (IsQuarantined(page)) {
+    return Status::DataLoss("page " + std::to_string(page) +
+                            " is quarantined");
+  }
+  for (int attempt = 0; attempt < kMaxReadAttempts; ++attempt) {
+    switch (ReadAttempt(stream, page)) {
+      case ReadOutcome::kOk:
+        return Status::OK();
+      case ReadOutcome::kTransientError:
+        continue;
+      case ReadOutcome::kCorruption:
+        QuarantinePage(page);
+        return Status::DataLoss("page " + std::to_string(page) +
+                                " failed verification; quarantined");
+    }
+  }
+  return Status::Unavailable("page " + std::to_string(page) +
+                             " unreadable after " +
+                             std::to_string(kMaxReadAttempts) +
+                             " attempts");
 }
 
 double DiskSimulator::SimulatedIoSeconds() const {
@@ -106,10 +176,13 @@ double DiskSimulator::SimulatedIoSeconds() const {
 void DiskSimulator::ResetCounters() {
   sequential_reads_ = 0;
   random_reads_ = 0;
+  failed_reads_ = 0;
   buffer_hits_ = 0;
-  head_has_read_ = false;
-  for (size_t i = 0; i < stream_has_read_.size(); ++i) {
-    stream_has_read_[i] = false;
+  head_has_pos_ = false;
+  head_buffer_valid_ = false;
+  for (size_t i = 0; i < stream_has_pos_.size(); ++i) {
+    stream_has_pos_[i] = false;
+    stream_buffer_valid_[i] = false;
   }
 }
 

@@ -5,7 +5,11 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
+
+#include "knmatch/common/status.h"
+#include "knmatch/storage/fault_injector.h"
 
 namespace knmatch {
 
@@ -47,6 +51,16 @@ struct DiskConfig {
 /// random reads. All paged files of one simulated database share one
 /// simulator; page ids are global, mirroring physical placement (each
 /// file's pages are contiguous, files laid out one after another).
+///
+/// Fault model: an optional FaultInjector decides the outcome of every
+/// *physical* read attempt (reads served from a reader's own page
+/// buffer or the shared pool never reach the media and cannot fault).
+/// Every physical attempt — failed or not — costs I/O and is counted,
+/// so retries show up in the modelled time; failed attempts are
+/// additionally tallied in failed_reads() and never populate the buffer
+/// pool. Pages whose contents prove unrecoverable are quarantined:
+/// subsequent reads are refused immediately, without charging I/O,
+/// until ClearQuarantine().
 class DiskSimulator {
  public:
   explicit DiskSimulator(DiskConfig config = DiskConfig())
@@ -54,6 +68,13 @@ class DiskSimulator {
 
   /// The configured cost model.
   const DiskConfig& config() const { return config_; }
+
+  /// Attaches a fault source (nullptr detaches). Not owned; must
+  /// outlive the simulator or be detached first.
+  void set_fault_injector(FaultInjector* injector) {
+    injector_ = injector;
+  }
+  FaultInjector* fault_injector() const { return injector_; }
 
   /// Allocates `count` fresh page ids (one contiguous run) and returns
   /// the first. Called by files at build time.
@@ -63,14 +84,58 @@ class DiskSimulator {
   /// Streams are cheap; open one per independent cursor.
   size_t OpenStream();
 
-  /// Records that `stream` read global page `page`. Classified as
-  /// sequential iff the stream's previous read was page-1 or page+1.
+  /// Outcome of one physical read attempt (mirrors
+  /// FaultInjector::Outcome so callers need not reach the injector).
+  enum class ReadOutcome {
+    kOk,
+    kTransientError,
+    kCorruption,
+  };
+
+  /// Performs one read attempt of `page` on `stream`: consults the
+  /// fault injector (if any), charges the attempt's I/O, and updates
+  /// the stream's position and buffer state. Buffered reads return kOk
+  /// without touching the media. Failed attempts leave the reader's
+  /// page buffer invalid, so a retry is a fresh physical read (charged
+  /// as sequential: the head is already on the page).
+  ReadOutcome ReadAttempt(size_t stream, uint64_t page);
+
+  /// Infallible read accounting: one attempt, outcome ignored. The
+  /// legacy entry point for structures that only model I/O counts
+  /// (R-tree, SS-tree node visits) and for tests of the cost model.
   void RecordRead(size_t stream, uint64_t page);
 
-  /// Counters.
+  /// A complete charged read with the standard fault policy: refused
+  /// immediately if quarantined; up to kMaxReadAttempts attempts with
+  /// transient errors retried; corruption quarantines the page and
+  /// reports kDataLoss. For callers without page bytes of their own
+  /// (the B+-tree's modelled node visits); PagedFile layers checksum
+  /// verification on top of ReadAttempt instead.
+  Status ChargedRead(size_t stream, uint64_t page);
+
+  /// Retry budget of ChargedRead (and PagedFile::ReadPage).
+  static constexpr int kMaxReadAttempts = 3;
+
+  /// Quarantine of unrecoverable pages.
+  bool IsQuarantined(uint64_t page) const {
+    return quarantined_.contains(page);
+  }
+  /// Marks `page` unrecoverable and evicts it from the buffer pool.
+  void QuarantinePage(uint64_t page);
+  /// Lifts every quarantine (after the fault source is cleared).
+  void ClearQuarantine() { quarantined_.clear(); }
+  size_t quarantined_pages() const { return quarantined_.size(); }
+
+  /// Evicts `page` from the shared buffer pool (e.g., when its cached
+  /// image failed verification).
+  void EvictPage(uint64_t page);
+
+  /// Counters. Sequential/random totals include failed attempts — every
+  /// physical attempt costs I/O — and failed_reads() tallies them.
   uint64_t sequential_reads() const { return sequential_reads_; }
   uint64_t random_reads() const { return random_reads_; }
   uint64_t total_reads() const { return sequential_reads_ + random_reads_; }
+  uint64_t failed_reads() const { return failed_reads_; }
   /// Reads absorbed by the buffer pool (only when configured).
   uint64_t buffer_hits() const { return buffer_hits_; }
 
@@ -87,25 +152,44 @@ class DiskSimulator {
   void DropBufferPool();
 
  private:
+  /// Charges one physical attempt: sequential/random classification
+  /// against the stream's position, which then moves to `page`.
+  void ChargeAttempt(size_t stream, uint64_t page);
+  /// Moves the stream's position to `page` and records whether its
+  /// page buffer now holds valid contents.
+  void SetPosition(size_t stream, uint64_t page, bool buffer_valid);
+
   DiskConfig config_;
+  FaultInjector* injector_ = nullptr;
   uint64_t next_page_ = 0;
+  // A stream's state splits into *position* (where the head last was,
+  // driving sequential/random classification) and *buffer validity*
+  // (whether the read-ahead buffer holds the positioned page's
+  // contents). They differ exactly after a failed attempt: the head
+  // reached the page but nothing usable transferred, so a re-read of
+  // the same page must be charged again.
   std::vector<uint64_t> stream_last_page_;
-  std::vector<bool> stream_has_read_;
+  std::vector<bool> stream_has_pos_;
+  std::vector<bool> stream_buffer_valid_;
   uint64_t head_last_page_ = 0;
-  bool head_has_read_ = false;
+  bool head_has_pos_ = false;
+  bool head_buffer_valid_ = false;
   uint64_t sequential_reads_ = 0;
   uint64_t random_reads_ = 0;
+  uint64_t failed_reads_ = 0;
   uint64_t buffer_hits_ = 0;
+  std::unordered_set<uint64_t> quarantined_;
 
   /// LRU buffer pool over global page ids: doubly-linked recency list
-  /// plus an index into it. Touching a page moves it to the front;
-  /// inserting beyond capacity evicts the back.
+  /// plus an index into it. Lookup refreshes recency on a hit; Insert
+  /// adds a page, evicting the back beyond capacity. Only successful
+  /// reads insert — a failed transfer must not populate the cache.
   struct BufferPool {
     std::list<uint64_t> recency;
     std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index;
-    /// Returns true (a hit) and refreshes recency when resident;
-    /// otherwise inserts, evicting LRU if over `capacity`.
-    bool Touch(uint64_t page, size_t capacity);
+    bool Lookup(uint64_t page);
+    void Insert(uint64_t page, size_t capacity);
+    void Erase(uint64_t page);
     void Clear();
   };
   BufferPool pool_;

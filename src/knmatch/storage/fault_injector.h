@@ -1,0 +1,90 @@
+#ifndef KNMATCH_STORAGE_FAULT_INJECTOR_H_
+#define KNMATCH_STORAGE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace knmatch {
+
+/// Deterministic fault source for the simulated disk. Attached to a
+/// DiskSimulator, it is consulted once per *physical* read attempt
+/// (buffered reads never reach the media, so they cannot fault) and
+/// decides whether the attempt succeeds, fails transiently, or delivers
+/// a corrupted page image.
+///
+/// Two kinds of schedule compose:
+///  - Scripted faults (FailNextReads, CorruptPage): exact, per-page,
+///    for targeted tests. Scripted corruption is sticky until healed.
+///  - Randomized faults (transient_error_rate, corruption_rate):
+///    seeded and hash-derived, so a run is reproducible bit-for-bit.
+///    Transient faults are drawn independently per (page, attempt
+///    number); corruption is a sticky per-page property (a damaged
+///    sector stays damaged), drawn once from (seed, page).
+///
+/// Not thread-safe, like the DiskSimulator that owns the read path.
+class FaultInjector {
+ public:
+  struct Config {
+    uint64_t seed = 0;
+    /// Probability that any physical read attempt fails transiently.
+    double transient_error_rate = 0.0;
+    /// Probability that a page's stored image is damaged (per page,
+    /// sticky: every read of a damaged page delivers garbage).
+    double corruption_rate = 0.0;
+  };
+
+  enum class Outcome {
+    kOk,
+    kTransientError,  // nothing transferred; retrying may succeed
+    kCorruption,      // a full page transferred, contents damaged
+  };
+
+  FaultInjector() = default;
+  explicit FaultInjector(const Config& config) : config_(config) {}
+
+  const Config& config() const { return config_; }
+
+  /// Decides the outcome of one physical read attempt of `page`.
+  /// Scripted faults take precedence over randomized ones; corruption
+  /// takes precedence over a pending transient failure.
+  Outcome OnReadAttempt(uint64_t page);
+
+  /// Scripts the next `times` physical reads of `page` to fail
+  /// transiently (fail-N-times-then-succeed).
+  void FailNextReads(uint64_t page, uint32_t times);
+
+  /// Scripts sticky corruption of `page`.
+  void CorruptPage(uint64_t page);
+
+  /// Removes any scripted fault on `page` and masks randomized
+  /// corruption of it.
+  void HealPage(uint64_t page);
+
+  /// Drops every scripted fault, every healed-page mask, and both
+  /// randomized rates: the disk is healthy from now on.
+  void Clear();
+
+  /// Totals of injected faults, for diagnostics and tests.
+  uint64_t transient_faults_injected() const {
+    return transient_faults_injected_;
+  }
+  uint64_t corruptions_injected() const { return corruptions_injected_; }
+
+ private:
+  /// Deterministic per-draw uniform in [0, 1).
+  static double HashToUnit(uint64_t seed, uint64_t a, uint64_t b);
+
+  Config config_;
+  std::unordered_map<uint64_t, uint32_t> scripted_failures_;
+  std::unordered_set<uint64_t> scripted_corrupt_;
+  std::unordered_set<uint64_t> healed_;
+  /// Per-page count of physical attempts, the per-attempt draw index.
+  std::unordered_map<uint64_t, uint64_t> attempts_;
+  uint64_t transient_faults_injected_ = 0;
+  uint64_t corruptions_injected_ = 0;
+};
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_STORAGE_FAULT_INJECTOR_H_

@@ -1,0 +1,73 @@
+#include "knmatch/storage/page_codec.h"
+
+#include <array>
+#include <cassert>
+#include <cstring>
+
+namespace knmatch {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::span<const std::byte> data) {
+  static const std::array<uint32_t, 256> kTable = MakeCrc32Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const std::byte b : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<uint8_t>(b)) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::byte> FrameChecksummedPage(
+    std::span<const std::byte> payload, size_t page_size) {
+  assert(page_size > kPageFrameOverhead && "page too small for a frame");
+  assert(payload.size() <= page_size - kPageFrameOverhead &&
+         "payload exceeds framed page capacity");
+  std::vector<std::byte> page(page_size, std::byte{0});
+  const auto len = static_cast<uint32_t>(payload.size());
+  std::memcpy(page.data(), &len, sizeof(len));
+  std::memcpy(page.data() + sizeof(len), payload.data(), payload.size());
+  const uint32_t crc = Crc32(
+      std::span<const std::byte>(page.data(), page_size - sizeof(uint32_t)));
+  std::memcpy(page.data() + page_size - sizeof(crc), &crc, sizeof(crc));
+  return page;
+}
+
+Result<std::span<const std::byte>> VerifyAndUnframePage(
+    std::span<const std::byte> page) {
+  if (page.size() <= kPageFrameOverhead) {
+    return Status::DataLoss("framed page truncated");
+  }
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, page.data() + page.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  const uint32_t computed = Crc32(
+      std::span<const std::byte>(page.data(),
+                                 page.size() - sizeof(uint32_t)));
+  if (stored_crc != computed) {
+    return Status::DataLoss("page checksum mismatch");
+  }
+  uint32_t len;
+  std::memcpy(&len, page.data(), sizeof(len));
+  if (len > page.size() - kPageFrameOverhead) {
+    // The checksum matched a frame whose header claims an impossible
+    // payload: a malformed write, not transfer damage.
+    return Status::DataLoss("framed page length out of bounds");
+  }
+  return std::span<const std::byte>(page.data() + sizeof(uint32_t), len);
+}
+
+}  // namespace knmatch

@@ -1,16 +1,16 @@
 #include "knmatch/storage/paged_file.h"
 
 #include <cassert>
+#include <string>
 
 namespace knmatch {
 
 PagedFile::PagedFile(DiskSimulator* disk)
     : disk_(disk), page_size_(disk->config().page_size) {}
 
-size_t PagedFile::AppendPage(std::span<const std::byte> image) {
-  assert(image.size() <= page_size_);
-  std::vector<std::byte> page(page_size_, std::byte{0});
-  std::memcpy(page.data(), image.data(), image.size());
+size_t PagedFile::AppendPage(std::span<const std::byte> payload) {
+  assert(payload.size() <= payload_capacity() &&
+         "payload exceeds the framed page capacity");
   // Keep the file's pages contiguous in the global page space: allocate
   // them from the simulator one at a time; because no other allocation
   // interleaves during a build, the run stays contiguous. The first
@@ -21,20 +21,90 @@ size_t PagedFile::AppendPage(std::span<const std::byte> image) {
   }
   assert(global == first_global_page_ + pages_.size() &&
          "file pages must be contiguous; do not interleave builds");
-  pages_.push_back(std::move(page));
+  pages_.push_back(FrameChecksummedPage(payload, page_size_));
+  verified_.push_back(false);
   return pages_.size() - 1;
 }
 
-std::span<const std::byte> PagedFile::ReadPage(size_t stream,
-                                               size_t index) const {
-  assert(index < pages_.size());
-  disk_->RecordRead(stream, first_global_page_ + index);
-  return pages_[index];
+Result<std::span<const std::byte>> PagedFile::VerifyStored(
+    size_t index) const {
+  const std::vector<std::byte>& page = pages_[index];
+  if (verified_[index]) {
+    // Already proven intact; re-derive the payload view from the
+    // header without recomputing the checksum.
+    uint32_t len;
+    std::memcpy(&len, page.data(), sizeof(len));
+    return std::span<const std::byte>(page.data() + sizeof(uint32_t),
+                                      len);
+  }
+  auto payload = VerifyAndUnframePage(page);
+  if (payload.ok()) verified_[index] = true;
+  return payload;
 }
 
-std::span<const std::byte> PagedFile::PeekPage(size_t index) const {
+Result<std::span<const std::byte>> PagedFile::ReadPage(
+    size_t stream, size_t index) const {
+  if (index >= pages_.size()) {
+    return Status::OutOfRange("page index " + std::to_string(index) +
+                              " >= file size " +
+                              std::to_string(pages_.size()));
+  }
+  const uint64_t global = first_global_page_ + index;
+  if (disk_->IsQuarantined(global)) {
+    return Status::DataLoss("page " + std::to_string(global) +
+                            " is quarantined");
+  }
+  for (int attempt = 0; attempt < DiskSimulator::kMaxReadAttempts;
+       ++attempt) {
+    switch (disk_->ReadAttempt(stream, global)) {
+      case DiskSimulator::ReadOutcome::kOk:
+        break;
+      case DiskSimulator::ReadOutcome::kTransientError:
+        continue;
+      case DiskSimulator::ReadOutcome::kCorruption: {
+        // The transfer delivered a damaged image. Run it through the
+        // codec — the checksum is what actually detects the damage.
+        std::vector<std::byte> damaged = pages_[index];
+        damaged[index % damaged.size()] ^= std::byte{0x40};
+        auto verdict = VerifyAndUnframePage(damaged);
+        assert(!verdict.ok() && "checksum must catch a flipped bit");
+        disk_->QuarantinePage(global);
+        return verdict.ok()
+                   ? Status::DataLoss("corrupt transfer")  // unreachable
+                   : verdict.status();
+      }
+    }
+    // Successful transfer: verify the stored image (detects at-rest
+    // damage such as bit rot).
+    auto payload = VerifyStored(index);
+    if (!payload.ok()) {
+      // The cached copy is garbage too; quarantine so later readers
+      // are refused cheaply.
+      disk_->QuarantinePage(global);
+    }
+    return payload;
+  }
+  return Status::Unavailable(
+      "page " + std::to_string(global) + " unreadable after " +
+      std::to_string(DiskSimulator::kMaxReadAttempts) + " attempts");
+}
+
+Result<std::span<const std::byte>> PagedFile::PeekPage(
+    size_t index) const {
+  if (index >= pages_.size()) {
+    return Status::OutOfRange("page index " + std::to_string(index) +
+                              " >= file size " +
+                              std::to_string(pages_.size()));
+  }
+  return VerifyStored(index);
+}
+
+void PagedFile::CorruptStoredByte(size_t index, size_t offset,
+                                  uint8_t mask) {
   assert(index < pages_.size());
-  return pages_[index];
+  assert(offset < page_size_);
+  pages_[index][offset] ^= std::byte{mask};
+  verified_[index] = false;
 }
 
 }  // namespace knmatch

@@ -7,8 +7,9 @@ namespace knmatch {
 RowStore::RowStore(const Dataset& db, DiskSimulator* disk)
     : size_(db.size()), dims_(db.dims()), disk_(disk), file_(disk) {
   const size_t row_bytes = dims_ * sizeof(Value);
-  assert(row_bytes <= file_.page_size() && "row wider than a page");
-  rows_per_page_ = file_.page_size() / row_bytes;
+  assert(row_bytes <= file_.payload_capacity() &&
+         "row wider than a page's payload");
+  rows_per_page_ = file_.payload_capacity() / row_bytes;
 
   std::vector<std::byte> image;
   image.reserve(file_.page_size());
@@ -24,36 +25,39 @@ RowStore::RowStore(const Dataset& db, DiskSimulator* disk)
 
 size_t RowStore::OpenStream() const { return disk_->OpenStream(); }
 
-std::span<const Value> RowStore::ReadRow(size_t stream, PointId pid,
-                                         std::vector<Value>* buf) const {
+Result<std::span<const Value>> RowStore::ReadRow(
+    size_t stream, PointId pid, std::vector<Value>* buf) const {
   assert(pid < size_);
   const size_t page = pid / rows_per_page_;
   const size_t slot = pid % rows_per_page_;
-  std::span<const std::byte> image = file_.ReadPage(stream, page);
+  auto image = file_.ReadPage(stream, page);
+  if (!image.ok()) return image.status();
   buf->resize(dims_);
   for (size_t dim = 0; dim < dims_; ++dim) {
     (*buf)[dim] = GetScalar<Value>(
-        image, (slot * dims_ + dim) * sizeof(Value));
+        image.value(), (slot * dims_ + dim) * sizeof(Value));
   }
-  return {buf->data(), buf->size()};
+  return std::span<const Value>(buf->data(), buf->size());
 }
 
-void RowStore::ForEachRow(
+Status RowStore::ForEachRow(
     size_t stream,
     const std::function<void(PointId, std::span<const Value>)>& fn) const {
   std::vector<Value> buf(dims_);
   PointId pid = 0;
   for (size_t page = 0; page < file_.num_pages(); ++page) {
-    std::span<const std::byte> image = file_.ReadPage(stream, page);
+    auto image = file_.ReadPage(stream, page);
+    if (!image.ok()) return image.status();
     for (size_t slot = 0; slot < rows_per_page_ && pid < size_;
          ++slot, ++pid) {
       for (size_t dim = 0; dim < dims_; ++dim) {
-        buf[dim] =
-            GetScalar<Value>(image, (slot * dims_ + dim) * sizeof(Value));
+        buf[dim] = GetScalar<Value>(
+            image.value(), (slot * dims_ + dim) * sizeof(Value));
       }
       fn(pid, std::span<const Value>(buf.data(), buf.size()));
     }
   }
+  return Status::OK();
 }
 
 }  // namespace knmatch

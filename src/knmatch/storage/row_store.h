@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "knmatch/common/dataset.h"
+#include "knmatch/common/status.h"
 #include "knmatch/common/types.h"
 #include "knmatch/storage/paged_file.h"
 
@@ -33,13 +34,15 @@ class RowStore {
   size_t OpenStream() const;
 
   /// Reads the coordinates of `pid` (one page read, charged to
-  /// `stream`). The returned span points into `*buf`.
-  std::span<const Value> ReadRow(size_t stream, PointId pid,
-                                 std::vector<Value>* buf) const;
+  /// `stream`). The returned span points into `*buf`. Fails (kDataLoss
+  /// / kUnavailable) when the row's page cannot be read intact.
+  Result<std::span<const Value>> ReadRow(size_t stream, PointId pid,
+                                         std::vector<Value>* buf) const;
 
   /// Sequentially scans the whole file on `stream`, invoking
-  /// `fn(pid, coordinates)` for every point in pid order.
-  void ForEachRow(
+  /// `fn(pid, coordinates)` for every point in pid order. Stops at the
+  /// first unreadable page and returns its error.
+  Status ForEachRow(
       size_t stream,
       const std::function<void(PointId, std::span<const Value>)>& fn) const;
 

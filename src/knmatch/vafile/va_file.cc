@@ -49,8 +49,8 @@ VaFile::VaFile(const Dataset& db, DiskSimulator* disk, unsigned bits)
       file_(disk) {
   assert(bits >= 1 && bits <= 16);
   row_bytes_ = (dims_ * bits_ + 7) / 8;
-  assert(row_bytes_ <= file_.page_size());
-  rows_per_page_ = file_.page_size() / row_bytes_;
+  assert(row_bytes_ <= file_.payload_capacity());
+  rows_per_page_ = file_.payload_capacity() / row_bytes_;
 
   // Per-dimension ranges for the equi-width grid.
   dim_lo_.assign(dims_, std::numeric_limits<Value>::infinity());
@@ -111,23 +111,26 @@ uint32_t VaFile::Quantize(size_t dim, Value v) const {
 
 size_t VaFile::OpenStream() const { return disk_->OpenStream(); }
 
-void VaFile::ForEachApprox(
+Status VaFile::ForEachApprox(
     size_t stream,
     const std::function<void(PointId, std::span<const uint32_t>)>& fn)
     const {
   std::vector<uint32_t> codes(dims_);
   PointId pid = 0;
   for (size_t page = 0; page < file_.num_pages(); ++page) {
-    std::span<const std::byte> image = file_.ReadPage(stream, page);
+    auto image = file_.ReadPage(stream, page);
+    if (!image.ok()) return image.status();
     for (size_t row = 0; row < rows_per_page_ && pid < size_;
          ++row, ++pid) {
       const size_t row_base_bits = row * row_bytes_ * 8;
       for (size_t dim = 0; dim < dims_; ++dim) {
-        codes[dim] = GetBits(image, row_base_bits + dim * bits_, bits_);
+        codes[dim] =
+            GetBits(image.value(), row_base_bits + dim * bits_, bits_);
       }
       fn(pid, std::span<const uint32_t>(codes.data(), codes.size()));
     }
   }
+  return Status::OK();
 }
 
 }  // namespace knmatch

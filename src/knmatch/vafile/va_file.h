@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "knmatch/common/dataset.h"
+#include "knmatch/common/status.h"
 #include "knmatch/common/types.h"
 #include "knmatch/storage/paged_file.h"
 
@@ -50,7 +51,8 @@ class VaFile {
 
   /// Sequentially scans the approximation file on `stream`, invoking
   /// `fn(pid, codes)` for every point; `codes` has dims() entries.
-  void ForEachApprox(
+  /// Stops at the first unreadable page and returns its error.
+  Status ForEachApprox(
       size_t stream,
       const std::function<void(PointId, std::span<const uint32_t>)>& fn)
       const;

@@ -33,8 +33,9 @@ Result<VaFrequentKnMatchResult> VaKnMatchSearcher::FrequentKnMatch(
   std::vector<PointId> candidates;
   std::vector<Value> lb(d), ub(d);
   const size_t va_stream = va_.OpenStream();
-  va_.ForEachApprox(va_stream, [&](PointId pid,
-                                   std::span<const uint32_t> codes) {
+  Status io = va_.ForEachApprox(va_stream, [&](PointId pid,
+                                               std::span<const uint32_t>
+                                                   codes) {
     for (size_t dim = 0; dim < d; ++dim) {
       const Value lo = va_.CellLower(dim, codes[dim]);
       const Value hi = va_.CellUpper(dim, codes[dim]);
@@ -63,6 +64,7 @@ Result<VaFrequentKnMatchResult> VaKnMatchSearcher::FrequentKnMatch(
     }
     if (candidate) candidates.push_back(pid);
   });
+  if (!io.ok()) return io;
 
   // Phase 2: fetch candidates (ascending pid, so co-located candidates
   // share page reads) and compute exact n-match differences.
@@ -74,8 +76,9 @@ Result<VaFrequentKnMatchResult> VaKnMatchSearcher::FrequentKnMatch(
   const size_t row_stream = rows_.OpenStream();
   std::vector<Value> buf, diffs;
   for (const PointId pid : candidates) {
-    std::span<const Value> p = rows_.ReadRow(row_stream, pid, &buf);
-    SortedAbsDifferences(p, query, &diffs);
+    Result<std::span<const Value>> p = rows_.ReadRow(row_stream, pid, &buf);
+    if (!p.ok()) return p.status();
+    SortedAbsDifferences(p.value(), query, &diffs);
     for (size_t n = n0; n <= n1; ++n) {
       per_n[n - n0].Offer(diffs[n - 1], pid, pid);
     }

@@ -25,8 +25,9 @@ Result<KnMatchResult> VaKnnSearcher::Knn(std::span<const Value> query,
   BoundedTopK<PointId, Value, PointId> ub_heap(k);
 
   const size_t va_stream = va_.OpenStream();
-  va_.ForEachApprox(va_stream, [&](PointId pid,
-                                   std::span<const uint32_t> codes) {
+  Status io = va_.ForEachApprox(va_stream, [&](PointId pid,
+                                               std::span<const uint32_t>
+                                                   codes) {
     Value lb2 = 0, ub2 = 0;
     for (size_t dim = 0; dim < d; ++dim) {
       const Value lo = va_.CellLower(dim, codes[dim]);
@@ -48,6 +49,7 @@ Result<KnMatchResult> VaKnnSearcher::Knn(std::span<const Value> query,
     }
     ub_heap.Offer(std::sqrt(ub2), pid, pid);
   });
+  if (!io.ok()) return io;
 
   // Phase 2: ascending lower bound with early termination.
   std::sort(candidates.begin(), candidates.end(),
@@ -62,7 +64,10 @@ Result<KnMatchResult> VaKnnSearcher::Knn(std::span<const Value> query,
   last_points_refined_ = 0;
   for (const Candidate& cand : candidates) {
     if (top.full() && cand.lb > top.threshold()) break;
-    std::span<const Value> p = rows_.ReadRow(row_stream, cand.pid, &buf);
+    Result<std::span<const Value>> row =
+        rows_.ReadRow(row_stream, cand.pid, &buf);
+    if (!row.ok()) return row.status();
+    std::span<const Value> p = row.value();
     Value sum = 0;
     for (size_t dim = 0; dim < d; ++dim) {
       const Value diff = p[dim] - query[dim];

@@ -36,7 +36,7 @@ TEST(BPlusTreeTest, EmptyTree) {
   const size_t s = tree.OpenStream();
   EXPECT_FALSE(tree.SeekLowerBound(s, 0.5).Valid());
   EXPECT_FALSE(tree.SeekBefore(s, 0.5).Valid());
-  EXPECT_EQ(tree.RankOf(s, 0.5), 0u);
+  EXPECT_EQ(tree.RankOf(s, 0.5).value(), 0u);
 }
 
 TEST(BPlusTreeTest, BulkLoadSingleLeaf) {
@@ -109,7 +109,7 @@ TEST(BPlusTreeTest, SeekAgreesWithStdLowerBound) {
       EXPECT_EQ(it.Get(), *expected);
     }
     // RankOf matches the std::lower_bound index.
-    EXPECT_EQ(tree.RankOf(s, v),
+    EXPECT_EQ(tree.RankOf(s, v).value(),
               static_cast<size_t>(expected - entries.begin()));
     // SeekBefore gives the predecessor.
     auto before = tree.SeekBefore(s, v);
@@ -186,10 +186,10 @@ TEST(BPlusTreeTest, EraseExistingAndMissing) {
   BPlusTree tree(&disk);
   auto entries = SortedEntries(500, 10);
   tree.BulkLoad(entries);
-  EXPECT_TRUE(tree.Erase(entries[250]));
+  EXPECT_TRUE(tree.Erase(entries[250]).value());
   EXPECT_EQ(tree.size(), 499u);
-  EXPECT_FALSE(tree.Erase(entries[250]));  // already gone
-  EXPECT_FALSE(tree.Erase(ColumnEntry{2.0, 1}));
+  EXPECT_FALSE(tree.Erase(entries[250]).value());  // already gone
+  EXPECT_FALSE(tree.Erase(ColumnEntry{2.0, 1}).value());
   EXPECT_TRUE(tree.CheckInvariants().ok());
 
   // The erased entry is skipped by scans.
@@ -211,7 +211,7 @@ TEST(BPlusTreeTest, EraseWholeLeafThenIterate) {
   tree.BulkLoad(entries);
   // Erase a contiguous run wider than one leaf (capacity 256).
   for (size_t i = 100; i < 400; ++i) {
-    ASSERT_TRUE(tree.Erase(entries[i]));
+    ASSERT_TRUE(tree.Erase(entries[i]).value());
   }
   EXPECT_TRUE(tree.CheckInvariants().ok());
   const size_t s = tree.OpenStream();

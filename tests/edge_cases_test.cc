@@ -99,20 +99,23 @@ TEST(EdgeCases, NEqualsDAndKOne) {
 }
 
 TEST(EdgeCases, RowStoreExactlyFullPages) {
-  // 4096 / (8 * 8B) = 64 rows per page; 128 rows = exactly 2 pages.
-  Dataset db = datagen::MakeUniform(128, 8, 203);
+  // (4096 - 8 frame bytes) / (8 * 8B) = 63 rows per page; 126 rows =
+  // exactly 2 full pages.
+  Dataset db = datagen::MakeUniform(126, 8, 203);
   DiskSimulator disk;
   RowStore rows(db, &disk);
+  EXPECT_EQ(rows.rows_per_page(), 63u);
   EXPECT_EQ(rows.num_pages(), 2u);
   const size_t s = rows.OpenStream();
   std::vector<Value> buf;
-  auto row = rows.ReadRow(s, 127, &buf);
-  EXPECT_EQ(row[0], db.at(127, 0));
+  auto row = rows.ReadRow(s, 125, &buf);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value()[0], db.at(125, 0));
 }
 
 TEST(EdgeCases, ColumnStoreSingleEntryPerPage) {
   DiskConfig config;
-  config.page_size = 16;  // exactly one 12-byte entry per page
+  config.page_size = 20;  // 8 frame bytes + exactly one 12-byte entry
   DiskSimulator disk(config);
   Dataset db = datagen::MakeUniform(20, 2, 204);
   ColumnStore store(db, &disk);
@@ -121,7 +124,9 @@ TEST(EdgeCases, ColumnStoreSingleEntryPerPage) {
   SortedColumns reference(db);
   const size_t s = store.OpenStream();
   for (size_t idx = 0; idx < 20; ++idx) {
-    EXPECT_EQ(store.ReadEntry(s, 1, idx), reference.column(1)[idx]);
+    auto entry = store.ReadEntry(s, 1, idx);
+    ASSERT_TRUE(entry.ok());
+    EXPECT_EQ(entry.value(), reference.column(1)[idx]);
   }
   for (int trial = 0; trial < 20; ++trial) {
     const Value v = static_cast<Value>(trial) / 19.0;

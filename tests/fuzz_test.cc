@@ -70,7 +70,7 @@ TEST_P(FuzzSeeds, BPlusTreeMatchesReferenceUnderRandomOps) {
       auto it = reference.begin();
       std::advance(it, static_cast<long>(
                            rng.UniformInt(reference.size())));
-      ASSERT_TRUE(tree.Erase(ColumnEntry{it->first, it->second}));
+      ASSERT_TRUE(tree.Erase(ColumnEntry{it->first, it->second}).value());
       reference.erase(it);
     }
     if (op % 500 == 499) {

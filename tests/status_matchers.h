@@ -1,0 +1,34 @@
+#ifndef KNMATCH_TESTS_STATUS_MATCHERS_H_
+#define KNMATCH_TESTS_STATUS_MATCHERS_H_
+
+#include <gtest/gtest.h>
+
+#include "knmatch/common/status.h"
+
+namespace knmatch {
+
+/// Assertion helpers for Status / Result<T>:
+///
+///   EXPECT_TRUE(StatusIs(engine.Foo(q), StatusCode::kDataLoss));
+///   ASSERT_TRUE(StatusIs(file.ReadPage(s, 0), StatusCode::kOk));
+///
+/// On mismatch the failure message renders the actual status, so a
+/// test log shows "DataLoss: page 7 failed verification" instead of
+/// just "false".
+inline testing::AssertionResult StatusIs(const Status& status,
+                                         StatusCode code) {
+  if (status.code() == code) return testing::AssertionSuccess();
+  return testing::AssertionFailure()
+         << "expected status code " << static_cast<int>(code) << ", got "
+         << status.ToString();
+}
+
+template <typename T>
+testing::AssertionResult StatusIs(const Result<T>& result,
+                                  StatusCode code) {
+  return StatusIs(result.status(), code);
+}
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_TESTS_STATUS_MATCHERS_H_

@@ -24,11 +24,23 @@ TEST(StatusTest, NamedConstructorsCarryCodeAndMessage) {
   EXPECT_EQ(Status::FailedPrecondition("x").code(),
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusTest, ToStringNamesEveryCode) {
+  EXPECT_EQ(Status::DataLoss("page 7 corrupt").ToString(),
+            "DataLoss: page 7 corrupt");
+  EXPECT_EQ(Status::Unavailable("retries exhausted").ToString(),
+            "Unavailable: retries exhausted");
+  EXPECT_EQ(Status::NotFound("nope").ToString(), "NotFound: nope");
 }
 
 TEST(StatusTest, EqualityComparesCodeOnly) {
   EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
   EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+  EXPECT_NE(Status::DataLoss("a"), Status::Unavailable("a"));
+  EXPECT_FALSE(Status::DataLoss("a") != Status::DataLoss("b"));
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -49,6 +61,17 @@ TEST(ResultTest, MoveExtractsValue) {
   Result<std::string> r(std::string("payload"));
   std::string v = std::move(r).value();
   EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, HoldsNewErrorCodes) {
+  Result<int> loss(Status::DataLoss("gone"));
+  EXPECT_FALSE(loss.ok());
+  EXPECT_EQ(loss.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(loss.status().message(), "gone");
+
+  Result<int> flaky(Status::Unavailable("try later"));
+  EXPECT_FALSE(flaky.ok());
+  EXPECT_EQ(flaky.status().code(), StatusCode::kUnavailable);
 }
 
 }  // namespace

@@ -143,20 +143,22 @@ TEST(PagedFileTest, RoundTripsPageImages) {
 
   const size_t s = disk.OpenStream();
   auto read = file.ReadPage(s, 0);
-  EXPECT_EQ(read.size(), file.page_size());
-  EXPECT_EQ(GetScalar<double>(read, 0), 3.25);
-  EXPECT_EQ(GetScalar<uint32_t>(read, sizeof(double)), 77u);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().size(), image.size());
+  EXPECT_EQ(GetScalar<double>(read.value(), 0), 3.25);
+  EXPECT_EQ(GetScalar<uint32_t>(read.value(), sizeof(double)), 77u);
   EXPECT_EQ(disk.total_reads(), 1u);
 }
 
-TEST(PagedFileTest, ShortImagesZeroPadded) {
+TEST(PagedFileTest, ShortImagesKeepTheirLength) {
   DiskSimulator disk;
   PagedFile file(&disk);
   std::vector<std::byte> image = {std::byte{0xFF}};
   file.AppendPage(image);
   auto read = file.PeekPage(0);
-  EXPECT_EQ(static_cast<uint8_t>(read[0]), 0xFF);
-  EXPECT_EQ(static_cast<uint8_t>(read[1]), 0x00);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read.value().size(), 1u);
+  EXPECT_EQ(static_cast<uint8_t>(read.value()[0]), 0xFF);
 }
 
 TEST(PagedFileTest, CrossFileAdjacencyIsPhysicalAdjacency) {
@@ -180,15 +182,18 @@ TEST(RowStoreTest, ReadRowMatchesDataset) {
   RowStore rows(db, &disk);
   EXPECT_EQ(rows.size(), 300u);
   EXPECT_EQ(rows.dims(), 7u);
-  EXPECT_EQ(rows.rows_per_page(), 4096u / (7 * sizeof(Value)));
+  // Frame overhead (length header + checksum) comes off the page.
+  EXPECT_EQ(rows.rows_per_page(),
+            (4096u - kPageFrameOverhead) / (7 * sizeof(Value)));
 
   const size_t s = rows.OpenStream();
   std::vector<Value> buf;
   for (PointId pid : {PointId{0}, PointId{150}, PointId{299}}) {
     auto row = rows.ReadRow(s, pid, &buf);
-    ASSERT_EQ(row.size(), 7u);
+    ASSERT_TRUE(row.ok());
+    ASSERT_EQ(row.value().size(), 7u);
     for (size_t dim = 0; dim < 7; ++dim) {
-      EXPECT_EQ(row[dim], db.at(pid, dim));
+      EXPECT_EQ(row.value()[dim], db.at(pid, dim));
     }
   }
 }
@@ -199,12 +204,13 @@ TEST(RowStoreTest, ForEachRowVisitsAllInOrderSequentially) {
   RowStore rows(db, &disk);
   const size_t s = rows.OpenStream();
   PointId expected = 0;
-  rows.ForEachRow(s, [&](PointId pid, std::span<const Value> p) {
+  Status io = rows.ForEachRow(s, [&](PointId pid, std::span<const Value> p) {
     ASSERT_EQ(pid, expected++);
     for (size_t dim = 0; dim < 4; ++dim) {
       ASSERT_EQ(p[dim], db.at(pid, dim));
     }
   });
+  EXPECT_TRUE(io.ok());
   EXPECT_EQ(expected, 500u);
   // One random seek to page 0, the rest sequential.
   EXPECT_EQ(disk.random_reads(), 1u);
@@ -222,7 +228,9 @@ TEST(ColumnStoreTest, EntriesMatchInMemorySortedColumns) {
   const size_t s = store.OpenStream();
   for (size_t dim = 0; dim < 5; ++dim) {
     for (size_t idx : {size_t{0}, size_t{341}, size_t{342}, size_t{699}}) {
-      EXPECT_EQ(store.ReadEntry(s, dim, idx), reference.column(dim)[idx])
+      auto entry = store.ReadEntry(s, dim, idx);
+      ASSERT_TRUE(entry.ok());
+      EXPECT_EQ(entry.value(), reference.column(dim)[idx])
           << "dim=" << dim << " idx=" << idx;
     }
   }
