@@ -1,0 +1,168 @@
+// Observability overhead: the in-memory AD k-n-match hot path timed
+// with metrics enabled, with the runtime kill switch off, and with a
+// per-query trace installed. The subsystem's contract is <2% overhead
+// on this path when enabled and untraced (the compile-time
+// KNMATCH_DISABLE_METRICS build is the true zero — this binary
+// measures what the default build pays).
+//
+// Methodology for a noisy single-core host: coarse A/B passes do not
+// work here — host noise (frequency scaling, neighbors) drifts by
+// several percent over seconds, far above the effect being measured.
+// Instead the three modes are interleaved *per query*: each query runs
+// in all three modes microseconds apart, the mode order rotates with
+// the query index (so cache-warming position bias cancels), and each
+// mode accumulates its total across all queries and rounds. Paired
+// that tightly, the drift divides out. Results land in
+// BENCH_obs_overhead.json and on stdout as
+// `overhead_enabled_percent=...` for scripts/check_bench_drift.sh.
+//
+// Usage: bench_obs_overhead [queries] [rounds] [cardinality] [dims]
+//        (defaults 48, 10, 40000, 16)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include "bench_common.h"
+#include "knmatch/core/ad_scratch.h"
+
+namespace {
+
+using namespace knmatch;
+
+constexpr size_t kN = 8;
+constexpr size_t kK = 10;
+
+enum Mode { kDisabled = 0, kEnabled = 1, kTraced = 2 };
+constexpr size_t kNumModes = 3;
+const char* kModeNames[kNumModes] = {"kill switch off", "metrics enabled",
+                                     "metrics + trace"};
+
+// The three rotations of (disabled, enabled, traced): query q in round
+// r uses kOrders[(q + r) % 3], so every mode runs first / second /
+// third equally often.
+constexpr Mode kOrders[3][kNumModes] = {
+    {kDisabled, kEnabled, kTraced},
+    {kEnabled, kTraced, kDisabled},
+    {kTraced, kDisabled, kEnabled},
+};
+
+// Runs one query in one mode, adds its pids to *checksum (the answers
+// must be mode-independent, and the sum keeps the call from being
+// optimized away), and returns elapsed seconds.
+double TimeOne(const AdSearcher& searcher, const std::vector<Value>& query,
+               internal::AdScratch* scratch, Mode mode,
+               uint64_t* checksum) {
+  obs::SetEnabled(mode != kDisabled);
+  obs::QueryTrace trace;
+  std::optional<obs::TraceScope> scope;
+  if (mode == kTraced) scope.emplace(&trace);
+  const auto start = std::chrono::steady_clock::now();
+  auto r = searcher.KnMatch(query, kN, kK, {}, scratch);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+  for (const Neighbor& nb : r.value().matches) *checksum += nb.pid;
+  return seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace knmatch;
+  const size_t num_queries =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 48;
+  const size_t rounds = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 10;
+  const size_t cardinality =
+      argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 40000;
+  const size_t dims = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 16;
+
+  bench::PrintHeader(
+      "Observability overhead on the in-memory AD hot path",
+      "no paper figure; the obs subsystem's <2% overhead contract");
+  std::printf("dataset: uniform %zu x %zu | queries: %zu | rounds: %zu | "
+              "metrics compiled %s\n\n",
+              cardinality, dims, num_queries, rounds,
+              obs::kMetricsCompiledIn ? "in" : "out");
+
+  const Dataset db = datagen::MakeUniform(cardinality, dims, 20260807);
+  const AdSearcher searcher(db);
+  const auto queries = bench::SampleQueries(db, num_queries, 99);
+  internal::AdScratch scratch;
+
+  // Warm-up pass: faults the sorted columns in and sizes the scratch,
+  // and records the reference checksum for one full pass.
+  uint64_t reference = 0;
+  for (const auto& q : queries) {
+    TimeOne(searcher, q, &scratch, kEnabled, &reference);
+  }
+
+  double totals[kNumModes] = {0, 0, 0};
+  uint64_t checksums[kNumModes] = {0, 0, 0};
+  for (size_t round = 0; round < rounds; ++round) {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const Mode* order = kOrders[(qi + round) % 3];
+      for (size_t j = 0; j < kNumModes; ++j) {
+        const Mode mode = order[j];
+        totals[mode] +=
+            TimeOne(searcher, queries[qi], &scratch, mode,
+                    &checksums[mode]);
+      }
+    }
+  }
+  obs::SetEnabled(true);
+
+  for (size_t m = 0; m < kNumModes; ++m) {
+    if (checksums[m] != reference * rounds) {
+      std::fprintf(stderr, "checksum drift in mode '%s'\n", kModeNames[m]);
+      return 1;
+    }
+  }
+
+  const double overhead_enabled =
+      (totals[kEnabled] - totals[kDisabled]) / totals[kDisabled] * 100.0;
+  const double overhead_traced =
+      (totals[kTraced] - totals[kDisabled]) / totals[kDisabled] * 100.0;
+  const double executions = static_cast<double>(num_queries * rounds);
+
+  std::printf("%-22s %10.4fs total   %8.1f q/s\n", kModeNames[kDisabled],
+              totals[kDisabled], executions / totals[kDisabled]);
+  std::printf("%-22s %10.4fs total   %8.1f q/s   overhead %+.2f%%\n",
+              kModeNames[kEnabled], totals[kEnabled],
+              executions / totals[kEnabled], overhead_enabled);
+  std::printf("%-22s %10.4fs total   %8.1f q/s   overhead %+.2f%%\n\n",
+              kModeNames[kTraced], totals[kTraced],
+              executions / totals[kTraced], overhead_traced);
+
+  // Machine-readable: one line for the drift gate, one JSON for the
+  // perf trajectory.
+  std::printf("overhead_enabled_percent=%.3f\n", overhead_enabled);
+  std::printf("overhead_traced_percent=%.3f\n", overhead_traced);
+
+  std::FILE* json = std::fopen("BENCH_obs_overhead.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_obs_overhead.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"obs_overhead\",\n"
+               "  \"dataset\": {\"kind\": \"uniform\", \"cardinality\": "
+               "%zu, \"dims\": %zu},\n"
+               "  \"queries\": %zu,\n  \"rounds\": %zu,\n"
+               "  \"metrics_compiled_in\": %s,\n"
+               "  \"disabled_seconds\": %.6f,\n"
+               "  \"enabled_seconds\": %.6f,\n"
+               "  \"traced_seconds\": %.6f,\n"
+               "  \"overhead_enabled_percent\": %.3f,\n"
+               "  \"overhead_traced_percent\": %.3f\n}\n",
+               cardinality, dims, num_queries, rounds,
+               obs::kMetricsCompiledIn ? "true" : "false",
+               totals[kDisabled], totals[kEnabled], totals[kTraced],
+               overhead_enabled, overhead_traced);
+  std::fclose(json);
+  std::printf("wrote BENCH_obs_overhead.json\n");
+  return 0;
+}

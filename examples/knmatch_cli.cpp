@@ -24,6 +24,8 @@
 //   faults corrupt <page>             script sticky corruption of a page
 //   faults clear                      heal the disk, lift quarantines
 //   faults status                     injected-fault and quarantine counters
+//   metrics [json|reset]              process metrics (Prometheus text/JSON)
+//   trace on|off                      per-query phase timings + cost counters
 //   threads <t>                       worker threads for batch commands
 //   batch knmatch <n> <k> <q>         q sampled queries, fanned across workers
 //   batch fknmatch <n0> <n1> <k> <q>
@@ -132,9 +134,51 @@ class Cli {
           "insert <v1> ... <vd> | threads <t> |\n"
           "faults rate <transient> <corrupt> [seed] | faults fail <page> "
           "<times> | faults corrupt <page> |\n"
-          "faults clear | faults status |\n"
+          "faults clear | faults status | metrics [json|reset] | "
+          "trace on|off |\n"
           "batch knmatch <n> <k> <q> | batch fknmatch <n0> <n1> <k> <q> | "
           "batch knn <k> <q> | quit\n");
+      return true;
+    }
+
+    if (cmd == "metrics") {
+      std::string fmt;
+      in >> fmt;
+      auto& registry = obs::MetricsRegistry::Global();
+      if (fmt == "json") {
+        std::printf("%s\n", obs::RenderJson(registry).c_str());
+      } else if (fmt == "reset") {
+        registry.Reset();
+        std::printf("metrics reset\n");
+      } else {
+        std::printf("%s", obs::RenderPrometheus(registry).c_str());
+      }
+      return true;
+    }
+
+    if (cmd == "trace") {
+      std::string state;
+      in >> state;
+      if (state == "on") {
+        if (!obs::kMetricsCompiledIn) {
+          std::printf("tracing was compiled out "
+                      "(KNMATCH_DISABLE_METRICS)\n");
+          return true;
+        }
+        if (trace_scope_ == nullptr) {
+          trace_scope_ = std::make_unique<obs::TraceScope>(&trace_);
+        }
+        trace_.Clear();
+        std::printf("tracing on: each query prints phase timings and "
+                    "cost counters\n"
+                    "(batch commands run on pool workers and are not "
+                    "traced)\n");
+      } else if (state == "off") {
+        trace_scope_.reset();
+        std::printf("tracing off\n");
+      } else {
+        std::printf("usage: trace on|off\n");
+      }
       return true;
     }
 
@@ -335,6 +379,7 @@ class Cli {
       std::printf("  (%llu attributes retrieved)\n",
                   static_cast<unsigned long long>(
                       r.value().attributes_retrieved));
+      MaybePrintTrace();
       return true;
     }
 
@@ -357,6 +402,7 @@ class Cli {
                     r.value().matches[i].pid, r.value().frequencies[i],
                     n1 - n0 + 1);
       }
+      MaybePrintTrace();
       return true;
     }
 
@@ -376,6 +422,7 @@ class Cli {
         return true;
       }
       PrintMatches(r.value().matches);
+      MaybePrintTrace();
       return true;
     }
 
@@ -420,6 +467,7 @@ class Cli {
                       engine_->last_disk_cost().sequential_pages),
                   static_cast<unsigned long long>(
                       engine_->last_disk_cost().random_pages));
+      MaybePrintTrace();
       return true;
     }
 
@@ -566,8 +614,18 @@ class Cli {
                 static_cast<unsigned long long>(checksum));
   }
 
+  // Prints and clears the accumulated per-query trace (no-op while
+  // tracing is off). Query commands call this after their answer.
+  void MaybePrintTrace() {
+    if (trace_scope_ == nullptr) return;
+    std::printf("%s", trace_.ToString().c_str());
+    trace_.Clear();
+  }
+
   std::unique_ptr<SimilarityEngine> engine_;
   std::unique_ptr<FaultInjector> injector_;
+  obs::QueryTrace trace_;
+  std::unique_ptr<obs::TraceScope> trace_scope_;
   size_t threads_ = 0;
 };
 

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Perf-drift gate: builds and runs the observability-overhead benchmark
+# and the batch-throughput benchmark, fails if the metrics subsystem's
+# measured overhead on the AD hot path exceeds the budget (2% by
+# default), and appends one timestamped line per run to
+# BENCH_history.jsonl so successive PRs leave a machine-readable perf
+# trajectory.
+#
+# Usage: scripts/check_bench_drift.sh         (build dir: build)
+#        BUILD_DIR=/tmp/b scripts/check_bench_drift.sh
+#        OVERHEAD_BUDGET_PERCENT=3 scripts/check_bench_drift.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+BUDGET=${OVERHEAD_BUDGET_PERCENT:-2.0}
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target bench_obs_overhead bench_throughput \
+  -j"$(nproc)"
+
+# --- Gate: observability overhead on the in-memory AD hot path. ---
+# The benchmark interleaves the instrumented and kill-switched modes
+# per query (see bench/bench_obs_overhead.cc), so its ratio is robust
+# to host noise; the budget is the subsystem's documented contract.
+overhead_out=$("$BUILD_DIR"/bench/bench_obs_overhead)
+printf '%s\n' "$overhead_out"
+overhead=$(printf '%s\n' "$overhead_out" |
+  awk -F= '/^overhead_enabled_percent=/{print $2}')
+if [[ -z "$overhead" ]]; then
+  echo "FAIL: bench_obs_overhead printed no overhead_enabled_percent" >&2
+  exit 1
+fi
+if awk -v o="$overhead" -v b="$BUDGET" 'BEGIN{exit !(o > b)}'; then
+  echo "FAIL: metrics overhead ${overhead}% exceeds budget ${BUDGET}%" >&2
+  exit 1
+fi
+echo "OK: metrics overhead ${overhead}% within budget ${BUDGET}%"
+
+# --- Trajectory: batch throughput (small config; the JSON is what
+# matters, not the absolute numbers on this host). ---
+"$BUILD_DIR"/bench/bench_throughput 32 50000 16
+
+# Both benchmarks drop their JSON in the current directory (the repo
+# root). Fold them into one history line.
+stamp=$(date -Is)
+{
+  printf '{"timestamp": "%s", "obs_overhead": ' "$stamp"
+  tr -d '\n' <BENCH_obs_overhead.json
+  printf ', "throughput": '
+  tr -d '\n' <BENCH_throughput.json
+  printf '}\n'
+} >>BENCH_history.jsonl
+echo "appended run to BENCH_history.jsonl"

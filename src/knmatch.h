@@ -51,6 +51,11 @@
 #include "knmatch/exec/batch.h"
 #include "knmatch/exec/thread_pool.h"
 
+#include "knmatch/obs/catalog.h"
+#include "knmatch/obs/exposition.h"
+#include "knmatch/obs/metrics.h"
+#include "knmatch/obs/trace.h"
+
 #include "knmatch/engine.h"
 
 #include "knmatch/baselines/dpf.h"

@@ -28,7 +28,12 @@ class Timer {
 };
 
 /// Simple accumulating summary of a sample (mean / min / max / stddev /
-/// percentiles). Used to aggregate per-query measurements.
+/// percentiles). Used to aggregate per-query measurements offline,
+/// where exact interpolated percentiles matter; Percentile() sorts
+/// lazily (a dirty flag caches the sorted order across reads). For
+/// online monitoring quantiles — concurrent writers, bounded memory,
+/// factor-of-2 accuracy — use obs::Histogram instead, which is what
+/// the library's own latency metrics record into.
 class Summary {
  public:
   /// Adds one observation.

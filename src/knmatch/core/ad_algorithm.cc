@@ -1,12 +1,36 @@
 #include "knmatch/core/ad_algorithm.h"
 
+#include <chrono>
 #include <utility>
 
 #include "knmatch/core/ad_engine.h"
 #include "knmatch/core/nmatch.h"
 #include "knmatch/core/nmatch_naive.h"
+#include "knmatch/obs/catalog.h"
+#include "knmatch/obs/trace.h"
 
 namespace knmatch {
+
+namespace {
+
+// One registry interaction per query: the AD engine tallies locally and
+// the totals land here, which is what keeps instrumentation overhead on
+// the in-memory hot path under the bench_obs_overhead budget.
+void RecordMemoryAdQuery(const internal::AdOutput& out,
+                         obs::Counter* queries, obs::Histogram* latency,
+                         std::chrono::steady_clock::time_point start) {
+  if (!obs::Enabled()) return;
+  const obs::Catalog& cat = obs::Cat();
+  queries->Add();
+  cat.attrs_ad_memory->Add(out.attributes_retrieved);
+  cat.pops_ad_memory->Add(out.heap_pops);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  latency->Observe(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+          .count()));
+}
+
+}  // namespace
 
 Status ValidateAdWeights(std::span<const Value> weights, size_t dims) {
   if (weights.empty()) return Status::OK();
@@ -34,9 +58,12 @@ Result<KnMatchResult> AdSearcher::KnMatch(
   s = ValidateAdWeights(weights, db_.dims());
   if (!s.ok()) return s;
 
+  const auto start = std::chrono::steady_clock::now();
   internal::MemoryColumnAccessor acc(columns_);
   internal::AdOutput out =
       internal::RunAdSearch(acc, query, n, n, k, weights, scratch);
+  RecordMemoryAdQuery(out, obs::Cat().queries_knmatch,
+                      obs::Cat().latency_knmatch, start);
 
   KnMatchResult result;
   result.matches = std::move(out.per_n_sets[0]);
@@ -53,6 +80,7 @@ Result<FrequentKnMatchResult> AdSearcher::FrequentKnMatch(
   s = ValidateAdWeights(weights, db_.dims());
   if (!s.ok()) return s;
 
+  const auto start = std::chrono::steady_clock::now();
   internal::MemoryColumnAccessor acc(columns_);
   internal::AdOutput out =
       internal::RunAdSearch(acc, query, n0, n1, k, weights, scratch);
@@ -60,7 +88,12 @@ Result<FrequentKnMatchResult> AdSearcher::FrequentKnMatch(
   FrequentKnMatchResult result;
   result.per_n_sets = std::move(out.per_n_sets);
   result.attributes_retrieved = out.attributes_retrieved;
-  RankByFrequency(k, &result);
+  {
+    obs::TraceSpan span(obs::Phase::kRank);
+    RankByFrequency(k, &result);
+  }
+  RecordMemoryAdQuery(out, obs::Cat().queries_fknmatch,
+                      obs::Cat().latency_fknmatch, start);
   return result;
 }
 

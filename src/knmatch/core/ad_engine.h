@@ -12,6 +12,7 @@
 #include "knmatch/core/ad_scratch.h"
 #include "knmatch/core/match_types.h"
 #include "knmatch/core/sorted_columns.h"
+#include "knmatch/obs/trace.h"
 
 namespace knmatch::internal {
 
@@ -31,6 +32,7 @@ concept StatusReportingAccessor = requires(const A& a) {
 struct AdOutput {
   std::vector<std::vector<Neighbor>> per_n_sets;
   uint64_t attributes_retrieved = 0;
+  uint64_t heap_pops = 0;
 };
 
 /// The stepping core of the AD (Ascending Difference) algorithm —
@@ -204,23 +206,35 @@ AdOutput RunAdSearch(Accessor& acc, std::span<const Value> query, size_t n0,
   AdOutput out;
   out.per_n_sets.resize(n1 - n0 + 1);
   for (auto& set : out.per_n_sets) set.reserve(k);
-  AdEngine<Accessor> engine(acc, query, weights, scratch);
+  std::optional<AdEngine<Accessor>> engine;
+  {
+    obs::TraceSpan span(obs::Phase::kLocate);
+    engine.emplace(acc, query, weights, scratch);
+  }
 
-  auto& terminal_set = out.per_n_sets[n1 - n0];
-  while (terminal_set.size() < k) {
-    std::optional<typename AdEngine<Accessor>::Pop> pop = engine.Step();
-    if (!pop.has_value()) break;  // exhausted: return the partial sets
-    const uint16_t a = pop->appearances;
-    if (a >= n0 && a <= n1) {
-      auto& set = out.per_n_sets[a - n0];
-      // Definition 4 counts appearances in the *k*-n-match answer sets,
-      // so each per-n set is capped at the first k completions.
-      if (set.size() < k) {
-        set.push_back(Neighbor{pop->pid, pop->dif});
+  {
+    obs::TraceSpan span(obs::Phase::kAscend);
+    auto& terminal_set = out.per_n_sets[n1 - n0];
+    while (terminal_set.size() < k) {
+      std::optional<typename AdEngine<Accessor>::Pop> pop = engine->Step();
+      if (!pop.has_value()) break;  // exhausted: return the partial sets
+      ++out.heap_pops;
+      const uint16_t a = pop->appearances;
+      if (a >= n0 && a <= n1) {
+        auto& set = out.per_n_sets[a - n0];
+        // Definition 4 counts appearances in the *k*-n-match answer
+        // sets, so each per-n set is capped at the first k completions.
+        if (set.size() < k) {
+          set.push_back(Neighbor{pop->pid, pop->dif});
+        }
       }
     }
   }
-  out.attributes_retrieved = engine.attributes_retrieved();
+  out.attributes_retrieved = engine->attributes_retrieved();
+  if (obs::QueryTrace* trace = obs::CurrentTrace()) {
+    trace->counters().attributes_retrieved += out.attributes_retrieved;
+    trace->counters().heap_pops += out.heap_pops;
+  }
   return out;
 }
 

@@ -6,6 +6,8 @@
 #include "knmatch/core/nmatch.h"
 #include "knmatch/core/nmatch_naive.h"
 #include "knmatch/core/sorted_columns.h"
+#include "knmatch/obs/catalog.h"
+#include "knmatch/obs/trace.h"
 
 namespace knmatch {
 
@@ -115,6 +117,8 @@ Result<KnMatchResult> BTreeAdSearcher::KnMatch(std::span<const Value> query,
 
   BTreeColumnAccessor acc(columns_, query);
   internal::AdOutput out = internal::RunAdSearch(acc, query, n, n, k);
+  obs::Cat().attrs_ad_btree->Add(out.attributes_retrieved);
+  obs::Cat().pops_ad_btree->Add(out.heap_pops);
   if (!acc.status().ok()) return acc.status();
 
   KnMatchResult result;
@@ -131,12 +135,17 @@ Result<FrequentKnMatchResult> BTreeAdSearcher::FrequentKnMatch(
 
   BTreeColumnAccessor acc(columns_, query);
   internal::AdOutput out = internal::RunAdSearch(acc, query, n0, n1, k);
+  obs::Cat().attrs_ad_btree->Add(out.attributes_retrieved);
+  obs::Cat().pops_ad_btree->Add(out.heap_pops);
   if (!acc.status().ok()) return acc.status();
 
   FrequentKnMatchResult result;
   result.per_n_sets = std::move(out.per_n_sets);
   result.attributes_retrieved = out.attributes_retrieved;
-  RankByFrequency(k, &result);
+  {
+    obs::TraceSpan span(obs::Phase::kRank);
+    RankByFrequency(k, &result);
+  }
   return result;
 }
 

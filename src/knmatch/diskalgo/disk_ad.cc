@@ -6,6 +6,8 @@
 #include "knmatch/core/ad_engine.h"
 #include "knmatch/core/nmatch.h"
 #include "knmatch/core/nmatch_naive.h"
+#include "knmatch/obs/catalog.h"
+#include "knmatch/obs/trace.h"
 
 namespace knmatch {
 
@@ -60,6 +62,8 @@ Result<KnMatchResult> DiskAdSearcher::KnMatch(std::span<const Value> query,
 
   DiskColumnAccessor acc(columns_);
   internal::AdOutput out = internal::RunAdSearch(acc, query, n, n, k);
+  obs::Cat().attrs_ad_disk->Add(out.attributes_retrieved);
+  obs::Cat().pops_ad_disk->Add(out.heap_pops);
   if (!acc.status().ok()) return acc.status();
 
   KnMatchResult result;
@@ -76,12 +80,17 @@ Result<FrequentKnMatchResult> DiskAdSearcher::FrequentKnMatch(
 
   DiskColumnAccessor acc(columns_);
   internal::AdOutput out = internal::RunAdSearch(acc, query, n0, n1, k);
+  obs::Cat().attrs_ad_disk->Add(out.attributes_retrieved);
+  obs::Cat().pops_ad_disk->Add(out.heap_pops);
   if (!acc.status().ok()) return acc.status();
 
   FrequentKnMatchResult result;
   result.per_n_sets = std::move(out.per_n_sets);
   result.attributes_retrieved = out.attributes_retrieved;
-  RankByFrequency(k, &result);
+  {
+    obs::TraceSpan span(obs::Phase::kRank);
+    RankByFrequency(k, &result);
+  }
   return result;
 }
 

@@ -6,8 +6,23 @@
 #include "knmatch/common/top_k.h"
 #include "knmatch/core/nmatch.h"
 #include "knmatch/core/nmatch_naive.h"
+#include "knmatch/obs/catalog.h"
+#include "knmatch/obs/trace.h"
 
 namespace knmatch {
+
+namespace {
+
+// Scan cost is fixed at c*d attributes per query (Sec. 5's baseline);
+// charge it to the scan's own algo label and the installed trace.
+void RecordScanCost(uint64_t attributes) {
+  obs::Cat().attrs_scan->Add(attributes);
+  if (obs::QueryTrace* trace = obs::CurrentTrace()) {
+    trace->counters().attributes_retrieved += attributes;
+  }
+}
+
+}  // namespace
 
 Result<KnMatchResult> DiskScan::KnMatch(std::span<const Value> query,
                                         size_t n, size_t k) const {
@@ -31,6 +46,7 @@ Result<KnMatchResult> DiskScan::KnMatch(std::span<const Value> query,
   }
   result.attributes_retrieved =
       static_cast<uint64_t>(rows_.size()) * rows_.dims();
+  RecordScanCost(result.attributes_retrieved);
   return result;
 }
 
@@ -65,7 +81,11 @@ Result<FrequentKnMatchResult> DiskScan::FrequentKnMatch(
   }
   result.attributes_retrieved =
       static_cast<uint64_t>(rows_.size()) * rows_.dims();
-  RankByFrequency(k, &result);
+  RecordScanCost(result.attributes_retrieved);
+  {
+    obs::TraceSpan span(obs::Phase::kRank);
+    RankByFrequency(k, &result);
+  }
   return result;
 }
 
@@ -109,6 +129,7 @@ Result<std::vector<FrequentKnMatchResult>> DiskScan::FrequentKnMatchBatch(
     }
     results[qi].attributes_retrieved =
         static_cast<uint64_t>(rows_.size()) * rows_.dims();
+    RecordScanCost(results[qi].attributes_retrieved);
     RankByFrequency(k, &results[qi]);
   }
   return results;
@@ -139,6 +160,7 @@ Result<KnMatchResult> DiskScan::KnnEuclidean(std::span<const Value> query,
   }
   result.attributes_retrieved =
       static_cast<uint64_t>(rows_.size()) * rows_.dims();
+  RecordScanCost(result.attributes_retrieved);
   return result;
 }
 

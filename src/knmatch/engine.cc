@@ -5,8 +5,45 @@
 #include "knmatch/core/nmatch.h"
 #include "knmatch/core/nmatch_join.h"
 #include "knmatch/eval/selectivity.h"
+#include "knmatch/obs/catalog.h"
+#include "knmatch/obs/trace.h"
 
 namespace knmatch {
+
+namespace {
+
+obs::Counter* MethodCounter(SimilarityEngine::DiskMethod m) {
+  switch (m) {
+    case SimilarityEngine::DiskMethod::kScan:
+      return obs::Cat().disk_method_scan;
+    case SimilarityEngine::DiskMethod::kAd:
+      return obs::Cat().disk_method_ad;
+    case SimilarityEngine::DiskMethod::kVaFile:
+      return obs::Cat().disk_method_va;
+    case SimilarityEngine::DiskMethod::kMemoryAd:
+      return obs::Cat().disk_method_memory;
+    case SimilarityEngine::DiskMethod::kAuto:
+      break;  // never the method that answered
+  }
+  return nullptr;
+}
+
+obs::Counter* FallbackCounter(SimilarityEngine::DiskMethod m) {
+  switch (m) {
+    case SimilarityEngine::DiskMethod::kScan:
+      return obs::Cat().fallback_from_scan;
+    case SimilarityEngine::DiskMethod::kAd:
+      return obs::Cat().fallback_from_ad;
+    case SimilarityEngine::DiskMethod::kVaFile:
+      return obs::Cat().fallback_from_va;
+    case SimilarityEngine::DiskMethod::kMemoryAd:
+    case SimilarityEngine::DiskMethod::kAuto:
+      break;  // the terminal method never falls back; kAuto never runs
+  }
+  return nullptr;
+}
+
+}  // namespace
 
 SimilarityEngine::SimilarityEngine(Dataset db, DiskConfig config)
     : db_(std::move(db)), config_(config) {
@@ -247,9 +284,22 @@ Result<FrequentKnMatchResult> SimilarityEngine::DiskFrequentKnMatch(
       if (auto_routed) {
         last_disk_fallback_.push_back(
             DiskFallbackStep{attempt, result.status()});
+        if (obs::Counter* c = FallbackCounter(attempt)) c->Add();
       }
     }
   });
+
+  obs::Cat().queries_disk->Add();
+  obs::Cat().latency_disk->ObserveSeconds(last_disk_cost_.cpu_seconds +
+                                          last_disk_cost_.io_seconds);
+  if (result.ok()) {
+    if (obs::Counter* c = MethodCounter(last_disk_method_)) c->Add();
+  }
+  if (obs::QueryTrace* trace = obs::CurrentTrace()) {
+    trace->AddPhaseSeconds(obs::Phase::kDiskIo,
+                           last_disk_cost_.io_seconds);
+    trace->counters().fallbacks += last_disk_fallback_.size();
+  }
   return result;
 }
 
@@ -259,6 +309,10 @@ SimilarityEngine::StorageStats SimilarityEngine::DiskStorageStats() const {
   stats.row_pages = rows_->num_pages();
   stats.column_pages = columns_->num_pages();
   stats.va_pages = va_->num_pages();
+  obs::Cat().storage_row_pages->Set(static_cast<int64_t>(stats.row_pages));
+  obs::Cat().storage_column_pages->Set(
+      static_cast<int64_t>(stats.column_pages));
+  obs::Cat().storage_va_pages->Set(static_cast<int64_t>(stats.va_pages));
   return stats;
 }
 

@@ -6,12 +6,48 @@
 #include <utility>
 
 #include "knmatch/core/nmatch.h"
+#include "knmatch/obs/catalog.h"
 
 namespace knmatch::exec {
 
+namespace {
+
+/// Times one admitted query and settles its metrics on destruction:
+/// one run-count increment, one latency observation on the worker's
+/// histogram, one queue-depth decrement.
+class QueryMeter {
+ public:
+  explicit QueryMeter(obs::Histogram* latency)
+      : latency_(latency), armed_(obs::Enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+  ~QueryMeter() {
+    if (!armed_) return;
+    obs::Cat().batch_queries->Add();
+    obs::Cat().batch_queue_depth->Add(-1);
+    latency_->Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count()));
+  }
+
+ private:
+  obs::Histogram* latency_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
 BatchExecutor::BatchExecutor(size_t threads)
     : pool_(std::max<size_t>(1, ResolveThreads(threads))),
-      scratches_(pool_.size()) {}
+      scratches_(pool_.size()) {
+  worker_latency_.reserve(pool_.size());
+  for (size_t w = 0; w < pool_.size(); ++w) {
+    worker_latency_.push_back(obs::BatchWorkerLatency(w));
+  }
+  obs::Cat().batch_workers->Set(static_cast<int64_t>(pool_.size()));
+}
 
 /// Snapshot of one batch call's deadline and cancel flag. Admit() is
 /// consulted by every worker at each query's start boundary; a running
@@ -30,12 +66,18 @@ class BatchExecutor::RunGuard {
     }
   }
 
-  /// OK while the batch may still start queries.
+  /// OK while the batch may still start queries. Called exactly once
+  /// per query at its start boundary, so a refusal here counts the
+  /// query as skipped (and drains it from the queue-depth gauge).
   Status Admit() const {
     if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      obs::Cat().batch_skipped_cancel->Add();
+      obs::Cat().batch_queue_depth->Add(-1);
       return Status::Unavailable("batch cancelled");
     }
     if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      obs::Cat().batch_skipped_deadline->Add();
+      obs::Cat().batch_queue_depth->Add(-1);
       return Status::Unavailable("batch deadline exceeded");
     }
     return Status::OK();
@@ -73,6 +115,9 @@ Result<KnMatchBatchResult> BatchExecutor::KnMatch(
   KnMatchBatchResult out;
   out.results.resize(request.queries.size());
   out.statuses.assign(request.queries.size(), Status::OK());
+  obs::Cat().batch_calls->Add();
+  obs::Cat().batch_queue_depth->Set(
+      static_cast<int64_t>(request.queries.size()));
   const RunGuard guard(request.options);
   pool_.ParallelFor(
       request.queries.size(), [&](size_t worker, size_t i) {
@@ -80,6 +125,7 @@ Result<KnMatchBatchResult> BatchExecutor::KnMatch(
           out.statuses[i] = std::move(admit);
           return;
         }
+        QueryMeter meter(worker_latency_[worker]);
         auto r = searcher.KnMatch(request.queries[i], n, k, weights,
                                   &scratches_[worker]);
         assert(r.ok() && "validated up front");
@@ -105,6 +151,9 @@ Result<FrequentKnMatchBatchResult> BatchExecutor::FrequentKnMatch(
   FrequentKnMatchBatchResult out;
   out.results.resize(request.queries.size());
   out.statuses.assign(request.queries.size(), Status::OK());
+  obs::Cat().batch_calls->Add();
+  obs::Cat().batch_queue_depth->Set(
+      static_cast<int64_t>(request.queries.size()));
   const RunGuard guard(request.options);
   pool_.ParallelFor(
       request.queries.size(), [&](size_t worker, size_t i) {
@@ -112,6 +161,7 @@ Result<FrequentKnMatchBatchResult> BatchExecutor::FrequentKnMatch(
           out.statuses[i] = std::move(admit);
           return;
         }
+        QueryMeter meter(worker_latency_[worker]);
         auto r = searcher.FrequentKnMatch(request.queries[i], n0, n1, k,
                                           weights, &scratches_[worker]);
         assert(r.ok() && "validated up front");
@@ -137,13 +187,17 @@ Result<KnMatchBatchResult> BatchExecutor::Knn(const Dataset& db,
   KnMatchBatchResult out;
   out.results.resize(request.queries.size());
   out.statuses.assign(request.queries.size(), Status::OK());
+  obs::Cat().batch_calls->Add();
+  obs::Cat().batch_queue_depth->Set(
+      static_cast<int64_t>(request.queries.size()));
   const RunGuard guard(request.options);
   pool_.ParallelFor(request.queries.size(),
-                    [&](size_t /*worker*/, size_t i) {
+                    [&](size_t worker, size_t i) {
                       if (Status admit = guard.Admit(); !admit.ok()) {
                         out.statuses[i] = std::move(admit);
                         return;
                       }
+                      QueryMeter meter(worker_latency_[worker]);
                       auto r = KnnScan(db, request.queries[i], k, metric);
                       assert(r.ok() && "validated up front");
                       out.results[i] = std::move(r).value();

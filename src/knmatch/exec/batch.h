@@ -15,6 +15,7 @@
 #include "knmatch/core/ad_scratch.h"
 #include "knmatch/core/match_types.h"
 #include "knmatch/exec/thread_pool.h"
+#include "knmatch/obs/metrics.h"
 
 namespace knmatch::exec {
 
@@ -114,6 +115,9 @@ class BatchExecutor {
 
   ThreadPool pool_;
   std::vector<internal::AdScratch> scratches_;  // one per worker
+  /// knmatch_batch_query_seconds{worker=...}, resolved once per worker
+  /// at construction so the per-query path is one pointer chase.
+  std::vector<obs::Histogram*> worker_latency_;
 };
 
 }  // namespace knmatch::exec

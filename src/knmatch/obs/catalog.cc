@@ -1,0 +1,168 @@
+#include "knmatch/obs/catalog.h"
+
+#include <string>
+
+namespace knmatch::obs {
+
+namespace {
+
+Catalog BuildCatalog() {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  Catalog c;
+
+  const char* kAttrsName = "knmatch_attributes_retrieved_total";
+  const char* kAttrsHelp =
+      "Individual attributes retrieved (the paper's cost metric), by "
+      "algorithm";
+  c.attrs_ad_memory = r.GetCounter(kAttrsName, "algo=\"ad_memory\"",
+                                   kAttrsHelp);
+  c.attrs_ad_disk = r.GetCounter(kAttrsName, "algo=\"ad_disk\"", kAttrsHelp);
+  c.attrs_ad_btree = r.GetCounter(kAttrsName, "algo=\"ad_btree\"",
+                                  kAttrsHelp);
+  c.attrs_scan = r.GetCounter(kAttrsName, "algo=\"scan\"", kAttrsHelp);
+  c.attrs_va = r.GetCounter(kAttrsName, "algo=\"va\"", kAttrsHelp);
+
+  const char* kPopsName = "knmatch_ad_heap_pops_total";
+  const char* kPopsHelp =
+      "AD cursor-heap pops (attributes consumed in ascending difference "
+      "order), by algorithm";
+  c.pops_ad_memory = r.GetCounter(kPopsName, "algo=\"ad_memory\"",
+                                  kPopsHelp);
+  c.pops_ad_disk = r.GetCounter(kPopsName, "algo=\"ad_disk\"", kPopsHelp);
+  c.pops_ad_btree = r.GetCounter(kPopsName, "algo=\"ad_btree\"", kPopsHelp);
+
+  c.va_points_refined = r.GetCounter(
+      "knmatch_va_points_refined_total", "",
+      "Candidate points exactly re-checked in the VA-file's refinement "
+      "phase");
+
+  const char* kQueriesName = "knmatch_queries_total";
+  const char* kQueriesHelp = "Queries executed, by entry point";
+  c.queries_knmatch = r.GetCounter(kQueriesName, "kind=\"knmatch\"",
+                                   kQueriesHelp);
+  c.queries_fknmatch = r.GetCounter(kQueriesName, "kind=\"fknmatch\"",
+                                    kQueriesHelp);
+  c.queries_disk = r.GetCounter(kQueriesName, "kind=\"disk\"",
+                                kQueriesHelp);
+
+  const char* kLatencyName = "knmatch_query_seconds";
+  const char* kLatencyHelp =
+      "Query latency in seconds, by entry point (disk kind includes "
+      "modelled I/O time)";
+  c.latency_knmatch = r.GetHistogram(kLatencyName, "kind=\"knmatch\"",
+                                     kLatencyHelp, 1e-9);
+  c.latency_fknmatch = r.GetHistogram(kLatencyName, "kind=\"fknmatch\"",
+                                      kLatencyHelp, 1e-9);
+  c.latency_disk = r.GetHistogram(kLatencyName, "kind=\"disk\"",
+                                  kLatencyHelp, 1e-9);
+
+  const char* kPagesName = "knmatch_disk_pages_read_total";
+  const char* kPagesHelp =
+      "Physical page read attempts on the simulated disk, by access "
+      "pattern";
+  c.pages_sequential = r.GetCounter(kPagesName, "kind=\"sequential\"",
+                                    kPagesHelp);
+  c.pages_random = r.GetCounter(kPagesName, "kind=\"random\"", kPagesHelp);
+  c.buffer_hits = r.GetCounter(
+      "knmatch_disk_buffer_hits_total", "",
+      "Reads absorbed by the shared buffer pool (no media access)");
+  c.failed_reads = r.GetCounter(
+      "knmatch_disk_failed_reads_total", "",
+      "Physical read attempts that transferred nothing usable");
+  c.read_retries = r.GetCounter(
+      "knmatch_disk_read_retries_total", "",
+      "Read re-attempts after transient failures (bounded per read by "
+      "the retry budget)");
+  c.checksum_failures = r.GetCounter(
+      "knmatch_page_checksum_failures_total", "",
+      "Page images that failed CRC32 verification");
+  c.quarantines = r.GetCounter(
+      "knmatch_disk_quarantines_total", "",
+      "Pages declared unrecoverable and quarantined");
+  c.quarantined_pages = r.GetGauge(
+      "knmatch_disk_quarantined_pages", "",
+      "Pages currently quarantined (reads refused without I/O)");
+  c.btree_node_visits = r.GetCounter(
+      "knmatch_btree_node_visits_total", "",
+      "B+-tree node pages visited (charged root-to-leaf and sideways "
+      "walks)");
+
+  const char* kStorageName = "knmatch_storage_pages";
+  const char* kStorageHelp =
+      "Pages occupied by each disk-resident store";
+  c.storage_row_pages = r.GetGauge(kStorageName, "store=\"row\"",
+                                   kStorageHelp);
+  c.storage_column_pages = r.GetGauge(kStorageName, "store=\"column\"",
+                                      kStorageHelp);
+  c.storage_va_pages = r.GetGauge(kStorageName, "store=\"va\"",
+                                  kStorageHelp);
+
+  const char* kFaultsName = "knmatch_faults_injected_total";
+  const char* kFaultsHelp =
+      "Faults delivered by the injector, by kind";
+  c.faults_transient = r.GetCounter(kFaultsName, "kind=\"transient\"",
+                                    kFaultsHelp);
+  c.faults_corruption = r.GetCounter(kFaultsName, "kind=\"corruption\"",
+                                     kFaultsHelp);
+
+  const char* kMethodName = "knmatch_disk_method_total";
+  const char* kMethodHelp =
+      "Disk queries answered, by the method that produced the answer";
+  c.disk_method_scan = r.GetCounter(kMethodName, "method=\"scan\"",
+                                    kMethodHelp);
+  c.disk_method_ad = r.GetCounter(kMethodName, "method=\"ad\"",
+                                  kMethodHelp);
+  c.disk_method_va = r.GetCounter(kMethodName, "method=\"va\"",
+                                  kMethodHelp);
+  c.disk_method_memory = r.GetCounter(kMethodName, "method=\"memory_ad\"",
+                                      kMethodHelp);
+
+  const char* kFallbackName = "knmatch_disk_fallbacks_total";
+  const char* kFallbackHelp =
+      "Methods abandoned in auto-routed degradation chains, by the "
+      "method that failed";
+  c.fallback_from_scan = r.GetCounter(kFallbackName, "from=\"scan\"",
+                                      kFallbackHelp);
+  c.fallback_from_ad = r.GetCounter(kFallbackName, "from=\"ad\"",
+                                    kFallbackHelp);
+  c.fallback_from_va = r.GetCounter(kFallbackName, "from=\"va\"",
+                                    kFallbackHelp);
+
+  c.batch_calls = r.GetCounter("knmatch_batch_calls_total", "",
+                               "Batch API calls");
+  c.batch_queries = r.GetCounter(
+      "knmatch_batch_queries_total", "",
+      "Queries executed (admitted and run) through the batch API");
+  const char* kSkippedName = "knmatch_batch_skipped_total";
+  const char* kSkippedHelp =
+      "Batch queries skipped at their start boundary, by reason";
+  c.batch_skipped_deadline = r.GetCounter(kSkippedName,
+                                          "reason=\"deadline\"",
+                                          kSkippedHelp);
+  c.batch_skipped_cancel = r.GetCounter(kSkippedName, "reason=\"cancel\"",
+                                        kSkippedHelp);
+  c.batch_queue_depth = r.GetGauge(
+      "knmatch_batch_queue_depth", "",
+      "Queries of the in-flight batch not yet finished");
+  c.batch_workers = r.GetGauge("knmatch_batch_workers", "",
+                               "Worker threads of the current batch "
+                               "executor");
+  return c;
+}
+
+}  // namespace
+
+const Catalog& Cat() {
+  static const Catalog catalog = BuildCatalog();
+  return catalog;
+}
+
+Histogram* BatchWorkerLatency(size_t worker) {
+  return MetricsRegistry::Global().GetHistogram(
+      "knmatch_batch_query_seconds",
+      "worker=\"" + std::to_string(worker) + "\"",
+      "Per-query latency inside the batch executor, by worker",
+      1e-9);
+}
+
+}  // namespace knmatch::obs

@@ -1,0 +1,81 @@
+#ifndef KNMATCH_OBS_CATALOG_H_
+#define KNMATCH_OBS_CATALOG_H_
+
+#include "knmatch/obs/metrics.h"
+
+namespace knmatch::obs {
+
+/// Every metric the library itself records, registered once in the
+/// global registry and cached here so hot paths pay a single pointer
+/// chase per event. See docs/observability.md for the full catalog and
+/// naming conventions. All names are prefixed knmatch_; counters end
+/// in _total; durations are histograms in seconds.
+struct Catalog {
+  // --- The paper's cost model (Theorems 3.2/3.3: attributes
+  // retrieved), split by algorithm. ---
+  Counter* attrs_ad_memory;   // in-memory AD
+  Counter* attrs_ad_disk;     // AD over the paged column store
+  Counter* attrs_ad_btree;    // AD over the per-dimension B+-trees
+  Counter* attrs_scan;        // sequential scan (always c*d)
+  Counter* attrs_va;          // VA-file (approximation + refinement)
+  Counter* pops_ad_memory;    // AD cursor-heap pops
+  Counter* pops_ad_disk;
+  Counter* pops_ad_btree;
+  Counter* va_points_refined; // VA phase-2 exact re-checks
+
+  // --- Query counts and latency, by entry point. ---
+  Counter* queries_knmatch;
+  Counter* queries_fknmatch;
+  Counter* queries_disk;       // engine-level DiskFrequentKnMatch calls
+  Histogram* latency_knmatch;  // seconds, in-memory AD k-n-match
+  Histogram* latency_fknmatch;
+  Histogram* latency_disk;     // seconds, CPU + modelled I/O
+
+  // --- Storage layer (DiskSimulator / PagedFile / B+-tree). ---
+  Counter* pages_sequential;
+  Counter* pages_random;
+  Counter* buffer_hits;
+  Counter* failed_reads;
+  Counter* read_retries;        // re-attempts after transient faults
+  Counter* checksum_failures;   // CRC mismatches on page images
+  Counter* quarantines;         // pages declared unrecoverable (ever)
+  Gauge* quarantined_pages;     // currently quarantined
+  Counter* btree_node_visits;
+  Gauge* storage_row_pages;     // DiskStorageStats, mirrored as gauges
+  Gauge* storage_column_pages;
+  Gauge* storage_va_pages;
+
+  // --- Fault injection (PR 2's counters, surfaced). ---
+  Counter* faults_transient;
+  Counter* faults_corruption;
+
+  // --- Engine degradation chain. ---
+  Counter* disk_method_scan;   // queries answered by each disk method
+  Counter* disk_method_ad;
+  Counter* disk_method_va;
+  Counter* disk_method_memory;
+  Counter* fallback_from_scan;  // methods abandoned mid-chain
+  Counter* fallback_from_ad;
+  Counter* fallback_from_va;
+
+  // --- Batch executor. ---
+  Counter* batch_calls;
+  Counter* batch_queries;
+  Counter* batch_skipped_deadline;
+  Counter* batch_skipped_cancel;
+  Gauge* batch_queue_depth;  // queries admitted but not yet finished
+  Gauge* batch_workers;      // workers of the current executor
+};
+
+/// The catalog over MetricsRegistry::Global(), built on first use
+/// (thread-safe). Instrumentation sites call Cat().foo->Add(...).
+const Catalog& Cat();
+
+/// Per-worker batch latency histogram
+/// knmatch_batch_query_seconds{worker="<worker>"}, registered in the
+/// global registry on first use for that worker index.
+Histogram* BatchWorkerLatency(size_t worker);
+
+}  // namespace knmatch::obs
+
+#endif  // KNMATCH_OBS_CATALOG_H_

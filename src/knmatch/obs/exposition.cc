@@ -1,0 +1,194 @@
+#include "knmatch/obs/exposition.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+namespace knmatch::obs {
+
+namespace {
+
+const char* TypeName(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+std::string FmtDouble(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// "name{labels}" or "name" when labels is empty; `extra` label (the
+/// histogram's le) is appended after the instance labels.
+std::string SampleName(const std::string& name, const std::string& suffix,
+                       const std::string& labels,
+                       const std::string& extra = "") {
+  std::string out = name + suffix;
+  if (!labels.empty() || !extra.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra.empty()) out += ',';
+    out += extra;
+    out += '}';
+  }
+  return out;
+}
+
+/// Splits a raw label body (kind="knmatch",worker="3") into pairs.
+/// Label values registered by this library never contain commas,
+/// quotes, or escapes, which keeps this exact.
+std::vector<std::pair<std::string_view, std::string_view>> ParseLabels(
+    std::string_view labels) {
+  std::vector<std::pair<std::string_view, std::string_view>> pairs;
+  size_t at = 0;
+  while (at < labels.size()) {
+    const size_t eq = labels.find('=', at);
+    if (eq == std::string_view::npos) break;
+    const size_t open = labels.find('"', eq);
+    const size_t close = labels.find('"', open + 1);
+    if (open == std::string_view::npos || close == std::string_view::npos) {
+      break;
+    }
+    pairs.emplace_back(labels.substr(at, eq - at),
+                       labels.substr(open + 1, close - open - 1));
+    at = labels.find(',', close);
+    if (at == std::string_view::npos) break;
+    ++at;
+  }
+  return pairs;
+}
+
+/// Index of the last non-empty bucket (0 when all empty), so renderers
+/// can stop the cumulative series early instead of emitting 60+ zero
+/// buckets per histogram.
+size_t LastUsedBucket(const HistogramSnapshot& h) {
+  size_t last = 0;
+  for (size_t i = 0; i < h.counts.size(); ++i) {
+    if (h.counts[i] != 0) last = i;
+  }
+  return last;
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsRegistry& registry) {
+  const std::vector<MetricSample> samples = registry.Snapshot();
+  std::string out;
+  out.reserve(256 * samples.size());
+  std::string_view last_family;
+  char buf[160];
+  for (const MetricSample& s : samples) {
+    if (s.name != last_family) {
+      out += "# HELP " + s.name + " " + s.help + "\n";
+      out += "# TYPE " + s.name + " ";
+      out += TypeName(s.type);
+      out += "\n";
+      last_family = s.name;
+    }
+    switch (s.type) {
+      case MetricType::kCounter:
+        std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", s.counter_value);
+        out += SampleName(s.name, "", s.labels) + buf;
+        break;
+      case MetricType::kGauge:
+        std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", s.gauge_value);
+        out += SampleName(s.name, "", s.labels) + buf;
+        break;
+      case MetricType::kHistogram: {
+        const HistogramSnapshot& h = s.histogram;
+        const size_t last = LastUsedBucket(h);
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i <= last; ++i) {
+          cumulative += h.counts[i];
+          const double le =
+              i == 0 ? 0.0 : Histogram::BucketUpperRaw(i) * h.scale;
+          std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", cumulative);
+          out += SampleName(s.name, "_bucket", s.labels,
+                            "le=\"" + FmtDouble(le) + "\"") +
+                 buf;
+        }
+        std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", h.count);
+        out += SampleName(s.name, "_bucket", s.labels, "le=\"+Inf\"") + buf;
+        out += SampleName(s.name, "_sum", s.labels) + " " +
+               FmtDouble(static_cast<double>(h.sum_raw) * h.scale) + "\n";
+        std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", h.count);
+        out += SampleName(s.name, "_count", s.labels) + buf;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const MetricsRegistry& registry) {
+  const std::vector<MetricSample> samples = registry.Snapshot();
+  std::string out = "{\"metrics\":[";
+  char buf[160];
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + s.name + "\",\"type\":\"";
+    out += TypeName(s.type);
+    out += "\",\"labels\":{";
+    bool first_label = true;
+    for (const auto& [key, value] : ParseLabels(s.labels)) {
+      if (!first_label) out += ',';
+      first_label = false;
+      out += '"';
+      out += key;
+      out += "\":\"";
+      out += value;
+      out += '"';
+    }
+    out += '}';
+    switch (s.type) {
+      case MetricType::kCounter:
+        std::snprintf(buf, sizeof(buf), ",\"value\":%" PRIu64 "}",
+                      s.counter_value);
+        out += buf;
+        break;
+      case MetricType::kGauge:
+        std::snprintf(buf, sizeof(buf), ",\"value\":%" PRId64 "}",
+                      s.gauge_value);
+        out += buf;
+        break;
+      case MetricType::kHistogram: {
+        const HistogramSnapshot& h = s.histogram;
+        std::snprintf(buf, sizeof(buf),
+                      ",\"count\":%" PRIu64 ",\"sum\":%s,\"buckets\":[",
+                      h.count,
+                      FmtDouble(static_cast<double>(h.sum_raw) * h.scale)
+                          .c_str());
+        out += buf;
+        const size_t last = LastUsedBucket(h);
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i <= last; ++i) {
+          cumulative += h.counts[i];
+          const double le =
+              i == 0 ? 0.0 : Histogram::BucketUpperRaw(i) * h.scale;
+          std::snprintf(buf, sizeof(buf), "%s{\"le\":%s,\"count\":%" PRIu64
+                        "}",
+                        i == 0 ? "" : ",", FmtDouble(le).c_str(),
+                        cumulative);
+          out += buf;
+        }
+        std::snprintf(buf, sizeof(buf),
+                      ",{\"le\":\"+Inf\",\"count\":%" PRIu64 "}]}",
+                      h.count);
+        out += buf;
+        break;
+      }
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace knmatch::obs

@@ -1,0 +1,28 @@
+#ifndef KNMATCH_OBS_EXPOSITION_H_
+#define KNMATCH_OBS_EXPOSITION_H_
+
+#include <string>
+
+#include "knmatch/obs/metrics.h"
+
+namespace knmatch::obs {
+
+/// Renders a registry snapshot in the Prometheus text exposition
+/// format (version 0.0.4): one # HELP / # TYPE pair per family, then
+/// one sample line per (labels) instance; histograms expand into
+/// cumulative _bucket{le=...} series plus _sum and _count. Families
+/// are sorted by name, instances by label string, so the output is
+/// deterministic — serve it from any HTTP handler as
+/// text/plain; version=0.0.4.
+std::string RenderPrometheus(const MetricsRegistry& registry);
+
+/// Renders the same snapshot as one JSON document:
+/// {"metrics":[{"name":...,"type":...,"labels":{...},"value":...}, ...]}.
+/// Histogram entries carry "count", "sum" and a "buckets" array of
+/// {"le": upper_bound, "count": cumulative}. Deterministic ordering as
+/// in RenderPrometheus.
+std::string RenderJson(const MetricsRegistry& registry);
+
+}  // namespace knmatch::obs
+
+#endif  // KNMATCH_OBS_EXPOSITION_H_

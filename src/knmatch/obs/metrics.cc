@@ -1,0 +1,175 @@
+#include "knmatch/obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace knmatch::obs {
+
+#if KNMATCH_OBS_ENABLED
+
+namespace internal {
+
+std::atomic<bool> g_enabled{true};
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return shard;
+}
+
+}  // namespace internal
+
+void SetEnabled(bool on) {
+  internal::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const noexcept {
+  HistogramSnapshot snap;
+  snap.scale = scale_;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.counts[i];
+  }
+  snap.sum_raw = sum_raw_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double Histogram::Quantile(double q) const noexcept {
+  const HistogramSnapshot snap = Snapshot();
+  if (snap.count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(snap.count);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (snap.counts[i] == 0) continue;
+    const uint64_t next = seen + snap.counts[i];
+    if (static_cast<double>(next) >= target) {
+      if (i == 0) return 0;  // the exact-zero bucket
+      const double lo = static_cast<double>(BucketLowerRaw(i));
+      const double hi = BucketUpperRaw(i);
+      const double frac =
+          (target - static_cast<double>(seen)) /
+          static_cast<double>(snap.counts[i]);
+      return (lo + (hi - lo) * frac) * scale_;
+    }
+    seen = next;
+  }
+  return BucketUpperRaw(kNumBuckets - 1) * scale_;
+}
+
+#endif  // KNMATCH_OBS_ENABLED
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
+    MetricType type, std::string_view name, std::string_view labels,
+    std::string_view help, double scale) {
+  std::scoped_lock lock(mu_);
+  for (const auto& e : entries_) {
+    if (e->name == name && e->labels == labels) {
+      assert(e->type == type && "metric re-registered with another type");
+      return e.get();
+    }
+  }
+  auto e = std::make_unique<Entry>();
+  e->type = type;
+  e->name = std::string(name);
+  e->labels = std::string(labels);
+  e->help = std::string(help);
+  switch (type) {
+    case MetricType::kCounter:
+      e->counter = std::make_unique<Counter>();
+      break;
+    case MetricType::kGauge:
+      e->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricType::kHistogram:
+      e->histogram = std::make_unique<Histogram>(scale);
+      break;
+  }
+  entries_.push_back(std::move(e));
+  return entries_.back().get();
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view labels,
+                                     std::string_view help) {
+  return FindOrCreate(MetricType::kCounter, name, labels, help, 1.0)
+      ->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view labels,
+                                 std::string_view help) {
+  return FindOrCreate(MetricType::kGauge, name, labels, help, 1.0)
+      ->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view labels,
+                                         std::string_view help,
+                                         double scale) {
+  return FindOrCreate(MetricType::kHistogram, name, labels, help, scale)
+      ->histogram.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::scoped_lock lock(mu_);
+  for (const auto& e : entries_) {
+    switch (e->type) {
+      case MetricType::kCounter:
+        e->counter->Reset();
+        break;
+      case MetricType::kGauge:
+        e->gauge->Reset();
+        break;
+      case MetricType::kHistogram:
+        e->histogram->Reset();
+        break;
+    }
+  }
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> samples;
+  {
+    std::scoped_lock lock(mu_);
+    samples.reserve(entries_.size());
+    for (const auto& e : entries_) {
+      MetricSample s;
+      s.type = e->type;
+      s.name = e->name;
+      s.labels = e->labels;
+      s.help = e->help;
+      switch (e->type) {
+        case MetricType::kCounter:
+          s.counter_value = e->counter->Value();
+          break;
+        case MetricType::kGauge:
+          s.gauge_value = e->gauge->Value();
+          break;
+        case MetricType::kHistogram:
+          s.histogram = e->histogram->Snapshot();
+          break;
+      }
+      samples.push_back(std::move(s));
+    }
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return samples;
+}
+
+size_t MetricsRegistry::size() const {
+  std::scoped_lock lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace knmatch::obs

@@ -1,0 +1,308 @@
+#ifndef KNMATCH_OBS_METRICS_H_
+#define KNMATCH_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Compile-time gate for the whole observability subsystem. Building
+// with -DKNMATCH_OBS_ENABLED=0 (CMake option KNMATCH_DISABLE_METRICS)
+// replaces every metric type with an empty-bodied no-op whose calls
+// fold away entirely — the checkable zero-cost path. The default build
+// compiles the instrumentation in; a runtime kill switch (SetEnabled)
+// then reduces each site to one relaxed atomic load.
+#ifndef KNMATCH_OBS_ENABLED
+#define KNMATCH_OBS_ENABLED 1
+#endif
+
+namespace knmatch::obs {
+
+/// True when the subsystem is compiled in (KNMATCH_OBS_ENABLED != 0).
+inline constexpr bool kMetricsCompiledIn = KNMATCH_OBS_ENABLED != 0;
+
+#if KNMATCH_OBS_ENABLED
+
+namespace internal {
+/// The runtime kill switch behind Enabled()/SetEnabled().
+extern std::atomic<bool> g_enabled;
+/// Index of the calling thread in the counters' shard arrays: threads
+/// are assigned round-robin slots on first use, so a fixed worker pool
+/// lands each worker on its own shard.
+size_t ThisThreadShard();
+}  // namespace internal
+
+/// Runtime kill switch, default on. Metric mutators check it with one
+/// relaxed load; when off they return immediately, so a disabled
+/// process pays (almost) nothing for its instrumentation.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+void SetEnabled(bool on);
+
+/// Monotonically increasing counter. Increments go to one of kShards
+/// cache-line-separated atomic cells chosen by the calling thread, so
+/// concurrent workers do not contend on one line; Value() sums the
+/// shards. All operations use relaxed ordering — counters order
+/// nothing, they only count.
+class Counter {
+ public:
+  static constexpr size_t kShards = 8;
+
+  void Add(uint64_t v = 1) noexcept {
+    if (!Enabled()) return;
+    shards_[internal::ThisThreadShard() & (kShards - 1)].cell.fetch_add(
+        v, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const noexcept {
+    uint64_t sum = 0;
+    for (const Shard& s : shards_) {
+      sum += s.cell.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  /// Zeroes the counter (tests and the CLI's `metrics reset`).
+  void Reset() noexcept {
+    for (Shard& s : shards_) s.cell.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> cell{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// A value that can go up and down (queue depths, resident pages).
+/// Single atomic cell: gauges are updated at coarse boundaries, not in
+/// per-attribute hot loops, so sharding would buy nothing.
+class Gauge {
+ public:
+  void Set(int64_t v) noexcept {
+    if (!Enabled()) return;
+    cell_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) noexcept {
+    if (!Enabled()) return;
+    cell_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const noexcept {
+    return cell_.load(std::memory_order_relaxed);
+  }
+  void Reset() noexcept { cell_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> cell_{0};
+};
+
+/// Fixed-size view of a histogram's state, taken atomically enough for
+/// monitoring (individual cells are read relaxed; a snapshot taken
+/// during updates may be mid-flight by a few observations).
+struct HistogramSnapshot {
+  /// counts[i] observations fell in bucket i; bucket 0 is the exact
+  /// value 0, bucket i >= 1 covers [2^(i-1), 2^i).
+  std::array<uint64_t, 65> counts{};
+  uint64_t count = 0;    // total observations
+  uint64_t sum_raw = 0;  // sum of raw (unscaled) observed values
+  double scale = 1.0;    // multiply raw units by this for display
+};
+
+/// Log-bucketed histogram over non-negative integers: bucket i >= 1
+/// holds values in [2^(i-1), 2^i), bucket 0 holds exact zeros. One
+/// relaxed fetch_add per observation (plus one for the sum) — cheap
+/// enough for per-query latencies and cost counts, and the power-of-two
+/// buckets give quantiles within a factor of 2 with no locking, which
+/// is all a monitoring quantile needs (exact percentiles stay with
+/// common/stats.h's Summary).
+///
+/// `scale` converts the raw integer unit into the displayed unit; a
+/// latency histogram observes nanoseconds with scale = 1e-9 so its
+/// exposition reads in seconds (the Prometheus convention).
+class Histogram {
+ public:
+  explicit Histogram(double scale = 1.0) : scale_(scale) {}
+
+  void Observe(uint64_t raw) noexcept {
+    if (!Enabled()) return;
+    buckets_[BucketOf(raw)].fetch_add(1, std::memory_order_relaxed);
+    sum_raw_.fetch_add(raw, std::memory_order_relaxed);
+  }
+
+  /// Observes a duration in seconds; requires scale() in (0, 1].
+  void ObserveSeconds(double seconds) noexcept {
+    if (!Enabled()) return;
+    if (seconds < 0) seconds = 0;
+    // Round, don't truncate: 1.0 / 1e-9 computes as 999999999.999...,
+    // and truncation would shave one raw unit off exact values.
+    Observe(static_cast<uint64_t>(seconds / scale_ + 0.5));
+  }
+
+  double scale() const noexcept { return scale_; }
+
+  HistogramSnapshot Snapshot() const noexcept;
+
+  /// Approximate quantile, q in [0, 1]: finds the bucket holding the
+  /// rank and interpolates linearly inside it. Returned in display
+  /// units (raw * scale). 0 when empty.
+  double Quantile(double q) const noexcept;
+
+  void Reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_raw_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Bucket index of a raw value: 0 for 0, else bit_width (1..64).
+  static constexpr size_t BucketOf(uint64_t raw) noexcept {
+    return static_cast<size_t>(std::bit_width(raw));
+  }
+  /// Inclusive lower / exclusive upper raw bound of bucket i >= 1.
+  static constexpr uint64_t BucketLowerRaw(size_t i) noexcept {
+    return uint64_t{1} << (i - 1);
+  }
+  static constexpr double BucketUpperRaw(size_t i) noexcept {
+    // As a double: bucket 64's upper bound (2^64) overflows uint64.
+    return i < 64 ? static_cast<double>(uint64_t{1} << i)
+                  : 18446744073709551616.0;
+  }
+
+  static constexpr size_t kNumBuckets = 65;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_raw_{0};
+  double scale_;
+};
+
+#else  // !KNMATCH_OBS_ENABLED — the compiled-out no-op types.
+
+inline bool Enabled() { return false; }
+inline void SetEnabled(bool) {}
+
+class Counter {
+ public:
+  static constexpr size_t kShards = 1;
+  void Add(uint64_t = 1) noexcept {}
+  uint64_t Value() const noexcept { return 0; }
+  void Reset() noexcept {}
+};
+
+class Gauge {
+ public:
+  void Set(int64_t) noexcept {}
+  void Add(int64_t) noexcept {}
+  int64_t Value() const noexcept { return 0; }
+  void Reset() noexcept {}
+};
+
+struct HistogramSnapshot {
+  std::array<uint64_t, 65> counts{};
+  uint64_t count = 0;
+  uint64_t sum_raw = 0;
+  double scale = 1.0;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(double scale = 1.0) : scale_(scale) {}
+  void Observe(uint64_t) noexcept {}
+  void ObserveSeconds(double) noexcept {}
+  double scale() const noexcept { return scale_; }
+  HistogramSnapshot Snapshot() const noexcept { return {}; }
+  double Quantile(double) const noexcept { return 0; }
+  void Reset() noexcept {}
+  static constexpr size_t BucketOf(uint64_t) noexcept { return 0; }
+  static constexpr uint64_t BucketLowerRaw(size_t) noexcept { return 0; }
+  static constexpr double BucketUpperRaw(size_t) noexcept { return 0; }
+  static constexpr size_t kNumBuckets = 65;
+
+ private:
+  double scale_;
+};
+
+// The no-op types must truly fold away: any growth here would mean the
+// "compiled out" path still carries state.
+static_assert(sizeof(Counter) == 1 && sizeof(Gauge) == 1);
+
+#endif  // KNMATCH_OBS_ENABLED
+
+/// What a registry entry is, for exposition.
+enum class MetricType : uint8_t { kCounter, kGauge, kHistogram };
+
+/// One metric's identity + current value, as read by Snapshot().
+struct MetricSample {
+  MetricType type;
+  std::string name;    // Prometheus family name (no labels)
+  std::string labels;  // raw label body, e.g. kind="knmatch" (may be "")
+  std::string help;
+  uint64_t counter_value = 0;
+  int64_t gauge_value = 0;
+  HistogramSnapshot histogram;
+};
+
+/// Registry of named metrics. Registration (GetCounter & friends) takes
+/// a mutex and is meant to happen once per site — cache the returned
+/// pointer (typically in a function-local static). Returned pointers
+/// are stable for the registry's lifetime. Re-registering the same
+/// (name, labels) returns the existing metric; the type must match.
+///
+/// The process-global instance (Global()) is what the library's
+/// instrumentation records into and what the exposition endpoints
+/// serve; independent instances can be created for tests or embedding.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-global registry.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name, std::string_view labels,
+                      std::string_view help);
+  Gauge* GetGauge(std::string_view name, std::string_view labels,
+                  std::string_view help);
+  /// `scale` is the display multiplier for raw observations (1e-9 for
+  /// a nanosecond-observing, second-displaying latency histogram).
+  Histogram* GetHistogram(std::string_view name, std::string_view labels,
+                          std::string_view help, double scale = 1.0);
+
+  /// Zeroes every registered metric's value; registrations (and cached
+  /// pointers) stay valid. For tests and the CLI.
+  void Reset();
+
+  /// Reads every metric, sorted by (name, labels) so exposition (and
+  /// golden tests) are stable regardless of registration order.
+  std::vector<MetricSample> Snapshot() const;
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    MetricType type;
+    std::string name;
+    std::string labels;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreate(MetricType type, std::string_view name,
+                      std::string_view labels, std::string_view help,
+                      double scale);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace knmatch::obs
+
+#endif  // KNMATCH_OBS_METRICS_H_

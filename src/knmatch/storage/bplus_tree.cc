@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "knmatch/obs/catalog.h"
+
 namespace knmatch {
 
 BPlusTree::BPlusTree(DiskSimulator* disk) : disk_(disk) {}
@@ -25,6 +27,7 @@ Status BPlusTree::ChargeVisit(size_t stream, uint32_t node) const {
   // errors, quarantine on corruption (the node's modelled page image
   // is what got damaged — indistinguishable, for the caller, from a
   // checksum failure on a real page).
+  obs::Cat().btree_node_visits->Add();
   return disk_->ChargedRead(stream, page_of_[node]);
 }
 

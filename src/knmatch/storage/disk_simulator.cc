@@ -3,6 +3,9 @@
 #include <cassert>
 #include <string>
 
+#include "knmatch/obs/catalog.h"
+#include "knmatch/obs/trace.h"
+
 namespace knmatch {
 
 uint64_t DiskSimulator::AllocatePages(uint64_t count) {
@@ -50,8 +53,20 @@ void DiskSimulator::BufferPool::Clear() {
 void DiskSimulator::DropBufferPool() { pool_.Clear(); }
 
 void DiskSimulator::QuarantinePage(uint64_t page) {
-  quarantined_.insert(page);
+  if (quarantined_.insert(page).second) {
+    obs::Cat().quarantines->Add();
+    obs::Cat().quarantined_pages->Add(1);
+    if (obs::QueryTrace* trace = obs::CurrentTrace()) {
+      ++trace->counters().quarantines;
+    }
+  }
   pool_.Erase(page);
+}
+
+void DiskSimulator::ClearQuarantine() {
+  obs::Cat().quarantined_pages->Add(
+      -static_cast<int64_t>(quarantined_.size()));
+  quarantined_.clear();
 }
 
 void DiskSimulator::EvictPage(uint64_t page) { pool_.Erase(page); }
@@ -74,6 +89,10 @@ void DiskSimulator::ChargeAttempt(size_t stream, uint64_t page) {
       config_.single_head ? head_has_pos_ : stream_has_pos_[stream];
   if (!has_pos) {
     ++random_reads_;  // First access of a stream always seeks.
+    obs::Cat().pages_random->Add();
+    if (obs::QueryTrace* trace = obs::CurrentTrace()) {
+      ++trace->counters().random_pages;
+    }
     return;
   }
   const uint64_t last =
@@ -84,8 +103,16 @@ void DiskSimulator::ChargeAttempt(size_t stream, uint64_t page) {
       page == last || page == last + 1 || last == page + 1;
   if (adjacent) {
     ++sequential_reads_;
+    obs::Cat().pages_sequential->Add();
+    if (obs::QueryTrace* trace = obs::CurrentTrace()) {
+      ++trace->counters().sequential_pages;
+    }
   } else {
     ++random_reads_;
+    obs::Cat().pages_random->Add();
+    if (obs::QueryTrace* trace = obs::CurrentTrace()) {
+      ++trace->counters().random_pages;
+    }
   }
 }
 
@@ -107,6 +134,10 @@ DiskSimulator::ReadOutcome DiskSimulator::ReadAttempt(size_t stream,
   // from memory — no media access, so no fault opportunity either.
   if (config_.buffer_pool_pages > 0 && pool_.Lookup(page)) {
     ++buffer_hits_;
+    obs::Cat().buffer_hits->Add();
+    if (obs::QueryTrace* trace = obs::CurrentTrace()) {
+      ++trace->counters().buffer_hits;
+    }
     SetPosition(stream, page, /*buffer_valid=*/true);
     return ReadOutcome::kOk;
   }
@@ -134,6 +165,10 @@ DiskSimulator::ReadOutcome DiskSimulator::ReadAttempt(size_t stream,
     // The head reached the page but nothing usable transferred; a
     // corrupted transfer's garbage must not enter the pool either.
     ++failed_reads_;
+    obs::Cat().failed_reads->Add();
+    if (obs::QueryTrace* trace = obs::CurrentTrace()) {
+      ++trace->counters().failed_reads;
+    }
     SetPosition(stream, page, /*buffer_valid=*/false);
   }
   return outcome;
@@ -149,6 +184,12 @@ Status DiskSimulator::ChargedRead(size_t stream, uint64_t page) {
                             " is quarantined");
   }
   for (int attempt = 0; attempt < kMaxReadAttempts; ++attempt) {
+    if (attempt > 0) {
+      obs::Cat().read_retries->Add();
+      if (obs::QueryTrace* trace = obs::CurrentTrace()) {
+        ++trace->counters().retries;
+      }
+    }
     switch (ReadAttempt(stream, page)) {
       case ReadOutcome::kOk:
         return Status::OK();

@@ -123,7 +123,7 @@ class DiskSimulator {
   /// Marks `page` unrecoverable and evicts it from the buffer pool.
   void QuarantinePage(uint64_t page);
   /// Lifts every quarantine (after the fault source is cleared).
-  void ClearQuarantine() { quarantined_.clear(); }
+  void ClearQuarantine();
   size_t quarantined_pages() const { return quarantined_.size(); }
 
   /// Evicts `page` from the shared buffer pool (e.g., when its cached

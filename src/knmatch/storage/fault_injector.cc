@@ -1,5 +1,7 @@
 #include "knmatch/storage/fault_injector.h"
 
+#include "knmatch/obs/catalog.h"
+
 namespace knmatch {
 
 namespace {
@@ -23,6 +25,7 @@ FaultInjector::Outcome FaultInjector::OnReadAttempt(uint64_t page) {
 
   if (scripted_corrupt_.contains(page)) {
     ++corruptions_injected_;
+    obs::Cat().faults_corruption->Add();
     return Outcome::kCorruption;
   }
   if (auto it = scripted_failures_.find(page);
@@ -30,6 +33,7 @@ FaultInjector::Outcome FaultInjector::OnReadAttempt(uint64_t page) {
     if (it->second > 0) {
       --it->second;
       ++transient_faults_injected_;
+      obs::Cat().faults_transient->Add();
       return Outcome::kTransientError;
     }
     scripted_failures_.erase(it);
@@ -39,12 +43,14 @@ FaultInjector::Outcome FaultInjector::OnReadAttempt(uint64_t page) {
       HashToUnit(config_.seed ^ 0xC0DEC0DEC0DEC0DEull, page, 0) <
           config_.corruption_rate) {
     ++corruptions_injected_;
+    obs::Cat().faults_corruption->Add();
     return Outcome::kCorruption;
   }
   if (config_.transient_error_rate > 0 &&
       HashToUnit(config_.seed, page, attempt) <
           config_.transient_error_rate) {
     ++transient_faults_injected_;
+    obs::Cat().faults_transient->Add();
     return Outcome::kTransientError;
   }
   return Outcome::kOk;

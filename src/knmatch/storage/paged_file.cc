@@ -3,6 +3,9 @@
 #include <cassert>
 #include <string>
 
+#include "knmatch/obs/catalog.h"
+#include "knmatch/obs/trace.h"
+
 namespace knmatch {
 
 PagedFile::PagedFile(DiskSimulator* disk)
@@ -37,8 +40,13 @@ Result<std::span<const std::byte>> PagedFile::VerifyStored(
     return std::span<const std::byte>(page.data() + sizeof(uint32_t),
                                       len);
   }
+  obs::TraceSpan span(obs::Phase::kVerify);
   auto payload = VerifyAndUnframePage(page);
-  if (payload.ok()) verified_[index] = true;
+  if (payload.ok()) {
+    verified_[index] = true;
+  } else {
+    obs::Cat().checksum_failures->Add();
+  }
   return payload;
 }
 
@@ -56,6 +64,12 @@ Result<std::span<const std::byte>> PagedFile::ReadPage(
   }
   for (int attempt = 0; attempt < DiskSimulator::kMaxReadAttempts;
        ++attempt) {
+    if (attempt > 0) {
+      obs::Cat().read_retries->Add();
+      if (obs::QueryTrace* trace = obs::CurrentTrace()) {
+        ++trace->counters().retries;
+      }
+    }
     switch (disk_->ReadAttempt(stream, global)) {
       case DiskSimulator::ReadOutcome::kOk:
         break;
@@ -68,6 +82,7 @@ Result<std::span<const std::byte>> PagedFile::ReadPage(
         damaged[index % damaged.size()] ^= std::byte{0x40};
         auto verdict = VerifyAndUnframePage(damaged);
         assert(!verdict.ok() && "checksum must catch a flipped bit");
+        obs::Cat().checksum_failures->Add();
         disk_->QuarantinePage(global);
         return verdict.ok()
                    ? Status::DataLoss("corrupt transfer")  // unreachable

@@ -7,6 +7,8 @@
 #include "knmatch/common/top_k.h"
 #include "knmatch/core/nmatch.h"
 #include "knmatch/core/nmatch_naive.h"
+#include "knmatch/obs/catalog.h"
+#include "knmatch/obs/trace.h"
 
 namespace knmatch {
 
@@ -75,12 +77,16 @@ Result<VaFrequentKnMatchResult> VaKnMatchSearcher::FrequentKnMatch(
 
   const size_t row_stream = rows_.OpenStream();
   std::vector<Value> buf, diffs;
-  for (const PointId pid : candidates) {
-    Result<std::span<const Value>> p = rows_.ReadRow(row_stream, pid, &buf);
-    if (!p.ok()) return p.status();
-    SortedAbsDifferences(p.value(), query, &diffs);
-    for (size_t n = n0; n <= n1; ++n) {
-      per_n[n - n0].Offer(diffs[n - 1], pid, pid);
+  {
+    obs::TraceSpan span(obs::Phase::kVerify);
+    for (const PointId pid : candidates) {
+      Result<std::span<const Value>> p =
+          rows_.ReadRow(row_stream, pid, &buf);
+      if (!p.ok()) return p.status();
+      SortedAbsDifferences(p.value(), query, &diffs);
+      for (size_t n = n0; n <= n1; ++n) {
+        per_n[n - n0].Offer(diffs[n - 1], pid, pid);
+      }
     }
   }
 
@@ -97,7 +103,17 @@ Result<VaFrequentKnMatchResult> VaKnMatchSearcher::FrequentKnMatch(
   result.base.attributes_retrieved =
       static_cast<uint64_t>(va_.size()) * d +
       static_cast<uint64_t>(candidates.size()) * d;
-  RankByFrequency(k, &result.base);
+  obs::Cat().attrs_va->Add(result.base.attributes_retrieved);
+  obs::Cat().va_points_refined->Add(result.points_refined);
+  if (obs::QueryTrace* trace = obs::CurrentTrace()) {
+    trace->counters().attributes_retrieved +=
+        result.base.attributes_retrieved;
+    trace->counters().points_refined += result.points_refined;
+  }
+  {
+    obs::TraceSpan span(obs::Phase::kRank);
+    RankByFrequency(k, &result.base);
+  }
   return result;
 }
 

@@ -6,6 +6,8 @@
 
 #include "knmatch/common/top_k.h"
 #include "knmatch/core/nmatch.h"
+#include "knmatch/obs/catalog.h"
+#include "knmatch/obs/trace.h"
 
 namespace knmatch {
 
@@ -62,19 +64,22 @@ Result<KnMatchResult> VaKnnSearcher::Knn(std::span<const Value> query,
   const size_t row_stream = rows_.OpenStream();
   std::vector<Value> buf;
   last_points_refined_ = 0;
-  for (const Candidate& cand : candidates) {
-    if (top.full() && cand.lb > top.threshold()) break;
-    Result<std::span<const Value>> row =
-        rows_.ReadRow(row_stream, cand.pid, &buf);
-    if (!row.ok()) return row.status();
-    std::span<const Value> p = row.value();
-    Value sum = 0;
-    for (size_t dim = 0; dim < d; ++dim) {
-      const Value diff = p[dim] - query[dim];
-      sum += diff * diff;
+  {
+    obs::TraceSpan span(obs::Phase::kVerify);
+    for (const Candidate& cand : candidates) {
+      if (top.full() && cand.lb > top.threshold()) break;
+      Result<std::span<const Value>> row =
+          rows_.ReadRow(row_stream, cand.pid, &buf);
+      if (!row.ok()) return row.status();
+      std::span<const Value> p = row.value();
+      Value sum = 0;
+      for (size_t dim = 0; dim < d; ++dim) {
+        const Value diff = p[dim] - query[dim];
+        sum += diff * diff;
+      }
+      top.Offer(std::sqrt(sum), cand.pid, cand.pid);
+      ++last_points_refined_;
     }
-    top.Offer(std::sqrt(sum), cand.pid, cand.pid);
-    ++last_points_refined_;
   }
 
   KnMatchResult result;
@@ -83,6 +88,12 @@ Result<KnMatchResult> VaKnnSearcher::Knn(std::span<const Value> query,
   }
   result.attributes_retrieved =
       static_cast<uint64_t>(va_.size()) * d + last_points_refined_ * d;
+  obs::Cat().attrs_va->Add(result.attributes_retrieved);
+  obs::Cat().va_points_refined->Add(last_points_refined_);
+  if (obs::QueryTrace* trace = obs::CurrentTrace()) {
+    trace->counters().attributes_retrieved += result.attributes_retrieved;
+    trace->counters().points_refined += last_points_refined_;
+  }
   return result;
 }
 
