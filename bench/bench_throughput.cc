@@ -63,6 +63,8 @@ uint64_t RunKnMatch(const SimilarityEngine& engine,
   }
   exec::BatchRequest req = request;
   req.options.threads = static_cast<size_t>(threads);
+  // Scaling bench: measure the requested count even past the core count.
+  req.options.allow_oversubscription = true;
   auto r = engine.KnMatchBatch(req, kN, kK);
   return Checksum(r.value().results);
 }
@@ -80,6 +82,8 @@ uint64_t RunFrequent(const SimilarityEngine& engine,
   }
   exec::BatchRequest req = request;
   req.options.threads = static_cast<size_t>(threads);
+  // Scaling bench: measure the requested count even past the core count.
+  req.options.allow_oversubscription = true;
   auto r = engine.FrequentKnMatchBatch(req, kN0, kN1, kK);
   uint64_t sum = 0;
   for (const auto& result : r.value().results) {
@@ -101,6 +105,8 @@ uint64_t RunKnn(const SimilarityEngine& engine,
   }
   exec::BatchRequest req = request;
   req.options.threads = static_cast<size_t>(threads);
+  // Scaling bench: measure the requested count even past the core count.
+  req.options.allow_oversubscription = true;
   auto r = engine.KnnBatch(req, kK);
   return Checksum(r.value().results);
 }
@@ -150,22 +156,34 @@ int main(int argc, char** argv) {
                std::thread::hardware_concurrency(), cardinality, dims,
                num_queries);
 
+  // Each configuration is timed kTimedPasses times and the fastest
+  // pass is reported: the work is deterministic, so every slowdown is
+  // external (scheduler preemption, frequency throttling — sizable and
+  // one-sided on the shared 1-core hosts this runs on), and the
+  // minimum is the standard estimator for the noise-free cost. Every
+  // pass is still checksum-verified.
+  constexpr int kTimedPasses = 5;
+
   bool first_workload = true;
   for (const Workload& w : workloads) {
     // Warm up: builds the sorted columns and faults the data in, so
     // the sequential pass is not charged index construction.
     const uint64_t reference = w.run(engine, request, -1);
 
-    auto start = std::chrono::steady_clock::now();
-    const uint64_t seq_sum = w.run(engine, request, -1);
-    const double seq_seconds = Seconds(start);
+    double seq_seconds = 0;
+    for (int pass = 0; pass < kTimedPasses; ++pass) {
+      auto start = std::chrono::steady_clock::now();
+      const uint64_t seq_sum = w.run(engine, request, -1);
+      const double elapsed = Seconds(start);
+      if (pass == 0 || elapsed < seq_seconds) seq_seconds = elapsed;
+      if (seq_sum != reference) {
+        std::fprintf(stderr, "checksum drift in sequential run\n");
+        return 1;
+      }
+    }
     const double seq_qps = num_queries / seq_seconds;
 
     std::printf("%-20s sequential: %8.1f q/s\n", w.name.c_str(), seq_qps);
-    if (seq_sum != reference) {
-      std::fprintf(stderr, "checksum drift in sequential run\n");
-      return 1;
-    }
 
     std::fprintf(json,
                  "%s\n    {\"name\": \"%s\", \"sequential_qps\": %.1f, "
@@ -177,19 +195,22 @@ int main(int argc, char** argv) {
     bool first_t = true;
     for (const int t : thread_counts) {
       w.run(engine, request, t);  // warm the pool for this thread count
-      start = std::chrono::steady_clock::now();
-      const uint64_t batch_sum = w.run(engine, request, t);
-      const double batch_seconds = Seconds(start);
+      double batch_seconds = 0;
+      for (int pass = 0; pass < kTimedPasses; ++pass) {
+        auto start = std::chrono::steady_clock::now();
+        const uint64_t batch_sum = w.run(engine, request, t);
+        const double elapsed = Seconds(start);
+        if (pass == 0 || elapsed < batch_seconds) batch_seconds = elapsed;
+        if (batch_sum != reference) {
+          std::fprintf(stderr, "determinism violation at T=%d\n", t);
+          return 1;
+        }
+      }
       const double qps = num_queries / batch_seconds;
       const double speedup = seq_seconds / batch_seconds;
       std::printf("%-20s batch T=%d:  %8.1f q/s  (%.2fx vs sequential, "
-                  "checksum %s)\n",
-                  "", t, qps, speedup,
-                  batch_sum == reference ? "ok" : "MISMATCH");
-      if (batch_sum != reference) {
-        std::fprintf(stderr, "determinism violation at T=%d\n", t);
-        return 1;
-      }
+                  "checksum ok)\n",
+                  "", t, qps, speedup);
       std::fprintf(json,
                    "%s\n      {\"threads\": %d, \"qps\": %.1f, "
                    "\"speedup_vs_sequential\": %.3f}",

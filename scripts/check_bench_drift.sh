@@ -6,14 +6,23 @@
 # BENCH_history.jsonl so successive PRs leave a machine-readable perf
 # trajectory.
 #
+# Also gates sequential throughput: each workload's sequential QPS must
+# stay within QPS_DRIFT_PERCENT (default 10) of the sequential_qps
+# recorded in the committed BENCH_throughput.json. An intentional perf
+# change trips the gate on purpose — rerun with a wider
+# QPS_DRIFT_PERCENT and commit the refreshed BENCH_throughput.json,
+# which becomes the next baseline.
+#
 # Usage: scripts/check_bench_drift.sh         (build dir: build)
 #        BUILD_DIR=/tmp/b scripts/check_bench_drift.sh
 #        OVERHEAD_BUDGET_PERCENT=3 scripts/check_bench_drift.sh
+#        QPS_DRIFT_PERCENT=25 scripts/check_bench_drift.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
 BUDGET=${OVERHEAD_BUDGET_PERCENT:-2.0}
+QPS_DRIFT=${QPS_DRIFT_PERCENT:-10}
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" --target bench_obs_overhead bench_throughput \
@@ -37,9 +46,54 @@ if awk -v o="$overhead" -v b="$BUDGET" 'BEGIN{exit !(o > b)}'; then
 fi
 echo "OK: metrics overhead ${overhead}% within budget ${BUDGET}%"
 
-# --- Trajectory: batch throughput (small config; the JSON is what
-# matters, not the absolute numbers on this host). ---
+# --- Gate: sequential QPS drift on the batch-throughput workloads. ---
+# The run below overwrites BENCH_throughput.json in place, so snapshot
+# the committed baseline first.
+baseline_json=$(mktemp)
+trap 'rm -f "$baseline_json"' EXIT
+have_baseline=0
+if [[ -f BENCH_throughput.json ]]; then
+  cp BENCH_throughput.json "$baseline_json"
+  have_baseline=1
+fi
+
+# Emits "name sequential_qps" pairs; leans on the exact one-line-per-
+# workload layout bench_throughput writes.
+sequential_qps() {
+  grep -o '"name": "[^"]*", "sequential_qps": [0-9.]*' "$1" |
+    sed 's/"name": "\([^"]*\)", "sequential_qps": \([0-9.]*\)/\1 \2/'
+}
+
 "$BUILD_DIR"/bench/bench_throughput 32 50000 16
+
+if [[ "$have_baseline" == 1 ]]; then
+  drift_fail=0
+  while read -r name base; do
+    new=$(sequential_qps BENCH_throughput.json |
+      awk -v n="$name" '$1 == n {print $2}')
+    if [[ -z "$new" ]]; then
+      echo "FAIL: workload $name missing from new BENCH_throughput.json" >&2
+      drift_fail=1
+      continue
+    fi
+    drift=$(awk -v b="$base" -v n="$new" \
+      'BEGIN{printf "%+.1f", (n - b) / b * 100}')
+    if awk -v b="$base" -v n="$new" -v t="$QPS_DRIFT" \
+        'BEGIN{d = (n - b) / b * 100; if (d < 0) d = -d; exit !(d > t)}'; then
+      echo "FAIL: $name sequential QPS drifted ${drift}%" \
+           "(${base} -> ${new}, budget +/-${QPS_DRIFT}%)" >&2
+      drift_fail=1
+    else
+      echo "OK: $name sequential QPS ${base} -> ${new}" \
+           "(${drift}%, budget +/-${QPS_DRIFT}%)"
+    fi
+  done < <(sequential_qps "$baseline_json")
+  if [[ "$drift_fail" != 0 ]]; then
+    exit 1
+  fi
+else
+  echo "no recorded BENCH_throughput.json baseline; QPS gate skipped"
+fi
 
 # Both benchmarks drop their JSON in the current directory (the repo
 # root). Fold them into one history line.

@@ -28,15 +28,15 @@ IGridIndex::IGridIndex(const Dataset& db, IGridOptions options,
   boundaries_.resize(d);
   lists_.resize(d * partitions_);
   for (size_t dim = 0; dim < d; ++dim) {
-    auto column = sorted.column(dim);
+    auto vals = sorted.values(dim);
     auto& edges = boundaries_[dim];
     edges.resize(partitions_ + 1);
     for (size_t r = 0; r < partitions_; ++r) {
-      edges[r] = column[r * c / partitions_].value;
+      edges[r] = vals[r * c / partitions_];
     }
-    edges[partitions_] = column[c - 1].value;
+    edges[partitions_] = vals[c - 1];
     // First edge must admit the minimum even with duplicates.
-    edges[0] = column[0].value;
+    edges[0] = vals[0];
   }
 
   // Populate inverted lists (pid ascending — we iterate pids in order).

@@ -1,6 +1,7 @@
 #ifndef KNMATCH_CORE_AD_ENGINE_H_
 #define KNMATCH_CORE_AD_ENGINE_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <optional>
@@ -9,9 +10,11 @@
 
 #include "knmatch/common/status.h"
 #include "knmatch/common/types.h"
+#include "knmatch/core/ad_kernel.h"
 #include "knmatch/core/ad_scratch.h"
 #include "knmatch/core/match_types.h"
 #include "knmatch/core/sorted_columns.h"
+#include "knmatch/obs/catalog.h"
 #include "knmatch/obs/trace.h"
 
 namespace knmatch::internal {
@@ -21,9 +24,7 @@ namespace knmatch::internal {
 /// accessor returned since as garbage, and the engine stops stepping.
 /// In-memory accessors omit status() and pay nothing for the checks.
 template <typename A>
-concept StatusReportingAccessor = requires(const A& a) {
-  { a.status() } -> std::convertible_to<const Status&>;
-};
+concept StatusReportingAccessor = KernelStatusReportingAccessor<A>;
 
 /// Output of one AD search: the k-n-match answer sets for every n in
 /// [n0, n1] (each capped at k entries, in ascending order of n-match
@@ -32,15 +33,21 @@ concept StatusReportingAccessor = requires(const A& a) {
 struct AdOutput {
   std::vector<std::vector<Neighbor>> per_n_sets;
   uint64_t attributes_retrieved = 0;
+  /// Attributes consumed in ascending difference order (one per
+  /// delivered pop; the name predates the loser-tree kernel).
   uint64_t heap_pops = 0;
+  /// Loser-tree leaf-to-root replays (== winner runs); 0 for the
+  /// reference heap driver.
+  uint64_t tree_replays = 0;
 };
 
-/// The stepping core of the AD (Ascending Difference) algorithm —
-/// the g[] cursor array of the paper's Figures 4/6, generalized over
-/// the column source so the same machinery serves the in-memory,
-/// column-store, and B+-tree implementations, and exposed one pop at a
-/// time so both the batch searches and the streaming iterator build on
-/// it.
+/// The REFERENCE stepping engine of the AD (Ascending Difference)
+/// algorithm: the paper's g[] cursor array (Figures 4/6) as a flat
+/// binary min-heap over (difference, slot), advanced one pop-plus-push
+/// at a time. The production hot path is AdKernel (core/ad_kernel.h),
+/// which must pop in exactly this engine's order; this implementation
+/// is kept deliberately simple and is what the differential tests and
+/// the naive-comparison property tests trust.
 ///
 /// `Accessor` must provide:
 ///   size_t dims() const;                 // dimensionality d
@@ -64,14 +71,10 @@ struct AdOutput {
 /// counted as an attribute retrieval, matching the paper's model where
 /// each sorted system supports positioned sorted access.
 ///
-/// The engine maintains the paper's g[] array of 2d direction cursors
-/// (even slot 2i = downward within dimension i, odd slot 2i+1 = upward)
-/// as a min-heap keyed on (difference, slot); the slot component makes
-/// pop order — and therefore the answer — fully deterministic. The heap
-/// and the per-point appearance counters live in an AdScratch arena:
-/// pass one in to reuse its allocations (and O(1)-reset visit table)
-/// across queries on the same thread, or pass none and the engine owns
-/// a private arena.
+/// The heap and the per-point appearance counters live in an AdScratch
+/// arena: pass one in to reuse its allocations (and O(1)-reset visit
+/// table) across queries on the same thread, or pass none and the
+/// engine owns a private arena.
 ///
 /// Optional positive per-dimension weights scale each difference before
 /// it enters the heap; scaling by a per-dimension constant preserves
@@ -185,10 +188,46 @@ class AdEngine {
   size_t* next_idx_ = nullptr;
 };
 
+/// Shared answer-set bookkeeping for the AD drivers: routes one pop
+/// into the per-n sets and reports whether the search must continue.
+class AdAnswerBuilder {
+ public:
+  AdAnswerBuilder(AdOutput* out, size_t n0, size_t n1, size_t k)
+      : out_(out), n0_(n0), n1_(n1), k_(k), terminal_left_(k) {}
+
+  // The pop counter and the terminal set's remaining capacity live in
+  // members rather than behind out_: Consume runs once per pop and the
+  // escaped AdOutput pointer would force a store + vector-size reload
+  // on every call. The caller must Flush once, after the drive loop.
+  void Flush() { out_->heap_pops += pops_; }
+
+  /// Accounts one pop; false once the terminal set is complete.
+  bool Consume(PointId pid, Value dif, uint16_t appearances) {
+    ++pops_;
+    if (appearances >= n0_ && appearances <= n1_) {
+      auto& set = out_->per_n_sets[appearances - n0_];
+      // Definition 4 counts appearances in the *k*-n-match answer
+      // sets, so each per-n set is capped at the first k completions.
+      if (set.size() < k_) {
+        set.push_back(Neighbor{pid, dif});
+        // Only n1-appearance completions fill the terminal set.
+        if (appearances == n1_) --terminal_left_;
+      }
+    }
+    return terminal_left_ != 0;
+  }
+
+ private:
+  AdOutput* out_;
+  size_t n0_, n1_, k_;
+  size_t terminal_left_;
+  uint64_t pops_ = 0;
+};
+
 /// Batch driver: algorithms KNMatchAD (n0 == n1) and FKNMatchAD of the
-/// paper, on top of the stepping engine. Runs until the k-n1-match
-/// answer set is complete; by then every k-n-match set for n in
-/// [n0, n1] is complete as well (Sec. 3.2).
+/// paper, on top of the block-ascending kernel. Runs until the
+/// k-n1-match answer set is complete; by then every k-n-match set for n
+/// in [n0, n1] is complete as well (Sec. 3.2).
 ///
 /// If the columns exhaust before k points complete n1 appearances —
 /// possible only with ragged column sources, where some points lack a
@@ -206,31 +245,37 @@ AdOutput RunAdSearch(Accessor& acc, std::span<const Value> query, size_t n0,
   AdOutput out;
   out.per_n_sets.resize(n1 - n0 + 1);
   for (auto& set : out.per_n_sets) set.reserve(k);
-  std::optional<AdEngine<Accessor>> engine;
+  if (scratch == nullptr) {
+    // Callers without an arena (the sequential engine entry points) get
+    // a per-thread one: a fresh scratch per query would re-fault an
+    // O(cardinality) appearance table every time, which costs more than
+    // a small per-n query's entire ascend. Thread-local keeps the const
+    // query methods safely concurrent; the retained footprint is one
+    // table sized to the largest dataset the thread has queried.
+    static thread_local AdScratch tls_scratch;
+    scratch = &tls_scratch;
+  }
+  std::optional<AdKernel<Accessor>> kernel;
   {
     obs::TraceSpan span(obs::Phase::kLocate);
-    engine.emplace(acc, query, weights, scratch);
+    kernel.emplace(acc, query, weights, scratch);
   }
 
   {
     obs::TraceSpan span(obs::Phase::kAscend);
-    auto& terminal_set = out.per_n_sets[n1 - n0];
-    while (terminal_set.size() < k) {
-      std::optional<typename AdEngine<Accessor>::Pop> pop = engine->Step();
-      if (!pop.has_value()) break;  // exhausted: return the partial sets
-      ++out.heap_pops;
-      const uint16_t a = pop->appearances;
-      if (a >= n0 && a <= n1) {
-        auto& set = out.per_n_sets[a - n0];
-        // Definition 4 counts appearances in the *k*-n-match answer
-        // sets, so each per-n set is capped at the first k completions.
-        if (set.size() < k) {
-          set.push_back(Neighbor{pop->pid, pop->dif});
-        }
-      }
-    }
+    AdAnswerBuilder answers(&out, n0, n1, k);
+    kernel->Drive([&answers](PointId pid, Value dif, uint16_t a) {
+      return answers.Consume(pid, dif, a);
+    });
+    answers.Flush();
   }
-  out.attributes_retrieved = engine->attributes_retrieved();
+  out.attributes_retrieved = kernel->attributes_retrieved();
+  out.tree_replays = kernel->tree_replays();
+  if (obs::Enabled()) {
+    obs::Cat().ad_tree_replays->Add(out.tree_replays);
+    obs::Cat().ad_run_length->MergeBuckets(kernel->run_length_buckets(),
+                                           kernel->run_entries());
+  }
   if (obs::QueryTrace* trace = obs::CurrentTrace()) {
     trace->counters().attributes_retrieved += out.attributes_retrieved;
     trace->counters().heap_pops += out.heap_pops;
@@ -238,7 +283,36 @@ AdOutput RunAdSearch(Accessor& acc, std::span<const Value> query, size_t n0,
   return out;
 }
 
-/// Accessor over in-memory SortedColumns.
+/// The same driver on the reference heap engine, pop by pop. Exists so
+/// differential tests can hold the kernel to the reference's answers
+/// (and so a suspected kernel bug can be cross-checked quickly);
+/// production entry points all use RunAdSearch.
+template <typename Accessor>
+AdOutput RunAdSearchReference(Accessor& acc, std::span<const Value> query,
+                              size_t n0, size_t n1, size_t k,
+                              std::span<const Value> weights = {},
+                              AdScratch* scratch = nullptr) {
+  assert(n0 >= 1 && n0 <= n1 && n1 <= acc.dims());
+  assert(k >= 1 && k <= acc.column_size());
+
+  AdOutput out;
+  out.per_n_sets.resize(n1 - n0 + 1);
+  for (auto& set : out.per_n_sets) set.reserve(k);
+  AdEngine<Accessor> engine(acc, query, weights, scratch);
+  AdAnswerBuilder answers(&out, n0, n1, k);
+  for (;;) {
+    std::optional<typename AdEngine<Accessor>::Pop> pop = engine.Step();
+    if (!pop.has_value()) break;  // exhausted: return the partial sets
+    if (!answers.Consume(pop->pid, pop->dif, pop->appearances)) break;
+  }
+  answers.Flush();
+  out.attributes_retrieved = engine.attributes_retrieved();
+  return out;
+}
+
+/// Accessor over in-memory SortedColumns (SoA: parallel values/pids
+/// arrays per dimension). ReadRun serves the kernel's buffer refills
+/// straight out of the column arrays.
 class MemoryColumnAccessor {
  public:
   explicit MemoryColumnAccessor(const SortedColumns& columns)
@@ -247,7 +321,34 @@ class MemoryColumnAccessor {
   size_t dims() const { return columns_.dims(); }
   size_t column_size() const { return columns_.size(); }
   ColumnEntry ReadEntry(size_t dim, size_t idx, uint32_t /*slot*/) const {
-    return columns_.column(dim)[idx];
+    return columns_.entry(dim, idx);
+  }
+  /// Direct column access (DirectColumnAccessor): the kernel walks
+  /// these spans in place instead of buffering block reads.
+  std::span<const Value> values(size_t dim) const {
+    return columns_.values(dim);
+  }
+  std::span<const PointId> pids(size_t dim) const {
+    return columns_.pids(dim);
+  }
+  /// Kernel block read: copies `len` entries walking away from the
+  /// query (descending indices for even slots, ascending for odd) into
+  /// the caller's SoA buffers. Always serves the full request — memory
+  /// has no page boundaries.
+  size_t ReadRun(size_t dim, size_t idx, size_t len, uint32_t slot,
+                 Value* values, PointId* pids) const {
+    const Value* v = columns_.values(dim).data();
+    const PointId* p = columns_.pids(dim).data();
+    if (slot % 2 == 0) {
+      for (size_t i = 0; i < len; ++i) {
+        values[i] = v[idx - i];
+        pids[i] = p[idx - i];
+      }
+    } else {
+      std::copy_n(v + idx, len, values);
+      std::copy_n(p + idx, len, pids);
+    }
+    return len;
   }
   size_t LocateLowerBound(size_t dim, Value v) const {
     return columns_.LowerBound(dim, v);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "knmatch/core/ad_engine.h"
+#include "knmatch/core/ad_kernel.h"
 #include "knmatch/core/match_types.h"
 #include "knmatch/core/sorted_columns.h"
 
@@ -42,7 +43,7 @@ class AdMatchStream {
   std::optional<Neighbor> Next() {
     for (;;) {
       std::optional<
-          internal::AdEngine<internal::MemoryColumnAccessor>::Pop>
+          internal::AdKernel<internal::MemoryColumnAccessor>::Pop>
           pop = engine_.Step();
       if (!pop.has_value()) return std::nullopt;
       if (pop->appearances == n_) {
@@ -66,7 +67,7 @@ class AdMatchStream {
   size_t n_;
   size_t yielded_ = 0;
   internal::MemoryColumnAccessor accessor_;
-  internal::AdEngine<internal::MemoryColumnAccessor> engine_;
+  internal::AdKernel<internal::MemoryColumnAccessor> engine_;
 };
 
 }  // namespace knmatch

@@ -34,17 +34,18 @@ Result<std::vector<JoinPair>> NMatchSelfJoin(const Dataset& db, size_t n,
   std::unordered_map<uint64_t, uint32_t> match_counts;
 
   for (size_t dim = 0; dim < db.dims(); ++dim) {
-    auto column = columns.column(dim);
+    auto vals = columns.values(dim);
+    auto ids = columns.pids(dim);
     size_t window_start = 0;
-    for (size_t i = 1; i < column.size(); ++i) {
-      while (column[i].value - column[window_start].value > epsilon) {
+    for (size_t i = 1; i < vals.size(); ++i) {
+      while (vals[i] - vals[window_start] > epsilon) {
         ++window_start;
       }
       // Every entry in [window_start, i) matches entry i in this
       // dimension.
       for (size_t j = window_start; j < i; ++j) {
-        const PointId a = std::min(column[i].pid, column[j].pid);
-        const PointId b = std::max(column[i].pid, column[j].pid);
+        const PointId a = std::min(ids[i], ids[j]);
+        const PointId b = std::max(ids[i], ids[j]);
         ++match_counts[PairKey(a, b)];
       }
     }

@@ -1,22 +1,32 @@
 #include "knmatch/core/sorted_columns.h"
 
 #include <algorithm>
+#include <numeric>
 
 namespace knmatch {
 
 SortedColumns::SortedColumns(const Dataset& db) {
-  columns_.resize(db.dims());
+  values_.resize(db.dims());
+  pids_.resize(db.dims());
+  std::vector<PointId> order(db.size());
   for (size_t dim = 0; dim < db.dims(); ++dim) {
-    auto& col = columns_[dim];
-    col.resize(db.size());
-    for (PointId pid = 0; pid < db.size(); ++pid) {
-      col[pid] = ColumnEntry{db.at(pid, dim), pid};
+    std::iota(order.begin(), order.end(), PointId{0});
+    // Ties broken by pid so the order — and every AD answer derived
+    // from it — is deterministic.
+    std::sort(order.begin(), order.end(), [&](PointId a, PointId b) {
+      const Value va = db.at(a, dim);
+      const Value vb = db.at(b, dim);
+      if (va != vb) return va < vb;
+      return a < b;
+    });
+    auto& vals = values_[dim];
+    auto& ids = pids_[dim];
+    vals.resize(db.size());
+    ids.resize(db.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      vals[i] = db.at(order[i], dim);
+      ids[i] = order[i];
     }
-    std::sort(col.begin(), col.end(),
-              [](const ColumnEntry& a, const ColumnEntry& b) {
-                if (a.value != b.value) return a.value < b.value;
-                return a.pid < b.pid;
-              });
   }
 }
 

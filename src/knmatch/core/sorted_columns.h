@@ -27,6 +27,13 @@ struct ColumnEntry {
 /// of the dataset sorted independently by attribute value (ties broken
 /// by point id, for determinism). Equivalently, the "scores sorted by
 /// each system" of the multiple-system IR model [Fagin 96].
+///
+/// Storage is structure-of-arrays: each dimension keeps a values[]
+/// array and a parallel pids[] array instead of packed (value, pid)
+/// pairs. The AD ascend loop is comparison-bound on values alone —
+/// splitting the columns halves the bytes the comparisons drag through
+/// cache and lets the kernel's run scans walk a dense Value array; the
+/// pid is only touched for entries that actually pop.
 class SortedColumns {
  public:
   SortedColumns() = default;
@@ -35,13 +42,20 @@ class SortedColumns {
   explicit SortedColumns(const Dataset& db);
 
   /// Dimensionality d.
-  size_t dims() const { return columns_.size(); }
+  size_t dims() const { return values_.size(); }
   /// Cardinality c (entries per column).
-  size_t size() const { return columns_.empty() ? 0 : columns_[0].size(); }
+  size_t size() const { return values_.empty() ? 0 : values_[0].size(); }
 
-  /// The sorted entries of dimension `dim`.
-  std::span<const ColumnEntry> column(size_t dim) const {
-    return columns_[dim];
+  /// The sorted attribute values of dimension `dim`.
+  std::span<const Value> values(size_t dim) const { return values_[dim]; }
+  /// The point ids of dimension `dim`, parallel to values(dim).
+  std::span<const PointId> pids(size_t dim) const { return pids_[dim]; }
+
+  /// The idx-th smallest entry of dimension `dim`, reassembled from the
+  /// two parallel arrays (for cold paths and tests; hot loops should
+  /// read values()/pids() directly).
+  ColumnEntry entry(size_t dim, size_t idx) const {
+    return ColumnEntry{values_[dim][idx], pids_[dim][idx]};
   }
 
   /// Index of the first entry in `dim` whose value is >= v (i.e.,
@@ -49,15 +63,14 @@ class SortedColumns {
   /// Defined in-header (like the column reads above) so the AD hot
   /// path inlines it.
   size_t LowerBound(size_t dim, Value v) const {
-    const auto& col = columns_[dim];
-    auto it = std::lower_bound(
-        col.begin(), col.end(), v,
-        [](const ColumnEntry& e, Value target) { return e.value < target; });
+    const auto& col = values_[dim];
+    auto it = std::lower_bound(col.begin(), col.end(), v);
     return static_cast<size_t>(it - col.begin());
   }
 
  private:
-  std::vector<std::vector<ColumnEntry>> columns_;
+  std::vector<std::vector<Value>> values_;
+  std::vector<std::vector<PointId>> pids_;
 };
 
 }  // namespace knmatch

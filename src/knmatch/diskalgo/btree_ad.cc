@@ -1,6 +1,7 @@
 #include "knmatch/diskalgo/btree_ad.h"
 
 #include <utility>
+#include <vector>
 
 #include "knmatch/core/ad_engine.h"
 #include "knmatch/core/nmatch.h"
@@ -12,12 +13,18 @@
 namespace knmatch {
 
 BTreeColumns::BTreeColumns(const Dataset& db, DiskSimulator* disk) {
-  // Reuse the in-memory sort, then bulk load each tree.
+  // Reuse the in-memory sort, then bulk load each tree. BulkLoad wants
+  // packed (value, pid) entries, so reassemble them from the SoA
+  // columns into a per-dimension staging vector (build-time only).
   SortedColumns sorted(db);
   trees_.reserve(db.dims());
+  std::vector<ColumnEntry> column(db.size());
   for (size_t dim = 0; dim < db.dims(); ++dim) {
+    for (size_t i = 0; i < column.size(); ++i) {
+      column[i] = sorted.entry(dim, i);
+    }
     auto tree = std::make_unique<BPlusTree>(disk);
-    tree->BulkLoad(sorted.column(dim));
+    tree->BulkLoad(column);
     trees_.push_back(std::move(tree));
   }
 }

@@ -39,6 +39,22 @@ class DiskColumnAccessor {
     return e.value();
   }
 
+  /// Kernel block refill: page-granular — ColumnStore bounds the run to
+  /// the page holding `idx`, so the one charged ReadPage here costs
+  /// exactly what the per-entry path's first read of that page would,
+  /// and every further entry served is one the per-entry path would
+  /// have re-read from the same page for free.
+  size_t ReadRun(size_t dim, size_t idx, size_t len, uint32_t slot,
+                 Value* values, PointId* pids) {
+    Result<size_t> n = columns_.ReadRun(streams_[slot], dim, idx, len,
+                                        slot % 2 == 0, values, pids);
+    if (!n.ok()) {
+      status_ = n.status();
+      return 0;
+    }
+    return n.value();
+  }
+
   size_t LocateLowerBound(size_t dim, Value v) const {
     return columns_.LowerBound(dim, v);
   }

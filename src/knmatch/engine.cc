@@ -95,10 +95,14 @@ void SimilarityEngine::EnsureEstimator() const {
 }
 
 exec::BatchExecutor& SimilarityEngine::AcquireExecutor(
-    size_t threads) const {
-  const size_t resolved = exec::ResolveThreads(threads);
+    const exec::BatchOptions& options) const {
+  const size_t resolved =
+      exec::ResolveThreads(options.threads, options.allow_oversubscription);
   if (executor_ == nullptr || executor_->threads() != resolved) {
-    executor_ = std::make_unique<exec::BatchExecutor>(resolved);
+    // `resolved` is final — re-resolving in the constructor must not
+    // clamp an explicitly allowed oversubscribed count.
+    executor_ = std::make_unique<exec::BatchExecutor>(
+        resolved, /*allow_oversubscription=*/true);
   }
   return *executor_;
 }
@@ -127,7 +131,7 @@ Result<exec::KnMatchBatchResult> SimilarityEngine::KnMatchBatch(
     std::span<const Value> weights) const {
   EnsureAd();
   std::scoped_lock lock(exec_mu_);
-  return AcquireExecutor(request.options.threads)
+  return AcquireExecutor(request.options)
       .KnMatch(*ad_, request, n, k, weights);
 }
 
@@ -137,14 +141,14 @@ SimilarityEngine::FrequentKnMatchBatch(const exec::BatchRequest& request,
                                        std::span<const Value> weights) const {
   EnsureAd();
   std::scoped_lock lock(exec_mu_);
-  return AcquireExecutor(request.options.threads)
+  return AcquireExecutor(request.options)
       .FrequentKnMatch(*ad_, request, n0, n1, k, weights);
 }
 
 Result<exec::KnMatchBatchResult> SimilarityEngine::KnnBatch(
     const exec::BatchRequest& request, size_t k, Metric metric) const {
   std::scoped_lock lock(exec_mu_);
-  return AcquireExecutor(request.options.threads)
+  return AcquireExecutor(request.options)
       .Knn(db_, request, k, metric);
 }
 

@@ -200,7 +200,7 @@ class SimilarityEngine {
 
   /// Returns the cached batch executor, rebuilding it if the requested
   /// thread count differs. Caller must hold exec_mu_.
-  exec::BatchExecutor& AcquireExecutor(size_t threads) const;
+  exec::BatchExecutor& AcquireExecutor(const exec::BatchOptions& options) const;
 
   /// Re-arms every call_once flag after an invalidation (InsertPoint).
   void ResetOnceFlags();

@@ -39,8 +39,9 @@ class QueryMeter {
 
 }  // namespace
 
-BatchExecutor::BatchExecutor(size_t threads)
-    : pool_(std::max<size_t>(1, ResolveThreads(threads))),
+BatchExecutor::BatchExecutor(size_t threads, bool allow_oversubscription)
+    : pool_(std::max<size_t>(
+          1, ResolveThreads(threads, allow_oversubscription))),
       scratches_(pool_.size()) {
   worker_latency_.reserve(pool_.size());
   for (size_t w = 0; w < pool_.size(); ++w) {

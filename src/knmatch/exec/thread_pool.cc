@@ -64,12 +64,12 @@ void ThreadPool::WorkerLoop(size_t worker) {
   }
 }
 
-size_t ResolveThreads(size_t requested) {
-  if (requested == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : hw;
-  }
-  return std::min<size_t>(requested, 256);
+size_t ResolveThreads(size_t requested, bool allow_oversubscription) {
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const size_t hw = hw_raw == 0 ? 1 : hw_raw;
+  if (requested == 0) return hw;
+  const size_t capped = std::min<size_t>(requested, 256);
+  return allow_oversubscription ? capped : std::min(capped, hw);
 }
 
 }  // namespace knmatch::exec

@@ -65,9 +65,13 @@ class ThreadPool {
 };
 
 /// Resolves a user-facing thread-count request: 0 means "use the
-/// hardware", anything else is taken literally (capped at 256 to keep a
-/// typo from spawning thousands of threads).
-size_t ResolveThreads(size_t requested);
+/// hardware". Explicit requests are capped at 256 (keeps a typo from
+/// spawning thousands of threads) and, unless `allow_oversubscription`,
+/// clamped to hardware_concurrency(): with CPU-bound uniform queries,
+/// workers beyond the core count only add context-switch overhead
+/// (BENCH_throughput recorded 0.75–0.78x at 8 workers on a 1-core
+/// host), so running more is an explicit opt-in, not a default.
+size_t ResolveThreads(size_t requested, bool allow_oversubscription = false);
 
 }  // namespace knmatch::exec
 

@@ -36,6 +36,15 @@ Catalog BuildCatalog() {
       "Candidate points exactly re-checked in the VA-file's refinement "
       "phase");
 
+  c.ad_tree_replays = r.GetCounter(
+      "knmatch_ad_tree_replays_total", "",
+      "Loser-tree replays in the block-ascending AD kernel (one per "
+      "winner run; pops per replay is the batching win)");
+  c.ad_run_length = r.GetHistogram(
+      "knmatch_ad_run_length", "",
+      "Entries a winning cursor consumed per run in the block-ascending "
+      "AD kernel");
+
   const char* kQueriesName = "knmatch_queries_total";
   const char* kQueriesHelp = "Queries executed, by entry point";
   c.queries_knmatch = r.GetCounter(kQueriesName, "kind=\"knmatch\"",

@@ -23,6 +23,10 @@ struct Catalog {
   Counter* pops_ad_btree;
   Counter* va_points_refined; // VA phase-2 exact re-checks
 
+  // --- Block-ascending kernel (core/ad_kernel.h). ---
+  Counter* ad_tree_replays;   // loser-tree leaf-to-root replays
+  Histogram* ad_run_length;   // entries consumed per winner run
+
   // --- Query counts and latency, by entry point. ---
   Counter* queries_knmatch;
   Counter* queries_fknmatch;

@@ -145,6 +145,21 @@ class Histogram {
     Observe(static_cast<uint64_t>(seconds / scale_ + 0.5));
   }
 
+  /// Folds in pre-bucketed counts accumulated outside the histogram
+  /// (hot loops bucket locally with BucketOf's layout, then merge once
+  /// per query): counts[i] observations for bucket i, raw_sum their
+  /// total raw value. One fetch_add per non-empty bucket.
+  void MergeBuckets(const std::array<uint64_t, 65>& counts,
+                    uint64_t raw_sum) noexcept {
+    if (!Enabled()) return;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] != 0) {
+        buckets_[i].fetch_add(counts[i], std::memory_order_relaxed);
+      }
+    }
+    sum_raw_.fetch_add(raw_sum, std::memory_order_relaxed);
+  }
+
   double scale() const noexcept { return scale_; }
 
   HistogramSnapshot Snapshot() const noexcept;
@@ -214,6 +229,7 @@ class Histogram {
   explicit Histogram(double scale = 1.0) : scale_(scale) {}
   void Observe(uint64_t) noexcept {}
   void ObserveSeconds(double) noexcept {}
+  void MergeBuckets(const std::array<uint64_t, 65>&, uint64_t) noexcept {}
   double scale() const noexcept { return scale_; }
   HistogramSnapshot Snapshot() const noexcept { return {}; }
   double Quantile(double) const noexcept { return 0; }

@@ -21,14 +21,15 @@ ColumnStore::ColumnStore(const Dataset& db, DiskSimulator* disk)
   std::vector<std::byte> image;
   image.reserve(file_.page_size());
   for (size_t dim = 0; dim < dims_; ++dim) {
-    auto column = sorted.column(dim);
+    auto vals = sorted.values(dim);
+    auto ids = sorted.pids(dim);
     first_values_[dim].reserve(pages_per_dim_);
-    for (size_t i = 0; i < column.size(); ++i) {
+    for (size_t i = 0; i < vals.size(); ++i) {
       if (i % entries_per_page_ == 0) {
-        first_values_[dim].push_back(column[i].value);
+        first_values_[dim].push_back(vals[i]);
       }
-      PutScalar(&image, column[i].value);
-      PutScalar(&image, column[i].pid);
+      PutScalar(&image, vals[i]);
+      PutScalar(&image, ids[i]);
       if ((i + 1) % entries_per_page_ == 0) {
         file_.AppendPage(image);
         image.clear();
@@ -61,6 +62,34 @@ Result<ColumnEntry> ColumnStore::ReadEntry(size_t stream, size_t dim,
   auto image = file_.ReadPage(stream, PageOf(dim, idx));
   if (!image.ok()) return image.status();
   return DecodeEntry(image.value(), idx % entries_per_page_);
+}
+
+Result<size_t> ColumnStore::ReadRun(size_t stream, size_t dim, size_t idx,
+                                    size_t len, bool descending,
+                                    Value* values, PointId* pids) const {
+  assert(dim < dims_ && idx < size_ && len >= 1);
+  auto image = file_.ReadPage(stream, PageOf(dim, idx));
+  if (!image.ok()) return image.status();
+  const size_t slot = idx % entries_per_page_;
+  size_t n;
+  if (descending) {
+    n = std::min(len, slot + 1);
+    for (size_t i = 0; i < n; ++i) {
+      const ColumnEntry e = DecodeEntry(image.value(), slot - i);
+      values[i] = e.value;
+      pids[i] = e.pid;
+    }
+  } else {
+    const size_t page_base = idx - slot;
+    const size_t in_page = std::min(entries_per_page_, size_ - page_base);
+    n = std::min(len, in_page - slot);
+    for (size_t i = 0; i < n; ++i) {
+      const ColumnEntry e = DecodeEntry(image.value(), slot + i);
+      values[i] = e.value;
+      pids[i] = e.pid;
+    }
+  }
+  return n;
 }
 
 size_t ColumnStore::LowerBound(size_t dim, Value v) const {

@@ -42,6 +42,19 @@ class ColumnStore {
   Result<ColumnEntry> ReadEntry(size_t stream, size_t dim,
                                 size_t idx) const;
 
+  /// Reads up to `len` consecutive entries of `dim` starting at `idx`
+  /// and walking toward smaller indices (`descending`, a downward AD
+  /// cursor) or larger ones, into the SoA output arrays in walk order.
+  /// Deliberately bounded to the single page holding `idx`: one charged
+  /// ReadPage serves every entry returned, so the I/O accounting
+  /// (pattern classification, buffer-pool recency, fault opportunities)
+  /// is bit-identical to reading the same entries one ReadEntry at a
+  /// time — the per-entry path's same-page re-reads on one stream are
+  /// free. Returns how many entries were produced (>= 1).
+  Result<size_t> ReadRun(size_t stream, size_t dim, size_t idx, size_t len,
+                         bool descending, Value* values,
+                         PointId* pids) const;
+
   /// Index of the first entry of `dim` whose value is >= v. Uses the
   /// in-memory page index plus an uncharged peek at one leaf page (see
   /// class comment). Infallible by design: if the peeked page is

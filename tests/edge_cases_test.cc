@@ -126,7 +126,7 @@ TEST(EdgeCases, ColumnStoreSingleEntryPerPage) {
   for (size_t idx = 0; idx < 20; ++idx) {
     auto entry = store.ReadEntry(s, 1, idx);
     ASSERT_TRUE(entry.ok());
-    EXPECT_EQ(entry.value(), reference.column(1)[idx]);
+    EXPECT_EQ(entry.value(), reference.entry(1, idx));
   }
   for (int trial = 0; trial < 20; ++trial) {
     const Value v = static_cast<Value>(trial) / 19.0;

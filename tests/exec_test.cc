@@ -69,9 +69,16 @@ TEST(ThreadPoolTest, ReusableAcrossManyDispatches) {
 }
 
 TEST(ThreadPoolTest, ResolveThreadsMapsZeroToHardware) {
-  EXPECT_GE(exec::ResolveThreads(0), 1u);
-  EXPECT_EQ(exec::ResolveThreads(5), 5u);
-  EXPECT_EQ(exec::ResolveThreads(100000), 256u);
+  const size_t hw = exec::ResolveThreads(0);
+  EXPECT_GE(hw, 1u);
+  // Default: explicit requests are clamped to the hardware thread count
+  // (oversubscribing a CPU-bound pool only adds context switches).
+  EXPECT_EQ(exec::ResolveThreads(5), std::min<size_t>(5, hw));
+  EXPECT_EQ(exec::ResolveThreads(100000), std::min<size_t>(256, hw));
+  // The documented override takes the request literally (up to 256).
+  EXPECT_EQ(exec::ResolveThreads(5, /*allow_oversubscription=*/true), 5u);
+  EXPECT_EQ(exec::ResolveThreads(100000, /*allow_oversubscription=*/true),
+            256u);
 }
 
 // ---------------------------------------------------------------------------
@@ -202,6 +209,7 @@ TEST(BatchDeterminismTest, KnMatchBatchMatchesSequentialAtEveryThreadCount) {
 
   for (const size_t threads : {1u, 2u, 4u, 8u}) {
     request.options.threads = threads;
+    request.options.allow_oversubscription = true;
     for (int run = 0; run < 2; ++run) {  // run-to-run determinism too
       auto batch = engine.KnMatchBatch(request, 4, 10);
       ASSERT_TRUE(batch.ok()) << "threads=" << threads;
@@ -231,6 +239,7 @@ TEST(BatchDeterminismTest, FrequentKnMatchBatchMatchesSequential) {
 
   for (const size_t threads : {1u, 2u, 4u, 8u}) {
     request.options.threads = threads;
+    request.options.allow_oversubscription = true;
     auto batch = engine.FrequentKnMatchBatch(request, 2, 6, 10);
     ASSERT_TRUE(batch.ok()) << "threads=" << threads;
     ASSERT_EQ(batch.value().results.size(), sequential.size());
@@ -258,6 +267,7 @@ TEST(BatchDeterminismTest, KnnBatchMatchesSequential) {
 
   for (const size_t threads : {1u, 2u, 4u, 8u}) {
     request.options.threads = threads;
+    request.options.allow_oversubscription = true;
     auto batch = engine.KnnBatch(request, 7);
     ASSERT_TRUE(batch.ok()) << "threads=" << threads;
     ASSERT_EQ(batch.value().results.size(), sequential.size());
@@ -274,6 +284,7 @@ TEST(BatchDeterminismTest, WeightedBatchMatchesWeightedSequential) {
   exec::BatchRequest request;
   request.queries = MixedQueries(engine.dataset(), 16);
   request.options.threads = 4;
+  request.options.allow_oversubscription = true;
 
   auto batch = engine.KnMatchBatch(request, 3, 6, weights);
   ASSERT_TRUE(batch.ok());
@@ -319,6 +330,7 @@ TEST(BatchLifecycleTest, BatchWorksAcrossInsertPointInvalidation) {
   exec::BatchRequest request;
   request.queries = MixedQueries(engine.dataset(), 8);
   request.options.threads = 2;
+  request.options.allow_oversubscription = true;
 
   auto before = engine.KnMatchBatch(request, 2, 5);
   ASSERT_TRUE(before.ok());
@@ -341,6 +353,7 @@ TEST(BatchLifecycleTest, ChangingThreadCountRebuildsPoolTransparently) {
   std::vector<Neighbor> reference;
   for (const size_t threads : {2u, 8u, 1u, 4u, 2u}) {
     request.options.threads = threads;
+    request.options.allow_oversubscription = true;
     auto r = engine.KnMatchBatch(request, 3, 5);
     ASSERT_TRUE(r.ok());
     if (reference.empty()) {
@@ -387,6 +400,7 @@ TEST(EngineConcurrencyTest, ConcurrentBatchCallsSerializeSafely) {
   exec::BatchRequest request;
   request.queries = MixedQueries(engine.dataset(), 16);
   request.options.threads = 2;
+  request.options.allow_oversubscription = true;
   auto reference = engine.KnMatchBatch(request, 3, 5);
   ASSERT_TRUE(reference.ok());
 

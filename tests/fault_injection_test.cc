@@ -469,6 +469,7 @@ TEST(BatchDeadlineTest, PreSetCancelSkipsEveryQuery) {
     request.queries.push_back({0.1 * i, 0.4, 0.6});
   }
   request.options.threads = 2;
+  request.options.allow_oversubscription = true;
   request.options.cancel = std::make_shared<std::atomic<bool>>(true);
 
   auto r = engine.KnMatchBatch(request, 2, 5);
@@ -490,6 +491,7 @@ TEST(BatchDeadlineTest, ExpiredDeadlineSkipsEveryQuery) {
     request.queries.push_back({0.1 * i, 0.4, 0.6});
   }
   request.options.threads = 2;
+  request.options.allow_oversubscription = true;
   request.options.deadline_ms = 1e-6;  // expires before any query starts
 
   auto r = engine.FrequentKnMatchBatch(request, 1, 3, 5);
@@ -506,6 +508,7 @@ TEST(BatchDeadlineTest, GenerousDeadlineMatchesUnboundedRun) {
     request.queries.push_back({0.15 * i, 0.3, 0.7});
   }
   request.options.threads = 2;
+  request.options.allow_oversubscription = true;
 
   auto unbounded = engine.KnMatchBatch(request, 2, 5);
   ASSERT_TRUE(unbounded.ok());

@@ -102,9 +102,9 @@ TEST(PaperFigure5, SortedColumnsMatchFigure) {
   const ColumnEntry expected_d3[] = {
       {1.0, 0}, {2.0, 1}, {5.0, 2}, {8.0, 4}, {9.0, 3}};
   for (size_t i = 0; i < 5; ++i) {
-    EXPECT_EQ(columns.column(0)[i], expected_d1[i]) << "d1 row " << i;
-    EXPECT_EQ(columns.column(1)[i], expected_d2[i]) << "d2 row " << i;
-    EXPECT_EQ(columns.column(2)[i], expected_d3[i]) << "d3 row " << i;
+    EXPECT_EQ(columns.entry(0, i), expected_d1[i]) << "d1 row " << i;
+    EXPECT_EQ(columns.entry(1, i), expected_d2[i]) << "d2 row " << i;
+    EXPECT_EQ(columns.entry(2, i), expected_d3[i]) << "d3 row " << i;
   }
 }
 

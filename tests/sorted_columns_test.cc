@@ -23,12 +23,15 @@ TEST(SortedColumnsTest, ColumnsAreSortedAndComplete) {
   ASSERT_EQ(columns.dims(), 6u);
   ASSERT_EQ(columns.size(), 200u);
   for (size_t dim = 0; dim < 6; ++dim) {
-    auto col = columns.column(dim);
+    auto vals = columns.values(dim);
+    auto ids = columns.pids(dim);
+    ASSERT_EQ(vals.size(), ids.size());
     std::set<PointId> pids;
-    for (size_t i = 0; i < col.size(); ++i) {
-      if (i > 0) EXPECT_LE(col[i - 1].value, col[i].value);
-      EXPECT_EQ(col[i].value, db.at(col[i].pid, dim));
-      pids.insert(col[i].pid);
+    for (size_t i = 0; i < vals.size(); ++i) {
+      if (i > 0) EXPECT_LE(vals[i - 1], vals[i]);
+      EXPECT_EQ(vals[i], db.at(ids[i], dim));
+      EXPECT_EQ(columns.entry(dim, i), (ColumnEntry{vals[i], ids[i]}));
+      pids.insert(ids[i]);
     }
     EXPECT_EQ(pids.size(), 200u) << "every pid appears exactly once";
   }
@@ -37,11 +40,11 @@ TEST(SortedColumnsTest, ColumnsAreSortedAndComplete) {
 TEST(SortedColumnsTest, DuplicateValuesTieBrokenByPid) {
   Dataset db(Matrix::FromRows({{0.5}, {0.5}, {0.2}, {0.5}}));
   SortedColumns columns(db);
-  auto col = columns.column(0);
-  EXPECT_EQ(col[0].pid, 2u);
-  EXPECT_EQ(col[1].pid, 0u);
-  EXPECT_EQ(col[2].pid, 1u);
-  EXPECT_EQ(col[3].pid, 3u);
+  auto ids = columns.pids(0);
+  EXPECT_EQ(ids[0], 2u);
+  EXPECT_EQ(ids[1], 0u);
+  EXPECT_EQ(ids[2], 1u);
+  EXPECT_EQ(ids[3], 3u);
 }
 
 TEST(SortedColumnsTest, LowerBoundSemantics) {
@@ -63,12 +66,10 @@ TEST(SortedColumnsTest, LowerBoundAgreesWithStdLowerBound) {
   for (int trial = 0; trial < 200; ++trial) {
     const size_t dim = trial % 3;
     const Value v = rng.Uniform(-0.1, 1.1);
-    auto col = columns.column(dim);
-    auto it = std::lower_bound(
-        col.begin(), col.end(), v,
-        [](const ColumnEntry& e, Value t) { return e.value < t; });
+    auto vals = columns.values(dim);
+    auto it = std::lower_bound(vals.begin(), vals.end(), v);
     EXPECT_EQ(columns.LowerBound(dim, v),
-              static_cast<size_t>(it - col.begin()));
+              static_cast<size_t>(it - vals.begin()));
   }
 }
 

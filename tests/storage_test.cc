@@ -230,7 +230,7 @@ TEST(ColumnStoreTest, EntriesMatchInMemorySortedColumns) {
     for (size_t idx : {size_t{0}, size_t{341}, size_t{342}, size_t{699}}) {
       auto entry = store.ReadEntry(s, dim, idx);
       ASSERT_TRUE(entry.ok());
-      EXPECT_EQ(entry.value(), reference.column(dim)[idx])
+      EXPECT_EQ(entry.value(), reference.entry(dim, idx))
           << "dim=" << dim << " idx=" << idx;
     }
   }
