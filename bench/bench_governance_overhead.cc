@@ -1,0 +1,149 @@
+// Governance overhead: the in-memory AD k-n-match hot path timed with
+// no QueryContext against the same queries governed by a deadline,
+// budgets, and a cancel token that never trip. The governance layer's
+// contract is <2% overhead on this path — checks are amortized over
+// pop strides, so the per-pop cost is a countdown decrement.
+//
+// Methodology matches bench_obs_overhead.cc: on a noisy single-core
+// host coarse A/B passes drift by more than the effect measured, so
+// the two modes are interleaved per query with the order alternating
+// on the query index, and each mode accumulates its total across all
+// rounds. Results land in BENCH_governance_overhead.json and on stdout
+// as `overhead_governed_percent=...` for scripts/check_bench_drift.sh.
+//
+// Usage: bench_governance_overhead [queries] [rounds] [cardinality]
+//        [dims] (defaults 48, 10, 40000, 16)
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "knmatch/core/ad_scratch.h"
+
+namespace {
+
+using namespace knmatch;
+
+constexpr size_t kN = 8;
+constexpr size_t kK = 10;
+
+enum Mode { kUngoverned = 0, kGoverned = 1 };
+constexpr size_t kNumModes = 2;
+const char* kModeNames[kNumModes] = {"ungoverned", "governed (no trip)"};
+
+// Runs one query in one mode, adds its pids to *checksum (the answers
+// must be mode-independent, and the sum keeps the call from being
+// optimized away), and returns elapsed seconds.
+double TimeOne(const AdSearcher& searcher, const std::vector<Value>& query,
+               internal::AdScratch* scratch, QueryContext* ctx,
+               uint64_t* checksum) {
+  if (ctx != nullptr) ctx->Rearm();
+  const auto start = std::chrono::steady_clock::now();
+  auto r = searcher.KnMatch(query, kN, kK, {}, scratch, ctx);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+  for (const Neighbor& nb : r.value().matches) *checksum += nb.pid;
+  return seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace knmatch;
+  const size_t num_queries =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 48;
+  const size_t rounds = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 10;
+  const size_t cardinality =
+      argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 40000;
+  const size_t dims = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 16;
+
+  bench::PrintHeader(
+      "Governance overhead on the in-memory AD hot path",
+      "no paper figure; the governance layer's <2% overhead contract");
+  std::printf("dataset: uniform %zu x %zu | queries: %zu | rounds: %zu\n\n",
+              cardinality, dims, num_queries, rounds);
+
+  const Dataset db = datagen::MakeUniform(cardinality, dims, 20260807);
+  const AdSearcher searcher(db);
+  const auto queries = bench::SampleQueries(db, num_queries, 99);
+  internal::AdScratch scratch;
+
+  // Full governance surface, none of it trips: a generous deadline, all
+  // three budgets set far above the workload, and a live cancel token.
+  QueryContext ctx;
+  ctx.set_deadline_in_ms(3.6e6);  // one hour
+  ctx.budgets().max_attributes = ~uint64_t{0} >> 1;
+  ctx.budgets().max_pages = ~uint64_t{0} >> 1;
+  ctx.budgets().max_scratch_bytes = ~size_t{0} >> 1;
+  ctx.set_cancel(std::make_shared<std::atomic<bool>>(false));
+
+  // Warm-up pass: faults the sorted columns in and sizes the scratch,
+  // and records the reference checksum for one full pass.
+  uint64_t reference = 0;
+  for (const auto& q : queries) {
+    TimeOne(searcher, q, &scratch, nullptr, &reference);
+  }
+
+  double totals[kNumModes] = {0, 0};
+  uint64_t checksums[kNumModes] = {0, 0};
+  for (size_t round = 0; round < rounds; ++round) {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      // Alternate which mode runs first so cache-warming position bias
+      // cancels across the pass.
+      const bool governed_first = (qi + round) % 2 == 0;
+      for (int j = 0; j < 2; ++j) {
+        const Mode mode = (j == 0) == governed_first ? kGoverned
+                                                     : kUngoverned;
+        totals[mode] += TimeOne(searcher, queries[qi], &scratch,
+                                mode == kGoverned ? &ctx : nullptr,
+                                &checksums[mode]);
+      }
+    }
+  }
+
+  for (size_t m = 0; m < kNumModes; ++m) {
+    if (checksums[m] != reference * rounds) {
+      std::fprintf(stderr, "checksum drift in mode '%s'\n", kModeNames[m]);
+      return 1;
+    }
+  }
+
+  const double overhead = (totals[kGoverned] - totals[kUngoverned]) /
+                          totals[kUngoverned] * 100.0;
+  const double executions = static_cast<double>(num_queries * rounds);
+
+  std::printf("%-20s %10.4fs total   %8.1f q/s\n", kModeNames[kUngoverned],
+              totals[kUngoverned], executions / totals[kUngoverned]);
+  std::printf("%-20s %10.4fs total   %8.1f q/s   overhead %+.2f%%\n\n",
+              kModeNames[kGoverned], totals[kGoverned],
+              executions / totals[kGoverned], overhead);
+
+  // Machine-readable: one line for the drift gate, one JSON for the
+  // perf trajectory.
+  std::printf("overhead_governed_percent=%.3f\n", overhead);
+
+  std::FILE* json = std::fopen("BENCH_governance_overhead.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_governance_overhead.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"governance_overhead\",\n"
+               "  \"dataset\": {\"kind\": \"uniform\", \"cardinality\": "
+               "%zu, \"dims\": %zu},\n"
+               "  \"queries\": %zu,\n  \"rounds\": %zu,\n"
+               "  \"ungoverned_seconds\": %.6f,\n"
+               "  \"governed_seconds\": %.6f,\n"
+               "  \"overhead_governed_percent\": %.3f\n}\n",
+               cardinality, dims, num_queries, rounds, totals[kUngoverned],
+               totals[kGoverned], overhead);
+  std::fclose(json);
+  std::printf("wrote BENCH_governance_overhead.json\n");
+  return 0;
+}

@@ -27,6 +27,10 @@
 //   metrics [json|reset]              process metrics (Prometheus text/JSON)
 //   trace on|off                      per-query phase timings + cost counters
 //   threads <t>                       worker threads for batch commands
+//   govern deadline <ms>              per-query deadline for later queries
+//   govern budget attrs|pages|scratch <v>   per-query resource budgets
+//   govern off                        lift all governance limits
+//   govern status                     show the armed limits
 //   batch knmatch <n> <k> <q>         q sampled queries, fanned across workers
 //   batch fknmatch <n0> <n1> <k> <q>
 //   batch knn <k> <q>
@@ -35,8 +39,13 @@
 //
 // Flags: --threads <t> presets the batch worker count (equivalent to
 // the `threads` command; 0 = one per hardware thread).
+// --deadline-ms <ms> and --budget <attrs> preset query governance: every
+// query then runs under that deadline / attribute budget and, on a
+// trip, reports its typed status (DeadlineExceeded / ResourceExhausted)
+// plus the partial result it got to. Equivalent to `govern`.
 //
 // Try: printf 'gen coil\nknmatch 30 4 42\nknn 10 42\nquit\n' | ./knmatch_cli
+// Try: ./knmatch_cli --deadline-ms 2 --budget 100000
 
 #include <chrono>
 #include <cstdio>
@@ -55,7 +64,10 @@ using namespace knmatch;
 
 class Cli {
  public:
-  explicit Cli(size_t threads) : threads_(threads) {}
+  Cli(size_t threads, double deadline_ms, uint64_t attr_budget)
+      : threads_(threads), deadline_ms_(deadline_ms) {
+    budgets_.max_attributes = attr_budget;
+  }
 
   int Run() {
     std::string line;
@@ -117,6 +129,33 @@ class Cli {
     }
   }
 
+  // Arms `ctx` with the session's governance limits; returns nullptr
+  // (run ungoverned) when none are set.
+  QueryContext* ArmContext(QueryContext* ctx) {
+    if (deadline_ms_ <= 0 && !budgets_.any()) return nullptr;
+    if (deadline_ms_ > 0) ctx->set_deadline_in_ms(deadline_ms_);
+    ctx->budgets() = budgets_;
+    return ctx;
+  }
+
+  // Prints a query's error status and, if it was a governance trip,
+  // the progress and partial result the query got to.
+  void PrintStatus(const Status& s, const QueryContext* ctx) {
+    std::printf("%s\n", s.ToString().c_str());
+    if (ctx == nullptr || !ctx->tripped()) return;
+    const GovernanceTrip& trip = ctx->trip();
+    std::printf("  tripped after %llu attributes, %llu pops, "
+                "%llu pages\n",
+                static_cast<unsigned long long>(trip.attributes_retrieved),
+                static_cast<unsigned long long>(trip.pops),
+                static_cast<unsigned long long>(trip.pages_read));
+    size_t have = 0;
+    for (const auto& set : trip.partial_per_n_sets) have += set.size();
+    std::printf("  partial result: %zu neighbor(s) across %zu answer "
+                "set(s)\n",
+                have, trip.partial_per_n_sets.size());
+  }
+
   bool Dispatch(const std::string& line) {
     std::istringstream in(line);
     std::string cmd;
@@ -136,6 +175,8 @@ class Cli {
           "<times> | faults corrupt <page> |\n"
           "faults clear | faults status | metrics [json|reset] | "
           "trace on|off |\n"
+          "govern deadline <ms> | govern budget attrs|pages|scratch <v> | "
+          "govern off | govern status |\n"
           "batch knmatch <n> <k> <q> | batch fknmatch <n0> <n1> <k> <q> | "
           "batch knn <k> <q> | quit\n");
       return true;
@@ -255,6 +296,70 @@ class Cli {
       return true;
     }
 
+    if (cmd == "govern") {
+      std::string what;
+      in >> what;
+      if (what == "deadline") {
+        double ms = 0;
+        if (!(in >> ms) || ms < 0) {
+          std::printf("usage: govern deadline <ms>   (0 = none)\n");
+          return true;
+        }
+        deadline_ms_ = ms;
+      } else if (what == "budget") {
+        std::string which;
+        uint64_t v = 0;
+        if (!(in >> which >> v)) {
+          std::printf("usage: govern budget attrs|pages|scratch <v>   "
+                      "(0 = unlimited)\n");
+          return true;
+        }
+        if (which == "attrs") {
+          budgets_.max_attributes = v;
+        } else if (which == "pages") {
+          budgets_.max_pages = v;
+        } else if (which == "scratch") {
+          budgets_.max_scratch_bytes = static_cast<size_t>(v);
+        } else {
+          std::printf("usage: govern budget attrs|pages|scratch <v>\n");
+          return true;
+        }
+      } else if (what == "off") {
+        deadline_ms_ = 0;
+        budgets_ = QueryBudgets{};
+      } else if (what != "status") {
+        std::printf("usage: govern deadline|budget|off|status ...\n");
+        return true;
+      }
+      if (deadline_ms_ <= 0 && !budgets_.any()) {
+        std::printf("governance off: queries run unbounded\n");
+      } else {
+        std::printf("governance armed:");
+        const char* sep = " ";
+        if (deadline_ms_ > 0) {
+          std::printf("%sdeadline %.3f ms", sep, deadline_ms_);
+          sep = " | ";
+        }
+        if (budgets_.max_attributes != 0) {
+          std::printf("%sattrs <= %llu", sep,
+                      static_cast<unsigned long long>(
+                          budgets_.max_attributes));
+          sep = " | ";
+        }
+        if (budgets_.max_pages != 0) {
+          std::printf("%spages <= %llu", sep,
+                      static_cast<unsigned long long>(budgets_.max_pages));
+          sep = " | ";
+        }
+        if (budgets_.max_scratch_bytes != 0) {
+          std::printf("%sscratch <= %zu B", sep,
+                      budgets_.max_scratch_bytes);
+        }
+        std::printf("\n");
+      }
+      return true;
+    }
+
     if (cmd == "batch") {
       if (!RequireData()) return true;
       std::string what;
@@ -370,9 +475,11 @@ class Cli {
       }
       std::vector<Value> q;
       if (!QueryOf(pid, &q)) return true;
-      auto r = engine_->KnMatch(q, n, k);
+      QueryContext ctx;
+      QueryContext* pctx = ArmContext(&ctx);
+      auto r = engine_->KnMatch(q, n, k, {}, pctx);
       if (!r.ok()) {
-        std::printf("%s\n", r.status().ToString().c_str());
+        PrintStatus(r.status(), pctx);
         return true;
       }
       PrintMatches(r.value().matches);
@@ -392,9 +499,11 @@ class Cli {
       }
       std::vector<Value> q;
       if (!QueryOf(pid, &q)) return true;
-      auto r = engine_->FrequentKnMatch(q, n0, n1, k);
+      QueryContext ctx;
+      QueryContext* pctx = ArmContext(&ctx);
+      auto r = engine_->FrequentKnMatch(q, n0, n1, k, {}, pctx);
       if (!r.ok()) {
-        std::printf("%s\n", r.status().ToString().c_str());
+        PrintStatus(r.status(), pctx);
         return true;
       }
       for (size_t i = 0; i < r.value().matches.size(); ++i) {
@@ -415,10 +524,12 @@ class Cli {
       }
       std::vector<Value> q;
       if (!QueryOf(pid, &q)) return true;
-      auto r = cmd == "knn" ? engine_->Knn(q, k)
+      QueryContext ctx;
+      QueryContext* pctx = cmd == "knn" ? ArmContext(&ctx) : nullptr;
+      auto r = cmd == "knn" ? engine_->Knn(q, k, Metric::kEuclidean, pctx)
                             : engine_->IGridSearch(q, k);
       if (!r.ok()) {
-        std::printf("%s\n", r.status().ToString().c_str());
+        PrintStatus(r.status(), pctx);
         return true;
       }
       PrintMatches(r.value().matches);
@@ -450,13 +561,15 @@ class Cli {
       }
       std::vector<Value> q;
       if (!QueryOf(pid, &q)) return true;
-      auto r = engine_->DiskFrequentKnMatch(q, n0, n1, k, method);
+      QueryContext ctx;
+      QueryContext* pctx = ArmContext(&ctx);
+      auto r = engine_->DiskFrequentKnMatch(q, n0, n1, k, method, pctx);
       for (const auto& step : engine_->last_disk_fallback()) {
         std::printf("  degraded: %s failed (%s)\n", MethodName(step.method),
                     step.status.ToString().c_str());
       }
       if (!r.ok()) {
-        std::printf("%s\n", r.status().ToString().c_str());
+        PrintStatus(r.status(), pctx);
         return true;
       }
       const char* ran = MethodName(engine_->last_disk_method());
@@ -542,6 +655,10 @@ class Cli {
                 size_t q) {
     exec::BatchRequest request;
     request.options.threads = threads_;
+    // Session governance applies per query inside the batch too; the
+    // session deadline doubles as the whole batch's deadline.
+    if (deadline_ms_ > 0) request.options.deadline_ms = deadline_ms_;
+    request.options.budgets = budgets_;
     for (const PointId pid :
          eval::SampleQueryPids(engine_->dataset(), q, /*seed=*/4242)) {
       auto p = engine_->dataset().point(pid);
@@ -604,7 +721,9 @@ class Cli {
         answered, exec::ResolveThreads(threads_), seconds,
         seconds > 0 ? static_cast<double>(answered) / seconds : 0.0);
     if (skipped > 0) {
-      std::printf("  %zu queries skipped (deadline/cancel)\n", skipped);
+      std::printf("  %zu queries skipped or shed "
+                  "(deadline/cancel/budget)\n",
+                  skipped);
     }
     if (attributes > 0) {
       std::printf("  %llu attributes retrieved in total\n",
@@ -627,20 +746,31 @@ class Cli {
   obs::QueryTrace trace_;
   std::unique_ptr<obs::TraceScope> trace_scope_;
   size_t threads_ = 0;
+  double deadline_ms_ = 0;
+  QueryBudgets budgets_;
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
   size_t threads = 0;
+  double deadline_ms = 0;
+  uint64_t attr_budget = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
       threads = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      deadline_ms = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--budget" && i + 1 < argc) {
+      attr_budget = std::strtoull(argv[++i], nullptr, 10);
     } else {
-      std::fprintf(stderr, "usage: %s [--threads <t>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--threads <t>] [--deadline-ms <ms>] "
+                   "[--budget <attrs>]\n",
+                   argv[0]);
       return 1;
     }
   }
-  return Cli(threads).Run();
+  return Cli(threads, deadline_ms, attr_budget).Run();
 }

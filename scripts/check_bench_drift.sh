@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
-# Perf-drift gate: builds and runs the observability-overhead benchmark
-# and the batch-throughput benchmark, fails if the metrics subsystem's
-# measured overhead on the AD hot path exceeds the budget (2% by
-# default), and appends one timestamped line per run to
-# BENCH_history.jsonl so successive PRs leave a machine-readable perf
-# trajectory.
+# Perf-drift gate: builds and runs the observability-overhead benchmark,
+# the governance-overhead benchmark, and the batch-throughput benchmark;
+# fails if the metrics subsystem's or the governance layer's measured
+# overhead on the AD hot path exceeds the budget (2% by default), and
+# appends one timestamped line per run to BENCH_history.jsonl so
+# successive PRs leave a machine-readable perf trajectory.
 #
 # Also gates sequential throughput: each workload's sequential QPS must
 # stay within QPS_DRIFT_PERCENT (default 10) of the sequential_qps
@@ -25,8 +25,8 @@ BUDGET=${OVERHEAD_BUDGET_PERCENT:-2.0}
 QPS_DRIFT=${QPS_DRIFT_PERCENT:-10}
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
-cmake --build "$BUILD_DIR" --target bench_obs_overhead bench_throughput \
-  -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target bench_obs_overhead \
+  bench_governance_overhead bench_throughput -j"$(nproc)"
 
 # --- Gate: observability overhead on the in-memory AD hot path. ---
 # The benchmark interleaves the instrumented and kill-switched modes
@@ -45,6 +45,27 @@ if awk -v o="$overhead" -v b="$BUDGET" 'BEGIN{exit !(o > b)}'; then
   exit 1
 fi
 echo "OK: metrics overhead ${overhead}% within budget ${BUDGET}%"
+
+# --- Gate: governance overhead on the in-memory AD hot path. ---
+# Same interleaved A/B methodology (see bench/bench_governance_overhead
+# .cc): each query runs ungoverned and under a full never-tripping
+# QueryContext microseconds apart, so the ratio isolates the cost of
+# the amortized governance checks themselves.
+gov_out=$("$BUILD_DIR"/bench/bench_governance_overhead)
+printf '%s\n' "$gov_out"
+gov_overhead=$(printf '%s\n' "$gov_out" |
+  awk -F= '/^overhead_governed_percent=/{print $2}')
+if [[ -z "$gov_overhead" ]]; then
+  echo "FAIL: bench_governance_overhead printed no" \
+       "overhead_governed_percent" >&2
+  exit 1
+fi
+if awk -v o="$gov_overhead" -v b="$BUDGET" 'BEGIN{exit !(o > b)}'; then
+  echo "FAIL: governance overhead ${gov_overhead}% exceeds budget" \
+       "${BUDGET}%" >&2
+  exit 1
+fi
+echo "OK: governance overhead ${gov_overhead}% within budget ${BUDGET}%"
 
 # --- Gate: sequential QPS drift on the batch-throughput workloads. ---
 # The run below overwrites BENCH_throughput.json in place, so snapshot
@@ -101,6 +122,8 @@ stamp=$(date -Is)
 {
   printf '{"timestamp": "%s", "obs_overhead": ' "$stamp"
   tr -d '\n' <BENCH_obs_overhead.json
+  printf ', "governance_overhead": '
+  tr -d '\n' <BENCH_governance_overhead.json
   printf ', "throughput": '
   tr -d '\n' <BENCH_throughput.json
   printf '}\n'

@@ -25,6 +25,7 @@
 #include "knmatch/core/nmatch.h"
 #include "knmatch/core/nmatch_join.h"
 #include "knmatch/core/nmatch_naive.h"
+#include "knmatch/core/query_context.h"
 #include "knmatch/core/sorted_columns.h"
 
 #include "knmatch/datagen/coil_like.h"
@@ -49,6 +50,7 @@
 #include "knmatch/vafile/va_knn.h"
 
 #include "knmatch/exec/batch.h"
+#include "knmatch/exec/circuit_breaker.h"
 #include "knmatch/exec/thread_pool.h"
 
 #include "knmatch/obs/catalog.h"

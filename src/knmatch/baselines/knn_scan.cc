@@ -6,6 +6,7 @@
 
 #include "knmatch/common/top_k.h"
 #include "knmatch/core/nmatch.h"
+#include "knmatch/core/query_context.h"
 
 namespace knmatch {
 
@@ -41,13 +42,31 @@ Value MetricDistance(std::span<const Value> a, std::span<const Value> b,
 
 Result<KnMatchResult> KnnScan(const Dataset& db,
                               std::span<const Value> query, size_t k,
-                              Metric metric) {
+                              Metric metric, QueryContext* ctx) {
   Status s = ValidateMatchParams(db.size(), db.dims(), query.size(), 1, 1, k);
   if (!s.ok()) return s;
 
+  const bool governed = ctx != nullptr && ctx->governed();
+  if (governed) ctx->ArmPages(nullptr);
   BoundedTopK<PointId, Value, PointId> top(k);
+  PointId seen = 0;
   for (PointId pid = 0; pid < db.size(); ++pid) {
     top.Offer(MetricDistance(db.point(pid), query, metric), pid, pid);
+    ++seen;
+    if (governed && seen % internal::kGovernanceStride == 0 &&
+        !ctx->Recheck(static_cast<uint64_t>(seen) * db.dims(), 0)) {
+      break;
+    }
+  }
+  if (governed && ctx->tripped()) {
+    ctx->trip().attributes_retrieved =
+        static_cast<uint64_t>(seen) * db.dims();
+    std::vector<std::vector<Neighbor>> partial(1);
+    for (auto& e : top.TakeSorted()) {
+      partial[0].push_back(Neighbor{e.item, e.score});
+    }
+    ctx->StorePartialSets(&partial);
+    return ctx->trip_status();
   }
 
   KnMatchResult result;

@@ -9,6 +9,8 @@
 
 namespace knmatch {
 
+class QueryContext;
+
 /// Distance metrics for the exact-scan kNN baseline.
 enum class Metric {
   kEuclidean,   // L2
@@ -24,10 +26,13 @@ Value MetricDistance(std::span<const Value> a, std::span<const Value> b,
 
 /// Exact k-nearest-neighbor search by sequential scan — the traditional
 /// similarity-search model the paper argues against (fixed feature set,
-/// aggregated differences).
+/// aggregated differences). Optional `ctx` governs the query; on a trip
+/// the scan stops and returns the context's typed status with the
+/// points-seen-so-far top-k as the partial result in ctx->trip().
 Result<KnMatchResult> KnnScan(const Dataset& db,
                               std::span<const Value> query, size_t k,
-                              Metric metric = Metric::kEuclidean);
+                              Metric metric = Metric::kEuclidean,
+                              QueryContext* ctx = nullptr);
 
 }  // namespace knmatch
 

@@ -25,6 +25,16 @@ enum class StatusCode {
   /// not heal within the operation's retry budget. Retrying the whole
   /// operation later may succeed.
   kUnavailable,
+  /// The query's wall-clock deadline passed while it was in flight (or
+  /// before it could start). The work done so far is valid but
+  /// incomplete; retrying with a larger deadline may succeed. Never a
+  /// reason to fall back to a slower method.
+  kDeadlineExceeded,
+  /// The query exhausted an explicit resource budget (attributes
+  /// retrieved, pages read, scratch memory). Retrying unchanged will
+  /// exhaust it again — shrink the query (smaller k/n range) or raise
+  /// the budget.
+  kResourceExhausted,
 };
 
 /// A lightweight success-or-error value.
@@ -62,6 +72,12 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// True iff the status represents success.
@@ -107,6 +123,10 @@ class Status {
         return "DataLoss";
       case StatusCode::kUnavailable:
         return "Unavailable";
+      case StatusCode::kDeadlineExceeded:
+        return "DeadlineExceeded";
+      case StatusCode::kResourceExhausted:
+        return "ResourceExhausted";
     }
     return "Unknown";
   }

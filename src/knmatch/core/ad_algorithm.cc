@@ -5,6 +5,7 @@
 
 #include "knmatch/core/ad_engine.h"
 #include "knmatch/core/nmatch.h"
+#include "knmatch/core/query_context.h"
 #include "knmatch/core/nmatch_naive.h"
 #include "knmatch/obs/catalog.h"
 #include "knmatch/obs/trace.h"
@@ -51,19 +52,24 @@ Status ValidateAdWeights(std::span<const Value> weights, size_t dims) {
 
 Result<KnMatchResult> AdSearcher::KnMatch(
     std::span<const Value> query, size_t n, size_t k,
-    std::span<const Value> weights, internal::AdScratch* scratch) const {
+    std::span<const Value> weights, internal::AdScratch* scratch,
+    QueryContext* ctx) const {
   Status s =
       ValidateMatchParams(db_.size(), db_.dims(), query.size(), n, n, k);
   if (!s.ok()) return s;
   s = ValidateAdWeights(weights, db_.dims());
   if (!s.ok()) return s;
 
+  // Memory queries read no pages; re-arm so a context reused after a
+  // disk query does not count that query's reads against this one.
+  if (ctx != nullptr) ctx->ArmPages(nullptr);
   const auto start = std::chrono::steady_clock::now();
   internal::MemoryColumnAccessor acc(columns_);
   internal::AdOutput out =
-      internal::RunAdSearch(acc, query, n, n, k, weights, scratch);
+      internal::RunAdSearch(acc, query, n, n, k, weights, scratch, ctx);
   RecordMemoryAdQuery(out, obs::Cat().queries_knmatch,
                       obs::Cat().latency_knmatch, start);
+  if (ctx != nullptr && ctx->tripped()) return ctx->trip_status();
 
   KnMatchResult result;
   result.matches = std::move(out.per_n_sets[0]);
@@ -73,17 +79,24 @@ Result<KnMatchResult> AdSearcher::KnMatch(
 
 Result<FrequentKnMatchResult> AdSearcher::FrequentKnMatch(
     std::span<const Value> query, size_t n0, size_t n1, size_t k,
-    std::span<const Value> weights, internal::AdScratch* scratch) const {
+    std::span<const Value> weights, internal::AdScratch* scratch,
+    QueryContext* ctx) const {
   Status s =
       ValidateMatchParams(db_.size(), db_.dims(), query.size(), n0, n1, k);
   if (!s.ok()) return s;
   s = ValidateAdWeights(weights, db_.dims());
   if (!s.ok()) return s;
 
+  if (ctx != nullptr) ctx->ArmPages(nullptr);
   const auto start = std::chrono::steady_clock::now();
   internal::MemoryColumnAccessor acc(columns_);
   internal::AdOutput out =
-      internal::RunAdSearch(acc, query, n0, n1, k, weights, scratch);
+      internal::RunAdSearch(acc, query, n0, n1, k, weights, scratch, ctx);
+  if (ctx != nullptr && ctx->tripped()) {
+    RecordMemoryAdQuery(out, obs::Cat().queries_fknmatch,
+                        obs::Cat().latency_fknmatch, start);
+    return ctx->trip_status();
+  }
 
   FrequentKnMatchResult result;
   result.per_n_sets = std::move(out.per_n_sets);

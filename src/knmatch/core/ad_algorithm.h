@@ -10,6 +10,8 @@
 
 namespace knmatch {
 
+class QueryContext;
+
 namespace internal {
 class AdScratch;
 }  // namespace internal
@@ -56,18 +58,24 @@ class AdSearcher {
   /// table, cursor heap) across queries — the answer is identical; only
   /// per-query setup cost changes. A scratch must not be shared by
   /// concurrent queries; the batch executor keeps one per worker.
+  ///
+  /// Optional `ctx` governs the query (deadline, cancellation,
+  /// budgets): on a trip the search unwinds and returns the context's
+  /// typed trip status, with the partial result in ctx->trip().
   Result<KnMatchResult> KnMatch(std::span<const Value> query, size_t n,
                                 size_t k,
                                 std::span<const Value> weights = {},
-                                internal::AdScratch* scratch = nullptr) const;
+                                internal::AdScratch* scratch = nullptr,
+                                QueryContext* ctx = nullptr) const;
 
   /// Algorithm FKNMatchAD (Fig. 6): the k points appearing most often in
-  /// the k-n-match answer sets for n in [n0, n1]. `weights` and
-  /// `scratch` as above.
+  /// the k-n-match answer sets for n in [n0, n1]. `weights`, `scratch`
+  /// and `ctx` as above.
   Result<FrequentKnMatchResult> FrequentKnMatch(
       std::span<const Value> query, size_t n0, size_t n1, size_t k,
       std::span<const Value> weights = {},
-      internal::AdScratch* scratch = nullptr) const;
+      internal::AdScratch* scratch = nullptr,
+      QueryContext* ctx = nullptr) const;
 
   /// The underlying sorted columns (exposed for tests and tools).
   const SortedColumns& columns() const { return columns_; }

@@ -13,6 +13,7 @@
 #include "knmatch/core/ad_kernel.h"
 #include "knmatch/core/ad_scratch.h"
 #include "knmatch/core/match_types.h"
+#include "knmatch/core/query_context.h"
 #include "knmatch/core/sorted_columns.h"
 #include "knmatch/obs/catalog.h"
 #include "knmatch/obs/trace.h"
@@ -201,6 +202,10 @@ class AdAnswerBuilder {
   // on every call. The caller must Flush once, after the drive loop.
   void Flush() { out_->heap_pops += pops_; }
 
+  /// Pops consumed so far (read at governance stride boundaries; the
+  /// caller still owes a Flush).
+  uint64_t pops() const { return pops_; }
+
   /// Accounts one pop; false once the terminal set is complete.
   bool Consume(PointId pid, Value dif, uint16_t appearances) {
     ++pops_;
@@ -234,15 +239,29 @@ class AdAnswerBuilder {
 /// value in some dimensions — the partial answer sets accumulated so
 /// far are returned: they are exactly the matches supported by the
 /// attributes that exist.
+///
+/// A governed run (`ctx` non-null with any limit armed) rechecks the
+/// context once per kGovernanceStride pops — the ungoverned path keeps
+/// the exact sink it always had, so governance costs it nothing. On a
+/// trip the ascend stops, the best-so-far answer sets move into the
+/// context's GovernanceTrip, and the returned AdOutput's sets are
+/// empty; callers surface ctx->trip_status().
 template <typename Accessor>
 AdOutput RunAdSearch(Accessor& acc, std::span<const Value> query, size_t n0,
                      size_t n1, size_t k,
                      std::span<const Value> weights = {},
-                     AdScratch* scratch = nullptr) {
+                     AdScratch* scratch = nullptr,
+                     QueryContext* ctx = nullptr) {
   assert(n0 >= 1 && n0 <= n1 && n1 <= acc.dims());
   assert(k >= 1 && k <= acc.column_size());
 
   AdOutput out;
+  const bool governed = ctx != nullptr && ctx->governed();
+  if (governed && !ctx->AdmitScratch(AdScratch::EstimateFootprintBytes(
+                      acc.column_size(), acc.dims()))) {
+    out.per_n_sets.resize(n1 - n0 + 1);
+    return out;  // refused at admission; ctx latched the trip status
+  }
   out.per_n_sets.resize(n1 - n0 + 1);
   for (auto& set : out.per_n_sets) set.reserve(k);
   if (scratch == nullptr) {
@@ -264,13 +283,40 @@ AdOutput RunAdSearch(Accessor& acc, std::span<const Value> query, size_t n0,
   {
     obs::TraceSpan span(obs::Phase::kAscend);
     AdAnswerBuilder answers(&out, n0, n1, k);
-    kernel->Drive([&answers](PointId pid, Value dif, uint16_t a) {
-      return answers.Consume(pid, dif, a);
-    });
+    if (governed) {
+      // The stride countdown lives in the sink; only every 256th pop
+      // pays the clock read and counter refresh, which keeps the
+      // governed lane within the <2% A/B budget
+      // (bench_governance_overhead).
+      uint32_t countdown = kGovernanceStride;
+      kernel->Drive([&](PointId pid, Value dif, uint16_t a) {
+        if (!answers.Consume(pid, dif, a)) return false;
+        if (--countdown == 0) {
+          countdown = kGovernanceStride;
+          return ctx->Recheck(kernel->attributes_retrieved(),
+                              answers.pops());
+        }
+        return true;
+      });
+    } else {
+      kernel->Drive([&answers](PointId pid, Value dif, uint16_t a) {
+        return answers.Consume(pid, dif, a);
+      });
+    }
     answers.Flush();
   }
   out.attributes_retrieved = kernel->attributes_retrieved();
   out.tree_replays = kernel->tree_replays();
+  if (governed && ctx->tripped()) {
+    // Unwind cleanly with the partial result: final progress totals
+    // plus the best-so-far sets (exact prefixes of the untripped
+    // answer). The returned output keeps its shape but goes empty —
+    // the caller returns the trip status, not a value.
+    ctx->trip().pops = out.heap_pops;
+    ctx->trip().attributes_retrieved = out.attributes_retrieved;
+    ctx->StorePartialSets(&out.per_n_sets);
+    out.per_n_sets.assign(n1 - n0 + 1, {});
+  }
   if (obs::Enabled()) {
     obs::Cat().ad_tree_replays->Add(out.tree_replays);
     obs::Cat().ad_run_length->MergeBuckets(kernel->run_length_buckets(),

@@ -198,6 +198,28 @@ class AdLoserTree {
 /// datasets back to back.
 class AdScratch {
  public:
+  /// What Prepare(cardinality, dims) would make this scratch hold, in
+  /// bytes — the governance layer's scratch-memory admission check
+  /// (QueryContext::AdmitScratch) compares this against the budget
+  /// BEFORE any allocation happens. Mirrors Prepare's sizing: the
+  /// appearance table dominates (4 bytes per point); everything else
+  /// is O(d).
+  static size_t EstimateFootprintBytes(size_t cardinality, size_t dims) {
+    const size_t slots = 2 * dims;
+    size_t bytes = cardinality * sizeof(uint32_t);  // appearance table
+    // Per-slot cursor state: next_idx, cur_dif, cur_pid, buf_pos,
+    // buf_len, col_values, col_pids, col_len.
+    bytes += slots * (2 * sizeof(size_t) + sizeof(Value) + sizeof(PointId) +
+                      2 * sizeof(uint32_t) + sizeof(const Value*) +
+                      sizeof(const PointId*));
+    // Read-ahead buffers (SoA), heap items, loser-tree nodes, pair
+    // minima.
+    bytes += slots * kAdRunBlock * (sizeof(Value) + sizeof(PointId));
+    bytes += slots * (sizeof(AdHeapItem) + sizeof(uint32_t));
+    bytes += dims * sizeof(Value);
+    return bytes;
+  }
+
   /// Readies the scratch for a query over `cardinality` points and
   /// `dims` dimensions. O(1) amortized.
   void Prepare(size_t cardinality, size_t dims) {

@@ -5,6 +5,7 @@
 
 #include "knmatch/core/ad_engine.h"
 #include "knmatch/core/nmatch.h"
+#include "knmatch/core/query_context.h"
 #include "knmatch/core/nmatch_naive.h"
 #include "knmatch/core/sorted_columns.h"
 #include "knmatch/obs/catalog.h"
@@ -117,15 +118,19 @@ class BTreeColumnAccessor {
 }  // namespace
 
 Result<KnMatchResult> BTreeAdSearcher::KnMatch(std::span<const Value> query,
-                                               size_t n, size_t k) const {
+                                               size_t n, size_t k,
+                                               QueryContext* ctx) const {
   Status s = ValidateMatchParams(columns_.column_size(), columns_.dims(),
                                  query.size(), n, n, k);
   if (!s.ok()) return s;
 
+  if (ctx != nullptr) ctx->ArmPages(columns_.tree(0).disk());
   BTreeColumnAccessor acc(columns_, query);
-  internal::AdOutput out = internal::RunAdSearch(acc, query, n, n, k);
+  internal::AdOutput out =
+      internal::RunAdSearch(acc, query, n, n, k, {}, nullptr, ctx);
   obs::Cat().attrs_ad_btree->Add(out.attributes_retrieved);
   obs::Cat().pops_ad_btree->Add(out.heap_pops);
+  if (ctx != nullptr && ctx->tripped()) return ctx->trip_status();
   if (!acc.status().ok()) return acc.status();
 
   KnMatchResult result;
@@ -135,15 +140,19 @@ Result<KnMatchResult> BTreeAdSearcher::KnMatch(std::span<const Value> query,
 }
 
 Result<FrequentKnMatchResult> BTreeAdSearcher::FrequentKnMatch(
-    std::span<const Value> query, size_t n0, size_t n1, size_t k) const {
+    std::span<const Value> query, size_t n0, size_t n1, size_t k,
+    QueryContext* ctx) const {
   Status s = ValidateMatchParams(columns_.column_size(), columns_.dims(),
                                  query.size(), n0, n1, k);
   if (!s.ok()) return s;
 
+  if (ctx != nullptr) ctx->ArmPages(columns_.tree(0).disk());
   BTreeColumnAccessor acc(columns_, query);
-  internal::AdOutput out = internal::RunAdSearch(acc, query, n0, n1, k);
+  internal::AdOutput out =
+      internal::RunAdSearch(acc, query, n0, n1, k, {}, nullptr, ctx);
   obs::Cat().attrs_ad_btree->Add(out.attributes_retrieved);
   obs::Cat().pops_ad_btree->Add(out.heap_pops);
+  if (ctx != nullptr && ctx->tripped()) return ctx->trip_status();
   if (!acc.status().ok()) return acc.status();
 
   FrequentKnMatchResult result;

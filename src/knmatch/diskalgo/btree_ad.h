@@ -12,6 +12,8 @@
 
 namespace knmatch {
 
+class QueryContext;
+
 /// One B+-tree per dimension — the indexed disk organization a
 /// production deployment would maintain instead of rebuilding sorted
 /// runs (ColumnStore) offline: inserts keep the columns current, and
@@ -52,14 +54,19 @@ class BTreeAdSearcher {
   explicit BTreeAdSearcher(const BTreeColumns& columns)
       : columns_(columns) {}
 
-  /// B+-tree-backed KNMatchAD.
+  /// B+-tree-backed KNMatchAD. Optional `ctx` governs the query
+  /// (deadline, cancellation, budgets); on a trip the search unwinds
+  /// and returns the context's typed trip status, with the partial
+  /// result in ctx->trip().
   Result<KnMatchResult> KnMatch(std::span<const Value> query, size_t n,
-                                size_t k) const;
+                                size_t k, QueryContext* ctx = nullptr) const;
 
-  /// B+-tree-backed FKNMatchAD.
+  /// B+-tree-backed FKNMatchAD; `ctx` as above.
   Result<FrequentKnMatchResult> FrequentKnMatch(std::span<const Value> query,
                                                 size_t n0, size_t n1,
-                                                size_t k) const;
+                                                size_t k,
+                                                QueryContext* ctx =
+                                                    nullptr) const;
 
  private:
   const BTreeColumns& columns_;

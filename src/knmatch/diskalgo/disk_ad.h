@@ -9,6 +9,8 @@
 
 namespace knmatch {
 
+class QueryContext;
+
 /// Disk-based AD algorithm (Section 4.1): the FKNMatchAD control loop
 /// over the paged, sorted column store. Every cursor direction gets its
 /// own I/O stream, so consecutive reads within a direction are
@@ -23,14 +25,19 @@ class DiskAdSearcher {
   /// Searches `columns`; the store must outlive the searcher.
   explicit DiskAdSearcher(const ColumnStore& columns) : columns_(columns) {}
 
-  /// Disk-based KNMatchAD.
+  /// Disk-based KNMatchAD. Optional `ctx` governs the query (deadline,
+  /// cancellation, attribute/page/scratch budgets); on a trip the
+  /// search unwinds and returns the context's typed trip status, with
+  /// the partial result in ctx->trip().
   Result<KnMatchResult> KnMatch(std::span<const Value> query, size_t n,
-                                size_t k) const;
+                                size_t k, QueryContext* ctx = nullptr) const;
 
-  /// Disk-based FKNMatchAD.
+  /// Disk-based FKNMatchAD; `ctx` as above.
   Result<FrequentKnMatchResult> FrequentKnMatch(std::span<const Value> query,
                                                 size_t n0, size_t n1,
-                                                size_t k) const;
+                                                size_t k,
+                                                QueryContext* ctx =
+                                                    nullptr) const;
 
  private:
   const ColumnStore& columns_;

@@ -9,6 +9,8 @@
 
 namespace knmatch {
 
+class QueryContext;
+
 /// Disk-based sequential-scan competitors: read the whole row file once
 /// (sequential I/O) and evaluate the query on every point. These are the
 /// "scan" reference lines in Figures 10-15.
@@ -17,14 +19,20 @@ class DiskScan {
   /// Scans `rows`; the store must outlive the scanner.
   explicit DiskScan(const RowStore& rows) : rows_(rows) {}
 
-  /// Sequential-scan k-n-match.
+  /// Sequential-scan k-n-match. Optional `ctx` governs the query
+  /// (deadline, cancellation, attribute/page budgets), checked once
+  /// per row-batch; on a trip the scan stops reading pages and returns
+  /// the context's typed trip status, with the rows-seen-so-far top-k
+  /// as the partial result in ctx->trip().
   Result<KnMatchResult> KnMatch(std::span<const Value> query, size_t n,
-                                size_t k) const;
+                                size_t k, QueryContext* ctx = nullptr) const;
 
-  /// Sequential-scan frequent k-n-match over [n0, n1].
+  /// Sequential-scan frequent k-n-match over [n0, n1]; `ctx` as above.
   Result<FrequentKnMatchResult> FrequentKnMatch(std::span<const Value> query,
                                                 size_t n0, size_t n1,
-                                                size_t k) const;
+                                                size_t k,
+                                                QueryContext* ctx =
+                                                    nullptr) const;
 
   /// Answers a batch of frequent k-n-match queries in ONE pass over the
   /// row file: the scan's dominant cost (reading every page) is paid
@@ -37,9 +45,9 @@ class DiskScan {
 
   /// Sequential-scan exact kNN under the Euclidean distance (used by the
   /// effectiveness comparisons; shares the same I/O profile as the
-  /// k-n-match scan).
-  Result<KnMatchResult> KnnEuclidean(std::span<const Value> query,
-                                     size_t k) const;
+  /// k-n-match scan); `ctx` as on KnMatch.
+  Result<KnMatchResult> KnnEuclidean(std::span<const Value> query, size_t k,
+                                     QueryContext* ctx = nullptr) const;
 
  private:
   const RowStore& rows_;

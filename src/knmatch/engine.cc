@@ -43,6 +43,21 @@ obs::Counter* FallbackCounter(SimilarityEngine::DiskMethod m) {
   return nullptr;
 }
 
+obs::Gauge* BreakerGauge(SimilarityEngine::DiskMethod m) {
+  switch (m) {
+    case SimilarityEngine::DiskMethod::kScan:
+      return obs::Cat().breaker_state_scan;
+    case SimilarityEngine::DiskMethod::kAd:
+      return obs::Cat().breaker_state_ad;
+    case SimilarityEngine::DiskMethod::kVaFile:
+      return obs::Cat().breaker_state_va;
+    case SimilarityEngine::DiskMethod::kMemoryAd:
+    case SimilarityEngine::DiskMethod::kAuto:
+      break;  // no breaker guards these
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 SimilarityEngine::SimilarityEngine(Dataset db, DiskConfig config)
@@ -109,21 +124,28 @@ exec::BatchExecutor& SimilarityEngine::AcquireExecutor(
 
 Result<KnMatchResult> SimilarityEngine::KnMatch(
     std::span<const Value> query, size_t n, size_t k,
-    std::span<const Value> weights) const {
+    std::span<const Value> weights, QueryContext* ctx) const {
   EnsureAd();
-  return ad_->KnMatch(query, n, k, weights);
+  auto r = ad_->KnMatch(query, n, k, weights, nullptr, ctx);
+  if (ctx != nullptr) ctx->ObserveDeadlineFraction();
+  return r;
 }
 
 Result<FrequentKnMatchResult> SimilarityEngine::FrequentKnMatch(
     std::span<const Value> query, size_t n0, size_t n1, size_t k,
-    std::span<const Value> weights) const {
+    std::span<const Value> weights, QueryContext* ctx) const {
   EnsureAd();
-  return ad_->FrequentKnMatch(query, n0, n1, k, weights);
+  auto r = ad_->FrequentKnMatch(query, n0, n1, k, weights, nullptr, ctx);
+  if (ctx != nullptr) ctx->ObserveDeadlineFraction();
+  return r;
 }
 
 Result<KnMatchResult> SimilarityEngine::Knn(std::span<const Value> query,
-                                            size_t k, Metric metric) const {
-  return KnnScan(db_, query, k, metric);
+                                            size_t k, Metric metric,
+                                            QueryContext* ctx) const {
+  auto r = KnnScan(db_, query, k, metric, ctx);
+  if (ctx != nullptr) ctx->ObserveDeadlineFraction();
+  return r;
 }
 
 Result<exec::KnMatchBatchResult> SimilarityEngine::KnMatchBatch(
@@ -212,23 +234,44 @@ DiskSimulator* SimilarityEngine::disk_simulator() const {
   return disk_.get();
 }
 
-Result<FrequentKnMatchResult> SimilarityEngine::RunDiskMethod(
-    DiskMethod method, std::span<const Value> query, size_t n0, size_t n1,
-    size_t k) const {
+exec::CircuitBreaker* SimilarityEngine::breaker(DiskMethod method) const {
   switch (method) {
     case DiskMethod::kScan:
-      return DiskScan(*rows_).FrequentKnMatch(query, n0, n1, k);
+      return &breaker_scan_;
     case DiskMethod::kAd:
-      return DiskAdSearcher(*columns_).FrequentKnMatch(query, n0, n1, k);
+      return &breaker_ad_;
+    case DiskMethod::kVaFile:
+      return &breaker_va_;
+    case DiskMethod::kMemoryAd:
+    case DiskMethod::kAuto:
+      break;
+  }
+  return nullptr;
+}
+
+const exec::CircuitBreaker* SimilarityEngine::circuit_breaker(
+    DiskMethod method) const {
+  return breaker(method);
+}
+
+Result<FrequentKnMatchResult> SimilarityEngine::RunDiskMethod(
+    DiskMethod method, std::span<const Value> query, size_t n0, size_t n1,
+    size_t k, QueryContext* ctx) const {
+  switch (method) {
+    case DiskMethod::kScan:
+      return DiskScan(*rows_).FrequentKnMatch(query, n0, n1, k, ctx);
+    case DiskMethod::kAd:
+      return DiskAdSearcher(*columns_).FrequentKnMatch(query, n0, n1, k,
+                                                       ctx);
     case DiskMethod::kVaFile: {
-      auto va =
-          VaKnMatchSearcher(*va_, *rows_).FrequentKnMatch(query, n0, n1, k);
+      auto va = VaKnMatchSearcher(*va_, *rows_).FrequentKnMatch(query, n0,
+                                                                n1, k, ctx);
       if (!va.ok()) return va.status();
       return std::move(va).value().base;
     }
     case DiskMethod::kMemoryAd:
       EnsureAd();
-      return ad_->FrequentKnMatch(query, n0, n1, k);
+      return ad_->FrequentKnMatch(query, n0, n1, k, {}, nullptr, ctx);
     case DiskMethod::kAuto:
       break;  // resolved by the caller
   }
@@ -237,7 +280,7 @@ Result<FrequentKnMatchResult> SimilarityEngine::RunDiskMethod(
 
 Result<FrequentKnMatchResult> SimilarityEngine::DiskFrequentKnMatch(
     std::span<const Value> query, size_t n0, size_t n1, size_t k,
-    DiskMethod method) const {
+    DiskMethod method, QueryContext* ctx) const {
   EnsureDiskStores();
   last_disk_fallback_.clear();
 
@@ -274,9 +317,40 @@ Result<FrequentKnMatchResult> SimilarityEngine::DiskFrequentKnMatch(
       Status::Internal("no disk method ran");
   last_disk_cost_ = eval::MeasureQuery(disk_.get(), [&] {
     for (const DiskMethod attempt : plan) {
-      result = RunDiskMethod(attempt, query, n0, n1, k);
+      exec::CircuitBreaker* brk = auto_routed ? breaker(attempt) : nullptr;
+      if (brk != nullptr) {
+        const bool admitted = brk->Allow();
+        if (obs::Gauge* g = BreakerGauge(attempt)) {
+          g->Set(static_cast<int64_t>(brk->state()));
+        }
+        if (!admitted) {
+          // Breaker open: don't touch a backend that has been tripping;
+          // the next method in the chain answers instead. Skipped, not
+          // attempted, so no fallback step is recorded.
+          obs::Cat().breaker_skipped->Add();
+          continue;
+        }
+      }
+      result = RunDiskMethod(attempt, query, n0, n1, k, ctx);
       last_disk_method_ = attempt;
+      if (brk != nullptr) {
+        // A governance trip counts as a breaker failure: the method
+        // consumed a whole deadline/budget without answering, which is
+        // exactly the overload signal the breaker sheds.
+        if (result.ok()) {
+          brk->RecordSuccess();
+        } else {
+          brk->RecordFailure();
+        }
+        if (obs::Gauge* g = BreakerGauge(attempt)) {
+          g->Set(static_cast<int64_t>(brk->state()));
+        }
+      }
       if (result.ok()) return;
+      // A governance trip never degrades: the query is out of deadline
+      // or budget, and rerunning it on a (often costlier) fallback
+      // would amplify exactly the load the trip shed. Surface the trip.
+      if (ctx != nullptr && ctx->tripped()) return;
       const StatusCode code = result.status().code();
       // Only availability errors degrade; anything else (bad
       // parameters, internal bugs) surfaces immediately.
@@ -304,6 +378,7 @@ Result<FrequentKnMatchResult> SimilarityEngine::DiskFrequentKnMatch(
                            last_disk_cost_.io_seconds);
     trace->counters().fallbacks += last_disk_fallback_.size();
   }
+  if (ctx != nullptr) ctx->ObserveDeadlineFraction();
   return result;
 }
 

@@ -13,11 +13,13 @@
 #include "knmatch/core/ad_algorithm.h"
 #include "knmatch/core/match_types.h"
 #include "knmatch/core/nmatch_join.h"
+#include "knmatch/core/query_context.h"
 #include "knmatch/diskalgo/disk_ad.h"
 #include "knmatch/diskalgo/disk_scan.h"
 #include "knmatch/eval/advisor.h"
 #include "knmatch/eval/experiment.h"
 #include "knmatch/exec/batch.h"
+#include "knmatch/exec/circuit_breaker.h"
 #include "knmatch/storage/column_store.h"
 #include "knmatch/storage/fault_injector.h"
 #include "knmatch/storage/row_store.h"
@@ -76,19 +78,27 @@ class SimilarityEngine {
   /// The engine's dataset.
   const Dataset& dataset() const { return db_; }
 
-  /// In-memory k-n-match via the AD algorithm.
+  /// In-memory k-n-match via the AD algorithm. Optional `ctx` governs
+  /// the query (deadline, cancellation, resource budgets — see
+  /// QueryContext); on a trip the call returns the context's typed
+  /// status (kDeadlineExceeded / kResourceExhausted / kUnavailable)
+  /// and ctx->trip() holds progress plus the best-so-far partial
+  /// result. The engine stays fully reusable after a trip.
   Result<KnMatchResult> KnMatch(std::span<const Value> query, size_t n,
                                 size_t k,
-                                std::span<const Value> weights = {}) const;
+                                std::span<const Value> weights = {},
+                                QueryContext* ctx = nullptr) const;
 
-  /// In-memory frequent k-n-match via the AD algorithm.
+  /// In-memory frequent k-n-match via the AD algorithm; `ctx` as on
+  /// KnMatch.
   Result<FrequentKnMatchResult> FrequentKnMatch(
       std::span<const Value> query, size_t n0, size_t n1, size_t k,
-      std::span<const Value> weights = {}) const;
+      std::span<const Value> weights = {}, QueryContext* ctx = nullptr) const;
 
-  /// Exact kNN by scan.
+  /// Exact kNN by scan; `ctx` as on KnMatch.
   Result<KnMatchResult> Knn(std::span<const Value> query, size_t k,
-                            Metric metric = Metric::kEuclidean) const;
+                            Metric metric = Metric::kEuclidean,
+                            QueryContext* ctx = nullptr) const;
 
   /// Batch k-n-match: fans the request's queries across a fixed worker
   /// pool over the shared sorted columns, each worker reusing a private
@@ -146,9 +156,28 @@ class SimilarityEngine {
   /// bit-for-bit the same as a healthy one — only its cost differs.
   /// Explicitly-requested methods never fall back: their errors
   /// surface, so callers probing a specific structure see the truth.
+  ///
+  /// Governance (`ctx`): as on KnMatch, threaded into whichever method
+  /// runs. A governance trip NEVER degrades — retrying a query that
+  /// already ran out of deadline or budget on a (possibly more
+  /// expensive) fallback would amplify exactly the load the trip was
+  /// shedding — so tripped queries return immediately with
+  /// last_disk_fallback() empty.
+  ///
+  /// Overload protection: each disk-touching method (scan, AD,
+  /// VA-file) sits behind a CircuitBreaker fed by auto-routed
+  /// attempts. kAuto skips methods whose breaker is open (half-open
+  /// probes recover them); explicit methods bypass the breakers.
   Result<FrequentKnMatchResult> DiskFrequentKnMatch(
       std::span<const Value> query, size_t n0, size_t n1, size_t k,
-      DiskMethod method = DiskMethod::kAuto) const;
+      DiskMethod method = DiskMethod::kAuto,
+      QueryContext* ctx = nullptr) const;
+
+  /// The circuit breaker guarding one disk method (nullptr for methods
+  /// that have none: kAuto routes, kMemoryAd cannot fail). Exposed for
+  /// tests and diagnostics; same serialization rules as the other
+  /// Disk* state.
+  const exec::CircuitBreaker* circuit_breaker(DiskMethod method) const;
 
   /// The method DiskFrequentKnMatch actually executed last — with
   /// kAuto, the one that produced the answer after any fallbacks.
@@ -208,8 +237,11 @@ class SimilarityEngine {
   /// Runs one concrete disk method (not kAuto) over the built stores.
   Result<FrequentKnMatchResult> RunDiskMethod(DiskMethod method,
                                               std::span<const Value> query,
-                                              size_t n0, size_t n1,
-                                              size_t k) const;
+                                              size_t n0, size_t n1, size_t k,
+                                              QueryContext* ctx) const;
+
+  /// Mutable breaker lookup (kScan/kAd/kVaFile only).
+  exec::CircuitBreaker* breaker(DiskMethod method) const;
 
   Dataset db_;
   DiskConfig config_;
@@ -224,6 +256,11 @@ class SimilarityEngine {
   mutable DiskMethod last_disk_method_ = DiskMethod::kScan;
   mutable eval::QueryCost last_disk_cost_;
   mutable std::vector<DiskFallbackStep> last_disk_fallback_;
+  // Per-disk-method breakers for kAuto routing; serialized with the
+  // rest of the Disk* state.
+  mutable exec::CircuitBreaker breaker_scan_;
+  mutable exec::CircuitBreaker breaker_ad_;
+  mutable exec::CircuitBreaker breaker_va_;
   FaultInjector* injector_ = nullptr;
 
   // Lazy-builder guards. std::once_flag is not resettable, so each

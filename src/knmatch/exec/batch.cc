@@ -50,14 +50,20 @@ BatchExecutor::BatchExecutor(size_t threads, bool allow_oversubscription)
   obs::Cat().batch_workers->Set(static_cast<int64_t>(pool_.size()));
 }
 
-/// Snapshot of one batch call's deadline and cancel flag. Admit() is
-/// consulted by every worker at each query's start boundary; a running
-/// query is never interrupted, so answers stay bit-identical to solo
-/// runs.
+/// One batch call's governance state: the shared deadline and cancel
+/// flag, the attribute pool, and the latency EWMA behind predictive
+/// shedding. Admit() is consulted by every worker at each query's
+/// start boundary; admitted queries additionally carry a QueryContext
+/// configured by Configure(), so the same deadline/cancel/budgets trip
+/// them cooperatively in flight.
 class BatchExecutor::RunGuard {
  public:
   explicit RunGuard(const BatchOptions& options)
-      : cancel_(options.cancel), has_deadline_(options.deadline_ms > 0) {
+      : cancel_(options.cancel),
+        has_deadline_(options.deadline_ms > 0),
+        budgets_(options.budgets),
+        attribute_pool_(options.attribute_pool),
+        predictive_(options.predictive_shedding && options.deadline_ms > 0) {
     if (has_deadline_) {
       deadline_ = std::chrono::steady_clock::now() +
                   std::chrono::duration_cast<
@@ -70,25 +76,147 @@ class BatchExecutor::RunGuard {
   /// OK while the batch may still start queries. Called exactly once
   /// per query at its start boundary, so a refusal here counts the
   /// query as skipped (and drains it from the queue-depth gauge).
-  Status Admit() const {
+  Status Admit() {
     if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
       obs::Cat().batch_skipped_cancel->Add();
       obs::Cat().batch_queue_depth->Add(-1);
       return Status::Unavailable("batch cancelled");
     }
-    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    const auto now = std::chrono::steady_clock::now();
+    if (has_deadline_ && now >= deadline_) {
       obs::Cat().batch_skipped_deadline->Add();
       obs::Cat().batch_queue_depth->Add(-1);
-      return Status::Unavailable("batch deadline exceeded");
+      return Status::DeadlineExceeded("batch deadline exceeded");
+    }
+    if (attribute_pool_ != 0 &&
+        pool_used_.load(std::memory_order_relaxed) >= attribute_pool_) {
+      obs::Cat().batch_shed_pool->Add();
+      obs::Cat().batch_queue_depth->Add(-1);
+      return Status::ResourceExhausted("batch attribute pool exhausted");
+    }
+    if (predictive_) {
+      const int64_t predicted = ewma_ns_.load(std::memory_order_relaxed);
+      if (predicted > 0 &&
+          now + std::chrono::nanoseconds(predicted) >= deadline_) {
+        obs::Cat().batch_shed_predicted->Add();
+        obs::Cat().batch_queue_depth->Add(-1);
+        return Status::DeadlineExceeded(
+            "batch deadline predicted to pass before completion");
+      }
     }
     return Status::OK();
+  }
+
+  /// Whether admitted queries need an in-flight governance context.
+  bool governed() const {
+    return has_deadline_ || cancel_ != nullptr || budgets_.any();
+  }
+
+  /// Predictive shedding needs per-query latencies even when obs is
+  /// off.
+  bool predictive() const { return predictive_; }
+
+  /// Arms `ctx` with the batch's absolute deadline, cancel flag, and
+  /// per-query budgets.
+  void Configure(QueryContext* ctx) const {
+    if (has_deadline_) ctx->set_deadline(deadline_);
+    if (cancel_ != nullptr) ctx->set_cancel(cancel_);
+    ctx->budgets() = budgets_;
+  }
+
+  /// Settles one finished (or tripped) query: draws its attribute cost
+  /// from the pool and folds its latency into the EWMA.
+  void OnQueryDone(uint64_t attributes, int64_t latency_ns) {
+    if (attribute_pool_ != 0 && attributes != 0) {
+      pool_used_.fetch_add(attributes, std::memory_order_relaxed);
+    }
+    if (predictive_ && latency_ns > 0) {
+      // Racy read-modify-write on purpose: the EWMA is a shedding
+      // heuristic, and a lost update under contention only delays its
+      // convergence by one sample.
+      const int64_t old = ewma_ns_.load(std::memory_order_relaxed);
+      const int64_t next =
+          old == 0 ? latency_ns : (3 * old + latency_ns) / 4;
+      ewma_ns_.store(next, std::memory_order_relaxed);
+    }
   }
 
  private:
   std::shared_ptr<std::atomic<bool>> cancel_;
   bool has_deadline_;
   std::chrono::steady_clock::time_point deadline_;
+  QueryBudgets budgets_;
+  uint64_t attribute_pool_;
+  bool predictive_;
+  std::atomic<uint64_t> pool_used_{0};
+  std::atomic<int64_t> ewma_ns_{0};
 };
+
+template <typename ResultT, typename RunFn>
+Result<BatchResult<ResultT>> BatchExecutor::RunGoverned(
+    const BatchRequest& request, RunFn&& run) {
+  BatchResult<ResultT> out;
+  const size_t total = request.queries.size();
+  out.results.resize(total);
+  out.statuses.assign(total, Status::OK());
+  obs::Cat().batch_calls->Add();
+
+  // Deterministic queue-depth shedding: the cap admits a prefix of the
+  // batch; the tail never enters the queue.
+  size_t admitted = total;
+  if (const size_t cap = request.options.max_queue_depth;
+      cap != 0 && total > cap) {
+    admitted = cap;
+    for (size_t i = cap; i < total; ++i) {
+      out.statuses[i] =
+          Status::ResourceExhausted("batch queue depth exceeded");
+    }
+    obs::Cat().batch_shed_queue_depth->Add(
+        static_cast<uint64_t>(total - cap));
+  }
+  obs::Cat().batch_queue_depth->Set(static_cast<int64_t>(admitted));
+
+  RunGuard guard(request.options);
+  pool_.ParallelFor(total, [&](size_t worker, size_t i) {
+    if (!out.statuses[i].ok()) return;  // shed before fan-out
+    if (Status admit = guard.Admit(); !admit.ok()) {
+      out.statuses[i] = std::move(admit);
+      return;
+    }
+    QueryMeter meter(worker_latency_[worker]);
+    QueryContext ctx;
+    QueryContext* ctx_ptr = nullptr;
+    if (guard.governed()) {
+      guard.Configure(&ctx);
+      ctx_ptr = &ctx;
+    }
+    std::chrono::steady_clock::time_point start;
+    if (guard.predictive()) start = std::chrono::steady_clock::now();
+    Result<ResultT> r = run(worker, i, ctx_ptr);
+    int64_t latency_ns = 0;
+    if (guard.predictive()) {
+      latency_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    }
+    if (r.ok()) {
+      out.results[i] = std::move(r).value();
+      guard.OnQueryDone(out.results[i].attributes_retrieved, latency_ns);
+    } else {
+      // A tripped query still drains the pool by what it consumed.
+      guard.OnQueryDone(
+          ctx_ptr != nullptr ? ctx.trip().attributes_retrieved : 0,
+          latency_ns);
+      out.statuses[i] = r.status();
+    }
+  });
+  for (size_t i = 0; i < out.results.size(); ++i) {
+    if (out.statuses[i].ok()) {
+      out.attributes_retrieved += out.results[i].attributes_retrieved;
+    }
+  }
+  return out;
+}
 
 Status BatchExecutor::ValidateBatch(size_t cardinality, size_t dims,
                                     const BatchRequest& request, size_t n0,
@@ -113,31 +241,11 @@ Result<KnMatchBatchResult> BatchExecutor::KnMatch(
   s = ValidateAdWeights(weights, searcher.columns().dims());
   if (!s.ok()) return s;
 
-  KnMatchBatchResult out;
-  out.results.resize(request.queries.size());
-  out.statuses.assign(request.queries.size(), Status::OK());
-  obs::Cat().batch_calls->Add();
-  obs::Cat().batch_queue_depth->Set(
-      static_cast<int64_t>(request.queries.size()));
-  const RunGuard guard(request.options);
-  pool_.ParallelFor(
-      request.queries.size(), [&](size_t worker, size_t i) {
-        if (Status admit = guard.Admit(); !admit.ok()) {
-          out.statuses[i] = std::move(admit);
-          return;
-        }
-        QueryMeter meter(worker_latency_[worker]);
-        auto r = searcher.KnMatch(request.queries[i], n, k, weights,
-                                  &scratches_[worker]);
-        assert(r.ok() && "validated up front");
-        out.results[i] = std::move(r).value();
+  return RunGoverned<KnMatchResult>(
+      request, [&](size_t worker, size_t i, QueryContext* ctx) {
+        return searcher.KnMatch(request.queries[i], n, k, weights,
+                                &scratches_[worker], ctx);
       });
-  for (size_t i = 0; i < out.results.size(); ++i) {
-    if (out.statuses[i].ok()) {
-      out.attributes_retrieved += out.results[i].attributes_retrieved;
-    }
-  }
-  return out;
 }
 
 Result<FrequentKnMatchBatchResult> BatchExecutor::FrequentKnMatch(
@@ -149,31 +257,11 @@ Result<FrequentKnMatchBatchResult> BatchExecutor::FrequentKnMatch(
   s = ValidateAdWeights(weights, searcher.columns().dims());
   if (!s.ok()) return s;
 
-  FrequentKnMatchBatchResult out;
-  out.results.resize(request.queries.size());
-  out.statuses.assign(request.queries.size(), Status::OK());
-  obs::Cat().batch_calls->Add();
-  obs::Cat().batch_queue_depth->Set(
-      static_cast<int64_t>(request.queries.size()));
-  const RunGuard guard(request.options);
-  pool_.ParallelFor(
-      request.queries.size(), [&](size_t worker, size_t i) {
-        if (Status admit = guard.Admit(); !admit.ok()) {
-          out.statuses[i] = std::move(admit);
-          return;
-        }
-        QueryMeter meter(worker_latency_[worker]);
-        auto r = searcher.FrequentKnMatch(request.queries[i], n0, n1, k,
-                                          weights, &scratches_[worker]);
-        assert(r.ok() && "validated up front");
-        out.results[i] = std::move(r).value();
+  return RunGoverned<FrequentKnMatchResult>(
+      request, [&](size_t worker, size_t i, QueryContext* ctx) {
+        return searcher.FrequentKnMatch(request.queries[i], n0, n1, k,
+                                        weights, &scratches_[worker], ctx);
       });
-  for (size_t i = 0; i < out.results.size(); ++i) {
-    if (out.statuses[i].ok()) {
-      out.attributes_retrieved += out.results[i].attributes_retrieved;
-    }
-  }
-  return out;
 }
 
 Result<KnMatchBatchResult> BatchExecutor::Knn(const Dataset& db,
@@ -185,30 +273,11 @@ Result<KnMatchBatchResult> BatchExecutor::Knn(const Dataset& db,
   const Status s = ValidateBatch(db.size(), db.dims(), request, 1, 1, k);
   if (!s.ok()) return s;
 
-  KnMatchBatchResult out;
-  out.results.resize(request.queries.size());
-  out.statuses.assign(request.queries.size(), Status::OK());
-  obs::Cat().batch_calls->Add();
-  obs::Cat().batch_queue_depth->Set(
-      static_cast<int64_t>(request.queries.size()));
-  const RunGuard guard(request.options);
-  pool_.ParallelFor(request.queries.size(),
-                    [&](size_t worker, size_t i) {
-                      if (Status admit = guard.Admit(); !admit.ok()) {
-                        out.statuses[i] = std::move(admit);
-                        return;
-                      }
-                      QueryMeter meter(worker_latency_[worker]);
-                      auto r = KnnScan(db, request.queries[i], k, metric);
-                      assert(r.ok() && "validated up front");
-                      out.results[i] = std::move(r).value();
-                    });
-  for (size_t i = 0; i < out.results.size(); ++i) {
-    if (out.statuses[i].ok()) {
-      out.attributes_retrieved += out.results[i].attributes_retrieved;
-    }
-  }
-  return out;
+  return RunGoverned<KnMatchResult>(
+      request, [&](size_t worker, size_t i, QueryContext* ctx) {
+        (void)worker;
+        return KnnScan(db, request.queries[i], k, metric, ctx);
+      });
 }
 
 }  // namespace knmatch::exec

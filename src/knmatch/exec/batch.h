@@ -14,6 +14,7 @@
 #include "knmatch/core/ad_algorithm.h"
 #include "knmatch/core/ad_scratch.h"
 #include "knmatch/core/match_types.h"
+#include "knmatch/core/query_context.h"
 #include "knmatch/exec/thread_pool.h"
 #include "knmatch/obs/metrics.h"
 
@@ -35,15 +36,38 @@ struct BatchOptions {
   /// their time blocked somewhere the executor cannot see.
   bool allow_oversubscription = false;
   /// Wall-clock budget for the whole batch, measured from the moment
-  /// the executor starts fanning out; 0 means no deadline. Checked
-  /// cooperatively at query boundaries — a query already running is
-  /// finished, not interrupted, so the overshoot is bounded by one
-  /// query's latency per worker.
+  /// the executor starts fanning out; 0 means no deadline. Enforced at
+  /// two levels: queries not yet started when it passes are skipped
+  /// with kDeadlineExceeded at their start boundary (including ones
+  /// still queued behind busy workers), and queries already in flight
+  /// share the same absolute deadline through their QueryContext, so
+  /// they trip cooperatively instead of running to completion — the
+  /// overshoot is one governance stride, not one query's latency.
   double deadline_ms = 0;
   /// Optional cancellation flag shared with the caller: set it to true
   /// (from any thread) and workers stop picking up queries at the next
-  /// boundary. Null means not cancellable.
+  /// boundary; in-flight queries trip with kUnavailable at their next
+  /// governance check. Null means not cancellable.
   std::shared_ptr<std::atomic<bool>> cancel;
+  /// Queries admitted into one batch call; anything past the cap is
+  /// shed deterministically from the tail (highest indices) with
+  /// kResourceExhausted before fan-out begins. 0 means unlimited.
+  size_t max_queue_depth = 0;
+  /// Per-query resource budgets applied to every admitted query (see
+  /// QueryBudgets; zero fields are unlimited).
+  QueryBudgets budgets;
+  /// Shared attribute pool for the whole batch: every finished query's
+  /// attribute cost draws it down, and once it is empty the remaining
+  /// queries are shed with kResourceExhausted at their start boundary
+  /// (granularity is one query — an in-flight query is bounded by
+  /// `budgets`, not the pool). 0 means unlimited.
+  uint64_t attribute_pool = 0;
+  /// Predictive shedding (requires deadline_ms > 0): the executor keeps
+  /// an EWMA of completed-query latencies and shed queries whose
+  /// predicted completion would pass the batch deadline, converting a
+  /// doomed start into an immediate kDeadlineExceeded. The decision
+  /// rule is deterministic given the observed latencies.
+  bool predictive_shedding = false;
 };
 
 /// A batch of same-shaped queries. The match parameters (n, k, ...) are
@@ -57,15 +81,19 @@ struct BatchRequest {
 /// Results of a batch call, index-aligned with BatchRequest::queries.
 /// Malformed parameters fail the whole call up front (validation runs
 /// before any work is fanned out); after that, each query lands an OK
-/// status and an answer, or — when the batch's deadline passed or its
-/// cancel flag was set before the query started — kUnavailable and a
-/// default-constructed result. Queries that did run are bit-identical
-/// to solo execution regardless of which others were skipped.
+/// status and an answer, or a typed governance status and a
+/// default-constructed result: kDeadlineExceeded when the batch
+/// deadline passed before the query started (or predicted shedding
+/// refused it) or tripped it in flight, kResourceExhausted when the
+/// queue-depth cap, the attribute pool, or a per-query budget shed it,
+/// kUnavailable when the cancel flag stopped it. Queries that ran to
+/// completion are bit-identical to solo execution regardless of which
+/// others were skipped or tripped.
 template <typename ResultT>
 struct BatchResult {
   std::vector<ResultT> results;
   /// Per-query outcome, index-aligned with `results`. OK slots hold
-  /// answers; kUnavailable slots were skipped (deadline/cancel).
+  /// answers; non-OK slots were shed, skipped, or tripped (see above).
   std::vector<Status> statuses;
   /// Sum of attributes retrieved over the queries that ran (the
   /// paper's cost metric); 0 for algorithms that do not report it.
@@ -120,9 +148,17 @@ class BatchExecutor {
                        const BatchRequest& request, size_t n0, size_t n1,
                        size_t k) const;
 
-  /// Tracks one batch's deadline and cancel flag; queries consult it
-  /// at their start boundary.
+  /// Tracks one batch's deadline, cancel flag, attribute pool, and
+  /// latency EWMA; queries consult it at their start boundary and
+  /// settle into it when they finish.
   class RunGuard;
+
+  /// Shared fan-out skeleton: queue-depth shedding, per-query
+  /// admission, governance context wiring, and result/status settling.
+  /// `run(worker, i, ctx)` executes query `i` and returns its result.
+  template <typename ResultT, typename RunFn>
+  Result<BatchResult<ResultT>> RunGoverned(const BatchRequest& request,
+                                           RunFn&& run);
 
   ThreadPool pool_;
   std::vector<internal::AdScratch> scratches_;  // one per worker

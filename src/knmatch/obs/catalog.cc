@@ -156,6 +156,55 @@ Catalog BuildCatalog() {
   c.batch_workers = r.GetGauge("knmatch_batch_workers", "",
                                "Worker threads of the current batch "
                                "executor");
+
+  const char* kTripName = "knmatch_governance_trips_total";
+  const char* kTripHelp =
+      "Queries stopped in flight by governance, by reason";
+  c.governance_trip_deadline = r.GetCounter(kTripName,
+                                            "reason=\"deadline\"",
+                                            kTripHelp);
+  c.governance_trip_cancel = r.GetCounter(kTripName, "reason=\"cancel\"",
+                                          kTripHelp);
+  c.governance_trip_attributes = r.GetCounter(
+      kTripName, "reason=\"budget_attributes\"", kTripHelp);
+  c.governance_trip_pages = r.GetCounter(kTripName,
+                                         "reason=\"budget_pages\"",
+                                         kTripHelp);
+  c.governance_trip_scratch = r.GetCounter(kTripName,
+                                           "reason=\"budget_scratch\"",
+                                           kTripHelp);
+
+  const char* kShedName = "knmatch_batch_shed_total";
+  const char* kShedHelp =
+      "Batch queries shed by admission control before running, by "
+      "reason";
+  c.batch_shed_queue_depth = r.GetCounter(kShedName,
+                                          "reason=\"queue_depth\"",
+                                          kShedHelp);
+  c.batch_shed_pool = r.GetCounter(kShedName, "reason=\"budget_pool\"",
+                                   kShedHelp);
+  c.batch_shed_predicted = r.GetCounter(kShedName,
+                                        "reason=\"predicted_deadline\"",
+                                        kShedHelp);
+
+  c.breaker_skipped = r.GetCounter(
+      "knmatch_breaker_skipped_total", "",
+      "Auto-routed disk queries steered around a method whose circuit "
+      "breaker was open");
+  const char* kBreakerName = "knmatch_breaker_state";
+  const char* kBreakerHelp =
+      "Per-method circuit-breaker state (0 closed, 1 open, 2 half-open)";
+  c.breaker_state_scan = r.GetGauge(kBreakerName, "method=\"scan\"",
+                                    kBreakerHelp);
+  c.breaker_state_ad = r.GetGauge(kBreakerName, "method=\"ad\"",
+                                  kBreakerHelp);
+  c.breaker_state_va = r.GetGauge(kBreakerName, "method=\"va\"",
+                                  kBreakerHelp);
+
+  c.deadline_fraction = r.GetHistogram(
+      "knmatch_deadline_fraction_percent", "",
+      "Per-query percentage of the wall-clock deadline consumed "
+      "(tripped queries observe >= 100)");
   return c;
 }
 

@@ -69,6 +69,21 @@ struct Catalog {
   Counter* batch_skipped_cancel;
   Gauge* batch_queue_depth;  // queries admitted but not yet finished
   Gauge* batch_workers;      // workers of the current executor
+
+  // --- In-flight query governance (deadlines / budgets / shedding). ---
+  Counter* governance_trip_deadline;    // in-flight deadline trips
+  Counter* governance_trip_cancel;      // in-flight cancellations
+  Counter* governance_trip_attributes;  // attribute-budget trips
+  Counter* governance_trip_pages;       // page-budget trips
+  Counter* governance_trip_scratch;     // scratch-memory admission refusals
+  Counter* batch_shed_queue_depth;      // shed: queue-depth cap
+  Counter* batch_shed_pool;             // shed: batch budget pool drained
+  Counter* batch_shed_predicted;        // shed: predicted to miss deadline
+  Counter* breaker_skipped;             // routings refused by open breakers
+  Gauge* breaker_state_scan;  // 0 closed, 1 open, 2 half-open
+  Gauge* breaker_state_ad;
+  Gauge* breaker_state_va;
+  Histogram* deadline_fraction;  // percent of the deadline consumed
 };
 
 /// The catalog over MetricsRegistry::Global(), built on first use

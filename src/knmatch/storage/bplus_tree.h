@@ -49,6 +49,9 @@ class BPlusTree {
 
   /// Number of entries.
   size_t size() const { return size_; }
+  /// The simulator this tree charges its node visits to (for
+  /// page-budget accounting via QueryContext::ArmPages).
+  const DiskSimulator* disk() const { return disk_; }
   /// Tree height (0 for an empty tree, 1 for a single leaf).
   size_t height() const { return height_; }
   /// Total nodes (== pages) in the tree.

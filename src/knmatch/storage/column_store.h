@@ -35,6 +35,10 @@ class ColumnStore {
   /// Opens an I/O accounting stream (one per cursor direction).
   size_t OpenStream() const;
 
+  /// The simulator this store charges its I/O to (for page-budget
+  /// accounting via QueryContext::ArmPages).
+  const DiskSimulator* disk() const { return disk_; }
+
   /// Reads the idx-th smallest entry of `dim`, charging the page access
   /// to `stream`. Adjacent reads on the same stream touch the same page
   /// and cost nothing extra. Fails (kDataLoss / kUnavailable) when the

@@ -43,6 +43,16 @@ Result<std::span<const Value>> RowStore::ReadRow(
 Status RowStore::ForEachRow(
     size_t stream,
     const std::function<void(PointId, std::span<const Value>)>& fn) const {
+  return ForEachRowWhile(stream,
+                         [&fn](PointId pid, std::span<const Value> row) {
+                           fn(pid, row);
+                           return true;
+                         });
+}
+
+Status RowStore::ForEachRowWhile(
+    size_t stream,
+    const std::function<bool(PointId, std::span<const Value>)>& fn) const {
   std::vector<Value> buf(dims_);
   PointId pid = 0;
   for (size_t page = 0; page < file_.num_pages(); ++page) {
@@ -54,7 +64,9 @@ Status RowStore::ForEachRow(
         buf[dim] = GetScalar<Value>(
             image.value(), (slot * dims_ + dim) * sizeof(Value));
       }
-      fn(pid, std::span<const Value>(buf.data(), buf.size()));
+      if (!fn(pid, std::span<const Value>(buf.data(), buf.size()))) {
+        return Status::OK();
+      }
     }
   }
   return Status::OK();

@@ -33,6 +33,17 @@ class RowStore {
   /// Opens an I/O accounting stream on the underlying disk.
   size_t OpenStream() const;
 
+  /// The simulator this store charges its I/O to (for page-budget
+  /// accounting via QueryContext::ArmPages).
+  const DiskSimulator* disk() const { return disk_; }
+
+  /// As ForEachRow, but `fn` returning false stops the scan early with
+  /// an OK status — the cooperative early-exit the governance layer
+  /// uses; no further pages are read.
+  Status ForEachRowWhile(
+      size_t stream,
+      const std::function<bool(PointId, std::span<const Value>)>& fn) const;
+
   /// Reads the coordinates of `pid` (one page read, charged to
   /// `stream`). The returned span points into `*buf`. Fails (kDataLoss
   /// / kUnavailable) when the row's page cannot be read intact.

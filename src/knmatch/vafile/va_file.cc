@@ -115,6 +115,17 @@ Status VaFile::ForEachApprox(
     size_t stream,
     const std::function<void(PointId, std::span<const uint32_t>)>& fn)
     const {
+  return ForEachApproxWhile(
+      stream, [&fn](PointId pid, std::span<const uint32_t> codes) {
+        fn(pid, codes);
+        return true;
+      });
+}
+
+Status VaFile::ForEachApproxWhile(
+    size_t stream,
+    const std::function<bool(PointId, std::span<const uint32_t>)>& fn)
+    const {
   std::vector<uint32_t> codes(dims_);
   PointId pid = 0;
   for (size_t page = 0; page < file_.num_pages(); ++page) {
@@ -127,7 +138,9 @@ Status VaFile::ForEachApprox(
         codes[dim] =
             GetBits(image.value(), row_base_bits + dim * bits_, bits_);
       }
-      fn(pid, std::span<const uint32_t>(codes.data(), codes.size()));
+      if (!fn(pid, std::span<const uint32_t>(codes.data(), codes.size()))) {
+        return Status::OK();
+      }
     }
   }
   return Status::OK();

@@ -49,12 +49,24 @@ class VaFile {
   /// Opens an I/O accounting stream.
   size_t OpenStream() const;
 
+  /// The simulator this file charges its I/O to (for page-budget
+  /// accounting via QueryContext::ArmPages).
+  const DiskSimulator* disk() const { return disk_; }
+
   /// Sequentially scans the approximation file on `stream`, invoking
   /// `fn(pid, codes)` for every point; `codes` has dims() entries.
   /// Stops at the first unreadable page and returns its error.
   Status ForEachApprox(
       size_t stream,
       const std::function<void(PointId, std::span<const uint32_t>)>& fn)
+      const;
+
+  /// As ForEachApprox, but `fn` returning false stops the scan early
+  /// with an OK status — the cooperative early-exit the governance
+  /// layer uses; no further pages are read.
+  Status ForEachApproxWhile(
+      size_t stream,
+      const std::function<bool(PointId, std::span<const uint32_t>)>& fn)
       const;
 
  private:

@@ -7,13 +7,39 @@
 #include "knmatch/common/top_k.h"
 #include "knmatch/core/nmatch.h"
 #include "knmatch/core/nmatch_naive.h"
+#include "knmatch/core/query_context.h"
 #include "knmatch/obs/catalog.h"
 #include "knmatch/obs/trace.h"
 
 namespace knmatch {
 
+namespace {
+
+// Approximations between phase-1 governance rechecks (each costs d
+// quantized attribute reads).
+constexpr uint64_t kApproxStride = 64;
+
+// Charges a tripped VA query's cost to the catalog/trace and records
+// the harvested partial sets, mirroring the untripped accounting.
+Status HarvestVaTrip(QueryContext* ctx, uint64_t attributes,
+                     uint64_t points_refined,
+                     std::vector<std::vector<Neighbor>> partial) {
+  ctx->trip().attributes_retrieved = attributes;
+  ctx->StorePartialSets(&partial);
+  obs::Cat().attrs_va->Add(attributes);
+  obs::Cat().va_points_refined->Add(points_refined);
+  if (obs::QueryTrace* trace = obs::CurrentTrace()) {
+    trace->counters().attributes_retrieved += attributes;
+    trace->counters().points_refined += points_refined;
+  }
+  return ctx->trip_status();
+}
+
+}  // namespace
+
 Result<VaFrequentKnMatchResult> VaKnMatchSearcher::FrequentKnMatch(
-    std::span<const Value> query, size_t n0, size_t n1, size_t k) const {
+    std::span<const Value> query, size_t n0, size_t n1, size_t k,
+    QueryContext* ctx) const {
   Status s = ValidateMatchParams(va_.size(), va_.dims(), query.size(), n0,
                                  n1, k);
   if (!s.ok()) return s;
@@ -32,12 +58,15 @@ Result<VaFrequentKnMatchResult> VaKnMatchSearcher::FrequentKnMatch(
   thresholds.reserve(range);
   for (size_t i = 0; i < range; ++i) thresholds.emplace_back(k);
 
+  const bool governed = ctx != nullptr && ctx->governed();
+  if (governed) ctx->ArmPages(va_.disk());
   std::vector<PointId> candidates;
   std::vector<Value> lb(d), ub(d);
+  uint64_t approx_seen = 0;
   const size_t va_stream = va_.OpenStream();
-  Status io = va_.ForEachApprox(va_stream, [&](PointId pid,
-                                               std::span<const uint32_t>
-                                                   codes) {
+  Status io = va_.ForEachApproxWhile(va_stream, [&](PointId pid,
+                                                    std::span<const uint32_t>
+                                                        codes) {
     for (size_t dim = 0; dim < d; ++dim) {
       const Value lo = va_.CellLower(dim, codes[dim]);
       const Value hi = va_.CellUpper(dim, codes[dim]);
@@ -65,8 +94,19 @@ Result<VaFrequentKnMatchResult> VaKnMatchSearcher::FrequentKnMatch(
       heap.Offer(ub[n - 1], pid, pid);
     }
     if (candidate) candidates.push_back(pid);
+    ++approx_seen;
+    if (governed && approx_seen % kApproxStride == 0) {
+      return ctx->Recheck(approx_seen * d, 0);
+    }
+    return true;
   });
   if (!io.ok()) return io;
+  if (governed && ctx->tripped()) {
+    // Tripped before refinement: no exact candidates yet, so the
+    // partial answer is the correctly-shaped empty set per n.
+    return HarvestVaTrip(ctx, approx_seen * d, 0,
+                         std::vector<std::vector<Neighbor>>(range));
+  }
 
   // Phase 2: fetch candidates (ascending pid, so co-located candidates
   // share page reads) and compute exact n-match differences.
@@ -77,9 +117,17 @@ Result<VaFrequentKnMatchResult> VaKnMatchSearcher::FrequentKnMatch(
 
   const size_t row_stream = rows_.OpenStream();
   std::vector<Value> buf, diffs;
+  uint64_t refined = 0;
   {
     obs::TraceSpan span(obs::Phase::kVerify);
     for (const PointId pid : candidates) {
+      // Each refinement is a random row read — expensive enough that a
+      // per-candidate recheck costs nothing by comparison.
+      if (governed &&
+          !ctx->Recheck(static_cast<uint64_t>(va_.size()) * d + refined * d,
+                        0)) {
+        break;
+      }
       Result<std::span<const Value>> p =
           rows_.ReadRow(row_stream, pid, &buf);
       if (!p.ok()) return p.status();
@@ -87,7 +135,19 @@ Result<VaFrequentKnMatchResult> VaKnMatchSearcher::FrequentKnMatch(
       for (size_t n = n0; n <= n1; ++n) {
         per_n[n - n0].Offer(diffs[n - 1], pid, pid);
       }
+      ++refined;
     }
+  }
+  if (governed && ctx->tripped()) {
+    std::vector<std::vector<Neighbor>> partial(range);
+    for (size_t i = 0; i < range; ++i) {
+      for (auto& e : per_n[i].TakeSorted()) {
+        partial[i].push_back(Neighbor{e.item, e.score});
+      }
+    }
+    return HarvestVaTrip(ctx,
+                         static_cast<uint64_t>(va_.size()) * d + refined * d,
+                         refined, std::move(partial));
   }
 
   VaFrequentKnMatchResult result;

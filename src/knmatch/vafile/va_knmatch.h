@@ -10,6 +10,8 @@
 
 namespace knmatch {
 
+class QueryContext;
+
 /// Result of a VA-file (frequent) k-n-match query, extending the base
 /// result with the phase statistics Figure 10 reports.
 struct VaFrequentKnMatchResult {
@@ -38,14 +40,21 @@ class VaKnMatchSearcher {
   VaKnMatchSearcher(const VaFile& va, const RowStore& rows)
       : va_(va), rows_(rows) {}
 
-  /// Frequent k-n-match over [n0, n1].
+  /// Frequent k-n-match over [n0, n1]. Optional `ctx` governs the
+  /// query (deadline, cancellation, attribute/page budgets), checked
+  /// once per approximation-batch in phase 1 and per refined point in
+  /// phase 2. A trip returns the context's typed status; a phase-2 trip
+  /// leaves the refined-so-far answer sets in ctx->trip(), a phase-1
+  /// trip has no exact candidates yet so the partial sets are empty.
   Result<VaFrequentKnMatchResult> FrequentKnMatch(
-      std::span<const Value> query, size_t n0, size_t n1, size_t k) const;
+      std::span<const Value> query, size_t n0, size_t n1, size_t k,
+      QueryContext* ctx = nullptr) const;
 
   /// Plain k-n-match (the n0 == n1 special case).
   Result<VaFrequentKnMatchResult> KnMatch(std::span<const Value> query,
-                                          size_t n, size_t k) const {
-    return FrequentKnMatch(query, n, n, k);
+                                          size_t n, size_t k,
+                                          QueryContext* ctx = nullptr) const {
+    return FrequentKnMatch(query, n, n, k, ctx);
   }
 
  private:

@@ -26,6 +26,10 @@ TEST(StatusTest, NamedConstructorsCarryCodeAndMessage) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
   EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
 }
 
 TEST(StatusTest, ToStringNamesEveryCode) {
@@ -34,6 +38,10 @@ TEST(StatusTest, ToStringNamesEveryCode) {
   EXPECT_EQ(Status::Unavailable("retries exhausted").ToString(),
             "Unavailable: retries exhausted");
   EXPECT_EQ(Status::NotFound("nope").ToString(), "NotFound: nope");
+  EXPECT_EQ(Status::DeadlineExceeded("1ms budget spent").ToString(),
+            "DeadlineExceeded: 1ms budget spent");
+  EXPECT_EQ(Status::ResourceExhausted("page budget").ToString(),
+            "ResourceExhausted: page budget");
 }
 
 TEST(StatusTest, EqualityComparesCodeOnly) {
