@@ -43,6 +43,9 @@
 // query then runs under that deadline / attribute budget and, on a
 // trip, reports its typed status (DeadlineExceeded / ResourceExhausted)
 // plus the partial result it got to. Equivalent to `govern`.
+// --cache enables the query-result cache with defaults for the whole
+// session (equivalent to `cache on`); `cache stats` shows hit ratios
+// and invalidation counts as you insert points.
 //
 // Try: printf 'gen coil\nknmatch 30 4 42\nknn 10 42\nquit\n' | ./knmatch_cli
 // Try: ./knmatch_cli --deadline-ms 2 --budget 100000
@@ -64,8 +67,9 @@ using namespace knmatch;
 
 class Cli {
  public:
-  Cli(size_t threads, double deadline_ms, uint64_t attr_budget)
-      : threads_(threads), deadline_ms_(deadline_ms) {
+  Cli(size_t threads, double deadline_ms, uint64_t attr_budget,
+      bool cache_on)
+      : threads_(threads), deadline_ms_(deadline_ms), cache_on_(cache_on) {
     budgets_.max_attributes = attr_budget;
   }
 
@@ -106,6 +110,7 @@ class Cli {
   void Adopt(Dataset db) {
     engine_ = std::make_unique<SimilarityEngine>(std::move(db));
     if (injector_ != nullptr) engine_->SetFaultInjector(injector_.get());
+    if (cache_on_) engine_->EnableCache(cache_config_);
     std::printf("dataset: %s  (%zu points x %zu dims%s)\n",
                 engine_->dataset().name().c_str(),
                 engine_->dataset().size(), engine_->dataset().dims(),
@@ -177,6 +182,8 @@ class Cli {
           "trace on|off |\n"
           "govern deadline <ms> | govern budget attrs|pages|scratch <v> | "
           "govern off | govern status |\n"
+          "cache on [mib] [warm_radius] | cache off | cache stats | "
+          "cache clear |\n"
           "batch knmatch <n> <k> <q> | batch fknmatch <n0> <n1> <k> <q> | "
           "batch knn <k> <q> | quit\n");
       return true;
@@ -356,6 +363,67 @@ class Cli {
                       budgets_.max_scratch_bytes);
         }
         std::printf("\n");
+      }
+      return true;
+    }
+
+    if (cmd == "cache") {
+      std::string what;
+      in >> what;
+      if (what == "on") {
+        double mib = 32;
+        double radius = 0;
+        in >> mib >> radius;
+        cache_config_ = cache::CacheConfig{};
+        if (mib > 0) {
+          cache_config_.max_bytes =
+              static_cast<size_t>(mib * 1024.0 * 1024.0);
+        }
+        cache_config_.warm_radius = radius;
+        cache_on_ = true;
+        if (engine_ != nullptr) engine_->EnableCache(cache_config_);
+        std::printf("cache on: %.1f MiB budget", mib);
+        if (radius > 0) {
+          std::printf(", warm-start radius %.4f", radius);
+        }
+        std::printf("  (survives gen/load)\n");
+      } else if (what == "off") {
+        cache_on_ = false;
+        if (engine_ != nullptr) engine_->DisableCache();
+        std::printf("cache off\n");
+      } else if (what == "clear") {
+        if (engine_ == nullptr || engine_->cache() == nullptr) {
+          std::printf("cache is not enabled\n");
+          return true;
+        }
+        engine_->cache()->Clear();
+        std::printf("cache cleared\n");
+      } else if (what == "stats") {
+        if (engine_ == nullptr || engine_->cache() == nullptr) {
+          std::printf("cache is not enabled\n");
+          return true;
+        }
+        const auto s = engine_->cache()->Stats();
+        const uint64_t lookups = s.hits + s.misses;
+        std::printf(
+            "  entries %llu  bytes %llu\n"
+            "  hits %llu  misses %llu  (%.1f%% hit ratio)\n"
+            "  stores %llu  evictions %llu\n"
+            "  invalidated: %llu by insert, %llu by erase\n",
+            static_cast<unsigned long long>(s.entries),
+            static_cast<unsigned long long>(s.bytes),
+            static_cast<unsigned long long>(s.hits),
+            static_cast<unsigned long long>(s.misses),
+            lookups > 0 ? 100.0 * static_cast<double>(s.hits) /
+                              static_cast<double>(lookups)
+                        : 0.0,
+            static_cast<unsigned long long>(s.stores),
+            static_cast<unsigned long long>(s.evictions),
+            static_cast<unsigned long long>(s.invalidated_insert),
+            static_cast<unsigned long long>(s.invalidated_erase));
+      } else {
+        std::printf("usage: cache on [mib] [warm_radius] | cache "
+                    "off|stats|clear\n");
       }
       return true;
     }
@@ -748,6 +816,9 @@ class Cli {
   size_t threads_ = 0;
   double deadline_ms_ = 0;
   QueryBudgets budgets_;
+  // Session cache policy: re-applied to every engine Adopt() builds.
+  bool cache_on_ = false;
+  cache::CacheConfig cache_config_;
 };
 
 }  // namespace
@@ -756,6 +827,7 @@ int main(int argc, char** argv) {
   size_t threads = 0;
   double deadline_ms = 0;
   uint64_t attr_budget = 0;
+  bool cache_on = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
@@ -764,13 +836,15 @@ int main(int argc, char** argv) {
       deadline_ms = std::strtod(argv[++i], nullptr);
     } else if (arg == "--budget" && i + 1 < argc) {
       attr_budget = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--cache") {
+      cache_on = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads <t>] [--deadline-ms <ms>] "
-                   "[--budget <attrs>]\n",
+                   "[--budget <attrs>] [--cache]\n",
                    argv[0]);
       return 1;
     }
   }
-  return Cli(threads, deadline_ms, attr_budget).Run();
+  return Cli(threads, deadline_ms, attr_budget, cache_on).Run();
 }

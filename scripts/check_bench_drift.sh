@@ -13,16 +13,23 @@
 # QPS_DRIFT_PERCENT and commit the refreshed BENCH_throughput.json,
 # which becomes the next baseline.
 #
+# The cached lane gates the zipfian_repeat workload on its own ratio
+# (cached_qps / cold_qps >= MIN_CACHE_SPEEDUP, default 5) rather than
+# on drift: the ratio is an A/B on the same host seconds apart, so it
+# stays meaningful on noisy hosts where absolute QPS wobbles.
+#
 # Usage: scripts/check_bench_drift.sh         (build dir: build)
 #        BUILD_DIR=/tmp/b scripts/check_bench_drift.sh
 #        OVERHEAD_BUDGET_PERCENT=3 scripts/check_bench_drift.sh
 #        QPS_DRIFT_PERCENT=25 scripts/check_bench_drift.sh
+#        MIN_CACHE_SPEEDUP=3 scripts/check_bench_drift.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
 BUDGET=${OVERHEAD_BUDGET_PERCENT:-2.0}
 QPS_DRIFT=${QPS_DRIFT_PERCENT:-10}
+MIN_SPEEDUP=${MIN_CACHE_SPEEDUP:-5}
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" --target bench_obs_overhead \
@@ -115,6 +122,23 @@ if [[ "$have_baseline" == 1 ]]; then
 else
   echo "no recorded BENCH_throughput.json baseline; QPS gate skipped"
 fi
+
+# --- Gate: result-cache speedup on the zipfian_repeat workload. ---
+# bench_throughput writes the cached lane with cold_qps/cached_qps
+# field names, invisible to the sequential gate above by construction.
+speedup=$(grep -o '"cache_speedup": [0-9.]*' BENCH_throughput.json |
+  head -1 | awk '{print $2}')
+if [[ -z "$speedup" ]]; then
+  echo "FAIL: zipfian_repeat cache_speedup missing from" \
+       "BENCH_throughput.json" >&2
+  exit 1
+fi
+if awk -v s="$speedup" -v m="$MIN_SPEEDUP" 'BEGIN{exit !(s < m)}'; then
+  echo "FAIL: zipfian_repeat cache speedup ${speedup}x below minimum" \
+       "${MIN_SPEEDUP}x" >&2
+  exit 1
+fi
+echo "OK: zipfian_repeat cache speedup ${speedup}x (minimum ${MIN_SPEEDUP}x)"
 
 # Both benchmarks drop their JSON in the current directory (the repo
 # root). Fold them into one history line.

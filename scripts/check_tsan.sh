@@ -18,6 +18,6 @@ cmake --build "$BUILD_DIR" --target knmatch_tests -j"$(nproc)"
 # warning; the filter covers every test that touches the exec layer.
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   "$BUILD_DIR"/tests/knmatch_tests \
-  --gtest_filter='ThreadPool*:AdCursorHeap*:AdKernel*:AdScratch*:Batch*:EngineConcurrency*:Obs*:Governance*'
+  --gtest_filter='ThreadPool*:AdCursorHeap*:AdKernel*:AdScratch*:Batch*:EngineConcurrency*:Obs*:Governance*:Cache*'
 
 echo "TSan: exec-layer tests passed with zero reported races"

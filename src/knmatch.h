@@ -32,6 +32,7 @@
 #include "knmatch/datagen/generators.h"
 #include "knmatch/datagen/texture_like.h"
 #include "knmatch/datagen/uci_like.h"
+#include "knmatch/datagen/zipfian.h"
 
 #include "knmatch/storage/bplus_tree.h"
 #include "knmatch/storage/column_store.h"
@@ -48,6 +49,10 @@
 #include "knmatch/vafile/va_file.h"
 #include "knmatch/vafile/va_knmatch.h"
 #include "knmatch/vafile/va_knn.h"
+
+#include "knmatch/cache/btree_bridge.h"
+#include "knmatch/cache/cached_search.h"
+#include "knmatch/cache/query_cache.h"
 
 #include "knmatch/exec/batch.h"
 #include "knmatch/exec/circuit_breaker.h"

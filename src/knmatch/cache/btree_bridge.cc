@@ -1,0 +1,46 @@
+#include "knmatch/cache/btree_bridge.h"
+
+#include <utility>
+
+namespace knmatch::cache {
+
+BTreeCacheBridge::BTreeCacheBridge(QueryResultCache* cache, size_t dims)
+    : cache_(cache), listeners_(dims) {
+  for (size_t dim = 0; dim < dims; ++dim) {
+    listeners_[dim].Bind(this, dim);
+  }
+}
+
+BPlusTree::MutationListener* BTreeCacheBridge::ListenerFor(size_t dim) {
+  return &listeners_[dim];
+}
+
+void BTreeCacheBridge::DimListener::OnInsert(const ColumnEntry& entry) {
+  bridge_->RecordInsert(dim_, entry);
+}
+
+void BTreeCacheBridge::DimListener::OnErase(const ColumnEntry& entry) {
+  bridge_->RecordErase(entry);
+}
+
+void BTreeCacheBridge::RecordInsert(size_t dim, const ColumnEntry& entry) {
+  std::vector<Value> coords;
+  {
+    std::scoped_lock lock(mu_);
+    PendingInsert& pending = pending_[entry.pid];
+    if (pending.coords.empty()) pending.coords.resize(listeners_.size());
+    pending.coords[dim] = entry.value;
+    if (++pending.arrived < listeners_.size()) return;
+    coords = std::move(pending.coords);
+    pending_.erase(entry.pid);
+  }
+  cache_->OnPointInserted(entry.pid, coords);
+}
+
+void BTreeCacheBridge::RecordErase(const ColumnEntry& entry) {
+  // Fire on the first of the d per-dimension erases: an early eviction
+  // is safe, and the cache's inverted index makes repeats cheap no-ops.
+  cache_->OnPointErased(entry.pid);
+}
+
+}  // namespace knmatch::cache

@@ -1,0 +1,75 @@
+#ifndef KNMATCH_CACHE_BTREE_BRIDGE_H_
+#define KNMATCH_CACHE_BTREE_BRIDGE_H_
+
+#include <cstddef>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "knmatch/cache/query_cache.h"
+#include "knmatch/common/types.h"
+#include "knmatch/storage/bplus_tree.h"
+
+namespace knmatch::cache {
+
+/// Glue between d per-dimension B+-trees and a QueryResultCache: one
+/// MutationListener per tree (ListenerFor(dim)), translating per-entry
+/// tree mutations into per-point cache invalidations.
+///
+/// A point insert reaches the trees as d separate Insert(value, pid)
+/// calls, one per dimension, and the cache's insert invalidation needs
+/// the full coordinate vector; the bridge accumulates the arriving
+/// (dim, value) pairs per pid and fires OnPointInserted when the last
+/// dimension lands. A point erase likewise arrives d times, but the
+/// cache call needs only the pid, so the bridge fires OnPointErased on
+/// the FIRST arrival — evicting earlier than strictly necessary is
+/// safe (the entries were about to be invalidated anyway) and spares
+/// tracking erase progress.
+///
+/// Thread-safety: the accumulation map is mutex-guarded, so trees of
+/// different dimensions may be mutated from different threads as long
+/// as each tree itself is externally synchronized (its own contract).
+class BTreeCacheBridge {
+ public:
+  BTreeCacheBridge(QueryResultCache* cache, size_t dims);
+
+  /// The listener to register on the dimension-`dim` tree. Valid for
+  /// the bridge's lifetime; detach (set_mutation_listener(nullptr))
+  /// before destroying the bridge.
+  BPlusTree::MutationListener* ListenerFor(size_t dim);
+
+  size_t dims() const { return listeners_.size(); }
+
+ private:
+  class DimListener : public BPlusTree::MutationListener {
+   public:
+    DimListener() = default;
+    void Bind(BTreeCacheBridge* bridge, size_t dim) {
+      bridge_ = bridge;
+      dim_ = dim;
+    }
+    void OnInsert(const ColumnEntry& entry) override;
+    void OnErase(const ColumnEntry& entry) override;
+
+   private:
+    BTreeCacheBridge* bridge_ = nullptr;
+    size_t dim_ = 0;
+  };
+
+  struct PendingInsert {
+    std::vector<Value> coords;
+    size_t arrived = 0;
+  };
+
+  void RecordInsert(size_t dim, const ColumnEntry& entry);
+  void RecordErase(const ColumnEntry& entry);
+
+  QueryResultCache* cache_;
+  std::vector<DimListener> listeners_;
+  std::mutex mu_;
+  std::unordered_map<PointId, PendingInsert> pending_;
+};
+
+}  // namespace knmatch::cache
+
+#endif  // KNMATCH_CACHE_BTREE_BRIDGE_H_

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "knmatch/core/ad_engine.h"
+#include "knmatch/core/ad_warm.h"
 #include "knmatch/core/nmatch.h"
 #include "knmatch/core/query_context.h"
 #include "knmatch/core/nmatch_naive.h"
@@ -74,6 +75,42 @@ Result<KnMatchResult> AdSearcher::KnMatch(
   KnMatchResult result;
   result.matches = std::move(out.per_n_sets[0]);
   result.attributes_retrieved = out.attributes_retrieved;
+  return result;
+}
+
+std::optional<KnMatchResult> AdSearcher::KnMatchSeeded(
+    std::span<const Value> query, size_t n, size_t k,
+    std::span<const Value> weights, std::span<const PointId> seeds,
+    internal::AdScratch* scratch) const {
+  const auto start = std::chrono::steady_clock::now();
+  std::optional<internal::AdOutput> out = internal::RunAdSearchSeeded(
+      db_, columns_, query, n, n, k, weights, seeds, scratch);
+  if (!out.has_value()) return std::nullopt;
+  RecordMemoryAdQuery(*out, obs::Cat().queries_knmatch,
+                      obs::Cat().latency_knmatch, start);
+  KnMatchResult result;
+  result.matches = std::move(out->per_n_sets[0]);
+  result.attributes_retrieved = out->attributes_retrieved;
+  return result;
+}
+
+std::optional<FrequentKnMatchResult> AdSearcher::FrequentKnMatchSeeded(
+    std::span<const Value> query, size_t n0, size_t n1, size_t k,
+    std::span<const Value> weights, std::span<const PointId> seeds,
+    internal::AdScratch* scratch) const {
+  const auto start = std::chrono::steady_clock::now();
+  std::optional<internal::AdOutput> out = internal::RunAdSearchSeeded(
+      db_, columns_, query, n0, n1, k, weights, seeds, scratch);
+  if (!out.has_value()) return std::nullopt;
+  FrequentKnMatchResult result;
+  result.per_n_sets = std::move(out->per_n_sets);
+  result.attributes_retrieved = out->attributes_retrieved;
+  {
+    obs::TraceSpan span(obs::Phase::kRank);
+    RankByFrequency(k, &result);
+  }
+  RecordMemoryAdQuery(*out, obs::Cat().queries_fknmatch,
+                      obs::Cat().latency_fknmatch, start);
   return result;
 }
 

@@ -1,6 +1,7 @@
 #ifndef KNMATCH_CORE_AD_ALGORITHM_H_
 #define KNMATCH_CORE_AD_ALGORITHM_H_
 
+#include <optional>
 #include <span>
 
 #include "knmatch/common/dataset.h"
@@ -76,6 +77,24 @@ class AdSearcher {
       std::span<const Value> weights = {},
       internal::AdScratch* scratch = nullptr,
       QueryContext* ctx = nullptr) const;
+
+  /// Warm-started KNMatchAD: `seeds` (candidate answer pids from a
+  /// nearby cached query) let the search skip the kernel's threshold
+  /// discovery via the seeded range-count path (see core/ad_warm.h).
+  /// Returns nullopt when the seeded path declines — degenerate seeds,
+  /// a tripped scan budget, or a difference tie that could expose cold
+  /// pop order — in which case the caller must run KnMatch cold. A
+  /// returned result is bit-identical to the cold one.
+  std::optional<KnMatchResult> KnMatchSeeded(
+      std::span<const Value> query, size_t n, size_t k,
+      std::span<const Value> weights, std::span<const PointId> seeds,
+      internal::AdScratch* scratch = nullptr) const;
+
+  /// Warm-started FKNMatchAD; same contract as KnMatchSeeded.
+  std::optional<FrequentKnMatchResult> FrequentKnMatchSeeded(
+      std::span<const Value> query, size_t n0, size_t n1, size_t k,
+      std::span<const Value> weights, std::span<const PointId> seeds,
+      internal::AdScratch* scratch = nullptr) const;
 
   /// The underlying sorted columns (exposed for tests and tools).
   const SortedColumns& columns() const { return columns_; }

@@ -1,0 +1,201 @@
+#include "knmatch/core/ad_warm.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "knmatch/core/ad_scratch.h"
+
+namespace knmatch::internal {
+
+namespace {
+
+/// A level's running top-(k+1): the k+1 smallest (difference, pid)
+/// pairs seen so far, kept sorted ascending by (difference, pid). k+1
+/// rather than k so the boundary between the k-th and (k+1)-th best is
+/// visible for the tie check. Insertion is O(k) — k is small and the
+/// candidate stream is short, so a heap would cost more than it saves.
+class LevelTop {
+ public:
+  void Reset(size_t k) {
+    cap_ = k + 1;
+    items_.clear();
+    items_.reserve(cap_);
+  }
+
+  void Insert(Value dif, PointId pid) {
+    if (items_.size() == cap_ && dif >= items_.back().first) {
+      // Not smaller than the current (k+1)-th best: it can neither
+      // enter the answer set nor tie its boundary.
+      if (dif == items_.back().first) boundary_clouded_ = true;
+      return;
+    }
+    const std::pair<Value, PointId> item{dif, pid};
+    auto pos = std::lower_bound(items_.begin(), items_.end(), item);
+    items_.insert(pos, item);
+    if (items_.size() > cap_) {
+      if (items_[cap_ - 1].first == items_[cap_].first) {
+        boundary_clouded_ = true;
+      }
+      items_.pop_back();
+    }
+  }
+
+  /// The j-th smallest difference (j < size()).
+  Value dif(size_t j) const { return items_[j].first; }
+  size_t size() const { return items_.size(); }
+  const std::pair<Value, PointId>& item(size_t j) const {
+    return items_[j];
+  }
+
+  /// True when a discarded difference equaled the retained (k+1)-th
+  /// best — the discarded point could then tie the answer boundary
+  /// even though it is no longer held.
+  bool boundary_clouded() const { return boundary_clouded_; }
+
+ private:
+  size_t cap_ = 0;
+  bool boundary_clouded_ = false;
+  std::vector<std::pair<Value, PointId>> items_;
+};
+
+}  // namespace
+
+std::optional<AdOutput> RunAdSearchSeeded(
+    const Dataset& db, const SortedColumns& columns,
+    std::span<const Value> query, size_t n0, size_t n1, size_t k,
+    std::span<const Value> weights, std::span<const PointId> seeds,
+    AdScratch* scratch) {
+  const size_t c = columns.size();
+  const size_t d = columns.dims();
+  if (c == 0 || d == 0 || k == 0 || n0 == 0 || n1 < n0 || n1 > d ||
+      query.size() != d) {
+    return std::nullopt;  // let the cold path surface the error
+  }
+  if (!weights.empty() && weights.size() != d) return std::nullopt;
+  const size_t levels = n1 - n0 + 1;
+
+  // Budgets past which the seeded path stops being a win and the
+  // caller should just run cold: the range scans approaching half the
+  // attribute matrix, or the candidate set ballooning (low n0 over a
+  // wide radius degenerates toward resolving everything).
+  const size_t scan_budget = c * d / 2 + 1;
+  const size_t candidate_budget =
+      std::max<size_t>(1024, 16 * k * levels);
+
+  // Deduplicated, bounds-checked seeds.
+  std::vector<PointId> seed_pids(seeds.begin(), seeds.end());
+  std::sort(seed_pids.begin(), seed_pids.end());
+  seed_pids.erase(std::unique(seed_pids.begin(), seed_pids.end()),
+                  seed_pids.end());
+  while (!seed_pids.empty() && seed_pids.back() >= c) seed_pids.pop_back();
+  if (seed_pids.size() < k) return std::nullopt;
+
+  std::vector<LevelTop> tops(levels);
+  for (LevelTop& top : tops) top.Reset(k);
+
+  // Resolves one point exactly: its weighted per-dimension differences
+  // with the kernel's own arithmetic (down cursor: query - value; up
+  // cursor: value - query; then the weight multiply), sorted ascending
+  // so the a-th smallest is its exact level-a n-match difference.
+  std::vector<Value> difs(d);
+  size_t resolved = 0;
+  const auto resolve = [&](PointId pid) {
+    const std::span<const Value> p = db.point(pid);
+    for (size_t i = 0; i < d; ++i) {
+      const Value v = p[i];
+      Value dif = v < query[i] ? query[i] - v : v - query[i];
+      if (!weights.empty()) dif *= weights[i];
+      difs[i] = dif;
+    }
+    std::sort(difs.begin(), difs.end());
+    for (size_t lvl = 0; lvl < levels; ++lvl) {
+      tops[lvl].Insert(difs[n0 - 1 + lvl], pid);
+    }
+    ++resolved;
+  };
+
+  for (const PointId pid : seed_pids) resolve(pid);
+
+  // The safe scan radius: the largest per-level k-th best difference
+  // over the seeds. Every true answer point at level a has level-a
+  // difference <= the true k-th best <= this bound.
+  Value m = 0;
+  for (const LevelTop& top : tops) {
+    m = std::max(m, top.dif(k - 1));
+  }
+
+  // Range-count phase. Walking outward from the query value in each
+  // column mirrors the kernel's two direction cursors, including the
+  // difference arithmetic, so the <= m test never disagrees with what
+  // the kernel would have popped.
+  thread_local AdScratch local_scratch;
+  AdScratch& counts = scratch != nullptr ? *scratch : local_scratch;
+  counts.Prepare(c, d);
+  std::vector<PointId> candidates;
+  size_t scanned = 0;
+  for (size_t dim = 0; dim < d; ++dim) {
+    const std::span<const Value> values = columns.values(dim);
+    const std::span<const PointId> pids = columns.pids(dim);
+    const Value q = query[dim];
+    const bool weighted = !weights.empty();
+    const Value w = weighted ? weights[dim] : Value{1};
+    const size_t start = columns.LowerBound(dim, q);
+    // Up direction: values >= q, ascending.
+    for (size_t idx = start; idx < c; ++idx) {
+      Value dif = values[idx] - q;
+      if (weighted) dif *= w;
+      if (dif > m) break;
+      ++scanned;
+      if (counts.BumpAppearances(pids[idx]) == n0) {
+        candidates.push_back(pids[idx]);
+      }
+    }
+    // Down direction: values < q, descending.
+    for (size_t idx = start; idx-- > 0;) {
+      Value dif = q - values[idx];
+      if (weighted) dif *= w;
+      if (dif > m) break;
+      ++scanned;
+      if (counts.BumpAppearances(pids[idx]) == n0) {
+        candidates.push_back(pids[idx]);
+      }
+    }
+    if (scanned > scan_budget || candidates.size() > candidate_budget) {
+      return std::nullopt;
+    }
+  }
+
+  // Resolve the candidates the seeds did not already cover.
+  for (const PointId pid : candidates) {
+    if (std::binary_search(seed_pids.begin(), seed_pids.end(), pid)) {
+      continue;
+    }
+    resolve(pid);
+  }
+
+  // Assemble the answer sets, refusing any level where a difference
+  // tie could make cold pop order visible (see header).
+  AdOutput out;
+  out.per_n_sets.resize(levels);
+  for (size_t lvl = 0; lvl < levels; ++lvl) {
+    const LevelTop& top = tops[lvl];
+    if (top.size() < k || top.boundary_clouded()) return std::nullopt;
+    const size_t checked = std::min(top.size(), k + 1);
+    for (size_t j = 0; j + 1 < checked; ++j) {
+      if (top.dif(j) == top.dif(j + 1)) return std::nullopt;
+    }
+    auto& set = out.per_n_sets[lvl];
+    set.reserve(k);
+    for (size_t j = 0; j < k; ++j) {
+      set.push_back(Neighbor{top.item(j).second, top.item(j).first});
+    }
+  }
+  out.attributes_retrieved =
+      static_cast<uint64_t>(scanned) + static_cast<uint64_t>(resolved) * d;
+  out.heap_pops = 0;
+  out.tree_replays = 0;
+  return out;
+}
+
+}  // namespace knmatch::internal

@@ -1,0 +1,61 @@
+#ifndef KNMATCH_CORE_AD_WARM_H_
+#define KNMATCH_CORE_AD_WARM_H_
+
+#include <optional>
+#include <span>
+
+#include "knmatch/common/dataset.h"
+#include "knmatch/core/ad_engine.h"
+#include "knmatch/core/sorted_columns.h"
+
+namespace knmatch::internal {
+
+/// Warm-started (seeded) AD search over in-memory sorted columns.
+///
+/// A cold AD run must *discover* the answer's difference threshold: it
+/// pops attributes in globally ascending difference order until k
+/// points complete n1 appearances, paying the full merge machinery
+/// (loser tree, run bookkeeping) for every pop. The seeds — the answer
+/// pids of a cached query within the warm radius — let the search skip
+/// the discovery phase entirely:
+///
+///   1. Resolve every seed by random access: read its d attributes,
+///      compute its exact (weighted) per-dimension differences with
+///      the kernel's own arithmetic, and sort them; the a-th smallest
+///      is its exact level-a n-match difference. The k-th best seed
+///      difference per level is a sound upper bound m on the true
+///      answer threshold (the true k-th best can only be smaller).
+///   2. Range-count: in each sorted column, walk outward from the
+///      query value while the weighted difference stays <= m, bumping
+///      each popped pid's appearance counter — the same "k points seen
+///      n times" bookkeeping as the kernel, but per column with no
+///      global merge. Any point of the true answer set at level a has
+///      level-a difference <= m, hence >= a >= n0 attributes within m,
+///      so it must cross the n0-appearance threshold: collecting every
+///      pid that does yields a candidate superset of all answer sets.
+///   3. Resolve the candidates exactly (random access, step-1
+///      arithmetic) and keep the k smallest per level: exactly the
+///      cold answer sets, in the same ascending-difference order.
+///
+/// Equality of differences is the one place pop order could show
+/// through (cold sets order difference ties by pop order, which this
+/// path cannot reproduce): if any two of the k+1 smallest differences
+/// at some level are equal, the function returns nullopt and the
+/// caller reruns cold — guaranteeing warm answers are bit-identical
+/// to cold ones whenever a warm answer is returned at all. nullopt is
+/// also returned when the seeds are degenerate (< k distinct pids) or
+/// a scan/candidate budget trips (the safe answer radius turned out
+/// too wide for the seeded path to be a win).
+///
+/// The returned AdOutput's attributes_retrieved counts the entries the
+/// range scans touched plus d per resolved point; heap_pops and
+/// tree_replays are 0 (no merge ran).
+std::optional<AdOutput> RunAdSearchSeeded(
+    const Dataset& db, const SortedColumns& columns,
+    std::span<const Value> query, size_t n0, size_t n1, size_t k,
+    std::span<const Value> weights, std::span<const PointId> seeds,
+    AdScratch* scratch = nullptr);
+
+}  // namespace knmatch::internal
+
+#endif  // KNMATCH_CORE_AD_WARM_H_

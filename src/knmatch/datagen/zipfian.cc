@@ -1,0 +1,45 @@
+#include "knmatch/datagen/zipfian.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "knmatch/common/random.h"
+
+namespace knmatch::datagen {
+
+std::vector<std::vector<Value>> MakeZipfianQueryMix(
+    const Dataset& db, const ZipfianQueryMixSpec& spec) {
+  std::vector<std::vector<Value>> queries;
+  if (db.size() == 0 || spec.pool_size == 0 || spec.count == 0) {
+    return queries;
+  }
+  Rng rng(spec.seed);
+
+  const uint32_t pool_size = static_cast<uint32_t>(
+      std::min<size_t>(spec.pool_size, db.size()));
+  // Pool members in permuted order: the Zipf rank-to-point assignment
+  // is itself random, so rank 1 is not biased toward low pids.
+  const std::vector<uint32_t> pool_pids = rng.SampleWithoutReplacement(
+      static_cast<uint32_t>(db.size()), pool_size);
+
+  // Zipf CDF over ranks 1..pool_size with exponent s.
+  std::vector<double> cdf(pool_size);
+  double total = 0;
+  for (uint32_t i = 0; i < pool_size; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), spec.skew);
+    cdf[i] = total;
+  }
+  for (double& v : cdf) v /= total;
+
+  queries.reserve(spec.count);
+  for (size_t draw = 0; draw < spec.count; ++draw) {
+    const double u = rng.Uniform01();
+    const size_t rank = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    const auto p = db.point(pool_pids[std::min<size_t>(rank, pool_size - 1)]);
+    queries.emplace_back(p.begin(), p.end());
+  }
+  return queries;
+}
+
+}  // namespace knmatch::datagen

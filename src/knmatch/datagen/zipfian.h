@@ -1,0 +1,38 @@
+#ifndef KNMATCH_DATAGEN_ZIPFIAN_H_
+#define KNMATCH_DATAGEN_ZIPFIAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "knmatch/common/dataset.h"
+
+namespace knmatch::datagen {
+
+/// Parameters for a Zipf-skewed repeated-query mix — the workload a
+/// result cache is designed for: a small pool of distinct queries
+/// drawn with a heavy-tailed popularity distribution, so a handful of
+/// hot queries dominate.
+struct ZipfianQueryMixSpec {
+  /// Distinct queries in the pool, sampled from the dataset's own
+  /// points (the paper's query model).
+  size_t pool_size = 64;
+  /// Total queries drawn (with replacement) from the pool.
+  size_t count = 512;
+  /// Zipf exponent s: draw i (1-based rank) has probability
+  /// proportional to 1 / i^s. 0 is uniform; ~1 is classic Zipf.
+  double skew = 1.1;
+  uint64_t seed = 1;
+};
+
+/// A Zipf-skewed query mix over `db`. Deterministic given the spec:
+/// the pool is sampled without replacement from db's points and the
+/// draws invert the pool's Zipf CDF, both from one seeded Rng. Rank 1
+/// (most popular) is a uniformly chosen pool member, not always the
+/// same point, so the hot set varies with the seed.
+std::vector<std::vector<Value>> MakeZipfianQueryMix(
+    const Dataset& db, const ZipfianQueryMixSpec& spec);
+
+}  // namespace knmatch::datagen
+
+#endif  // KNMATCH_DATAGEN_ZIPFIAN_H_

@@ -1,5 +1,6 @@
 #include "knmatch/engine.h"
 
+#include <atomic>
 #include <utility>
 
 #include "knmatch/core/nmatch.h"
@@ -62,8 +63,16 @@ obs::Gauge* BreakerGauge(SimilarityEngine::DiskMethod m) {
 
 SimilarityEngine::SimilarityEngine(Dataset db, DiskConfig config)
     : db_(std::move(db)), config_(config) {
+  static std::atomic<uint64_t> next_epoch{1};
+  cache_epoch_ = next_epoch.fetch_add(1, std::memory_order_relaxed);
   ResetOnceFlags();
 }
+
+void SimilarityEngine::EnableCache(cache::CacheConfig config) {
+  cache_ = std::make_unique<cache::QueryResultCache>(config);
+}
+
+void SimilarityEngine::DisableCache() { cache_.reset(); }
 
 SimilarityEngine::~SimilarityEngine() = default;
 
@@ -126,7 +135,8 @@ Result<KnMatchResult> SimilarityEngine::KnMatch(
     std::span<const Value> query, size_t n, size_t k,
     std::span<const Value> weights, QueryContext* ctx) const {
   EnsureAd();
-  auto r = ad_->KnMatch(query, n, k, weights, nullptr, ctx);
+  auto r = cache::CachedKnMatch(CacheHandle(), *ad_, query, n, k, weights,
+                                nullptr, ctx);
   if (ctx != nullptr) ctx->ObserveDeadlineFraction();
   return r;
 }
@@ -135,7 +145,8 @@ Result<FrequentKnMatchResult> SimilarityEngine::FrequentKnMatch(
     std::span<const Value> query, size_t n0, size_t n1, size_t k,
     std::span<const Value> weights, QueryContext* ctx) const {
   EnsureAd();
-  auto r = ad_->FrequentKnMatch(query, n0, n1, k, weights, nullptr, ctx);
+  auto r = cache::CachedFrequentKnMatch(CacheHandle(), *ad_, query, n0, n1,
+                                        k, weights, nullptr, ctx);
   if (ctx != nullptr) ctx->ObserveDeadlineFraction();
   return r;
 }
@@ -143,7 +154,7 @@ Result<FrequentKnMatchResult> SimilarityEngine::FrequentKnMatch(
 Result<KnMatchResult> SimilarityEngine::Knn(std::span<const Value> query,
                                             size_t k, Metric metric,
                                             QueryContext* ctx) const {
-  auto r = KnnScan(db_, query, k, metric, ctx);
+  auto r = cache::CachedKnn(CacheHandle(), db_, query, k, metric, ctx);
   if (ctx != nullptr) ctx->ObserveDeadlineFraction();
   return r;
 }
@@ -154,7 +165,7 @@ Result<exec::KnMatchBatchResult> SimilarityEngine::KnMatchBatch(
   EnsureAd();
   std::scoped_lock lock(exec_mu_);
   return AcquireExecutor(request.options)
-      .KnMatch(*ad_, request, n, k, weights);
+      .KnMatch(*ad_, request, n, k, weights, CacheHandle());
 }
 
 Result<exec::FrequentKnMatchBatchResult>
@@ -164,14 +175,14 @@ SimilarityEngine::FrequentKnMatchBatch(const exec::BatchRequest& request,
   EnsureAd();
   std::scoped_lock lock(exec_mu_);
   return AcquireExecutor(request.options)
-      .FrequentKnMatch(*ad_, request, n0, n1, k, weights);
+      .FrequentKnMatch(*ad_, request, n0, n1, k, weights, CacheHandle());
 }
 
 Result<exec::KnMatchBatchResult> SimilarityEngine::KnnBatch(
     const exec::BatchRequest& request, size_t k, Metric metric) const {
   std::scoped_lock lock(exec_mu_);
   return AcquireExecutor(request.options)
-      .Knn(db_, request, k, metric);
+      .Knn(db_, request, k, metric, CacheHandle());
 }
 
 Result<KnMatchResult> SimilarityEngine::IGridSearch(
@@ -203,6 +214,9 @@ SimilarityEngine::EstimateSelectivity(std::span<const Value> query,
 PointId SimilarityEngine::InsertPoint(std::span<const Value> coords,
                                       Label label) {
   const PointId pid = db_.Append(coords, label);
+  // Precise cache invalidation: evict only the entries the new point
+  // could enter; everything else stays warm across the index rebuilds.
+  if (cache_ != nullptr) cache_->OnPointInserted(pid, coords);
   // Invalidate every derived structure; each rebuilds on next use.
   // InsertPoint requires exclusive access to the engine, so re-arming
   // the call_once flags here is race-free. The batch executor survives:

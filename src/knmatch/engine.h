@@ -8,6 +8,8 @@
 
 #include "knmatch/baselines/igrid.h"
 #include "knmatch/baselines/knn_scan.h"
+#include "knmatch/cache/cached_search.h"
+#include "knmatch/cache/query_cache.h"
 #include "knmatch/common/dataset.h"
 #include "knmatch/common/status.h"
 #include "knmatch/core/ad_algorithm.h"
@@ -141,8 +143,31 @@ class SimilarityEngine {
   /// cardinality, which is returned). Every index built so far is
   /// invalidated and lazily rebuilt on next use — the simple,
   /// correct-by-construction policy for the occasional insert; bulk
-  /// loads should construct a fresh engine.
+  /// loads should construct a fresh engine. The result cache, if
+  /// enabled, is NOT dropped wholesale: the insert invalidates
+  /// precisely the entries the new point could change (see
+  /// cache::QueryResultCache).
   PointId InsertPoint(std::span<const Value> coords, Label label = kNoLabel);
+
+  /// Enables the shared query-result cache for the in-memory entry
+  /// points (KnMatch / FrequentKnMatch / Knn and their batch
+  /// variants). Replaces any existing cache (dropping its contents).
+  /// Requires external serialization like InsertPoint — enable caching
+  /// at setup time, not mid-query.
+  void EnableCache(cache::CacheConfig config = cache::CacheConfig());
+
+  /// Drops the cache and turns caching off. Same serialization rules
+  /// as EnableCache.
+  void DisableCache();
+
+  /// The engine's result cache, or nullptr when caching is off. For
+  /// stats, Clear(), and tests; the pointer is stable while enabled.
+  cache::QueryResultCache* cache() const { return cache_.get(); }
+
+  /// The dataset epoch the cache's entries are keyed under — unique
+  /// per engine, so entries can never alias across engines sharing a
+  /// cache in a future embedding.
+  uint64_t cache_epoch() const { return cache_epoch_; }
 
   /// Frequent k-n-match against the simulated disk, with the execution
   /// method chosen explicitly or by the cost advisor. The I/O cost of
@@ -234,6 +259,11 @@ class SimilarityEngine {
   /// Re-arms every call_once flag after an invalidation (InsertPoint).
   void ResetOnceFlags();
 
+  /// The cache handle the query paths and the batch executor share.
+  cache::CacheBinding CacheHandle() const {
+    return cache::CacheBinding{cache_.get(), cache_epoch_};
+  }
+
   /// Runs one concrete disk method (not kAuto) over the built stores.
   Result<FrequentKnMatchResult> RunDiskMethod(DiskMethod method,
                                               std::span<const Value> query,
@@ -245,6 +275,10 @@ class SimilarityEngine {
 
   Dataset db_;
   DiskConfig config_;
+  /// Result cache; null when disabled. Epoch is assigned once per
+  /// engine from a process-wide counter.
+  std::unique_ptr<cache::QueryResultCache> cache_;
+  uint64_t cache_epoch_ = 0;
   mutable std::unique_ptr<AdSearcher> ad_;
   mutable std::unique_ptr<IGridIndex> igrid_;
   mutable std::unique_ptr<DiskSimulator> disk_;

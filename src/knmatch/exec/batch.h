@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "knmatch/baselines/knn_scan.h"
+#include "knmatch/cache/cached_search.h"
 #include "knmatch/common/dataset.h"
 #include "knmatch/common/status.h"
 #include "knmatch/common/types.h"
@@ -68,6 +69,16 @@ struct BatchOptions {
   /// doomed start into an immediate kDeadlineExceeded. The decision
   /// rule is deterministic given the observed latencies.
   bool predictive_shedding = false;
+  /// Collapse exact-duplicate queries within the batch: each distinct
+  /// admitted query vector executes once and its result (or governance
+  /// status) is fanned out to the duplicates' slots. Duplicates do not
+  /// pass the admission boundary, draw the attribute pool, or count in
+  /// the per-query metrics (they land in
+  /// knmatch_batch_dup_collapsed_total instead), and the batch's
+  /// attributes_retrieved sums each distinct query once — the batch
+  /// reports the work actually done. Answers are unaffected: a
+  /// duplicate's answer is by definition the representative's.
+  bool collapse_duplicates = true;
 };
 
 /// A batch of same-shaped queries. The match parameters (n, k, ...) are
@@ -127,21 +138,26 @@ class BatchExecutor {
   /// Worker count (>= 1).
   size_t threads() const { return pool_.size(); }
 
-  /// Batch KNMatchAD over `searcher`'s sorted columns.
+  /// Batch KNMatchAD over `searcher`'s sorted columns. `binding`
+  /// (engine-provided) routes each query through the shared result
+  /// cache; a default binding means caching off.
   Result<KnMatchBatchResult> KnMatch(const AdSearcher& searcher,
                                      const BatchRequest& request, size_t n,
                                      size_t k,
-                                     std::span<const Value> weights = {});
+                                     std::span<const Value> weights = {},
+                                     const cache::CacheBinding& binding = {});
 
   /// Batch FKNMatchAD over `searcher`'s sorted columns.
   Result<FrequentKnMatchBatchResult> FrequentKnMatch(
       const AdSearcher& searcher, const BatchRequest& request, size_t n0,
-      size_t n1, size_t k, std::span<const Value> weights = {});
+      size_t n1, size_t k, std::span<const Value> weights = {},
+      const cache::CacheBinding& binding = {});
 
   /// Batch exact kNN by scan over `db`.
   Result<KnMatchBatchResult> Knn(const Dataset& db,
                                  const BatchRequest& request, size_t k,
-                                 Metric metric = Metric::kEuclidean);
+                                 Metric metric = Metric::kEuclidean,
+                                 const cache::CacheBinding& binding = {});
 
  private:
   Status ValidateBatch(size_t cardinality, size_t dims,
@@ -153,8 +169,10 @@ class BatchExecutor {
   /// settle into it when they finish.
   class RunGuard;
 
-  /// Shared fan-out skeleton: queue-depth shedding, per-query
-  /// admission, governance context wiring, and result/status settling.
+  /// Shared fan-out skeleton: queue-depth shedding, duplicate
+  /// collapse, per-query admission, governance context wiring, chunked
+  /// dispatch over the distinct queries, and result/status settling
+  /// (including the duplicate fan-out copy after the barrier).
   /// `run(worker, i, ctx)` executes query `i` and returns its result.
   template <typename ResultT, typename RunFn>
   Result<BatchResult<ResultT>> RunGoverned(const BatchRequest& request,

@@ -29,6 +29,7 @@ void ThreadPool::ParallelFor(
   }
   std::unique_lock lock(mu_);
   body_ = &body;
+  chunk_body_ = nullptr;
   count_ = count;
   next_.store(0, std::memory_order_relaxed);
   active_ = workers_.size();
@@ -38,11 +39,37 @@ void ThreadPool::ParallelFor(
   body_ = nullptr;
 }
 
+void ThreadPool::ParallelForChunked(
+    size_t count, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& body) {
+  if (count == 0) return;
+  grain = std::max<size_t>(1, grain);
+  if (workers_.empty()) {
+    for (size_t begin = 0; begin < count; begin += grain) {
+      body(0, begin, std::min(begin + grain, count));
+    }
+    return;
+  }
+  std::unique_lock lock(mu_);
+  chunk_body_ = &body;
+  body_ = nullptr;
+  grain_ = grain;
+  count_ = count;
+  next_.store(0, std::memory_order_relaxed);
+  active_ = workers_.size();
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  chunk_body_ = nullptr;
+}
+
 void ThreadPool::WorkerLoop(size_t worker) {
   uint64_t seen = 0;
   for (;;) {
     const std::function<void(size_t, size_t)>* body;
+    const std::function<void(size_t, size_t, size_t)>* chunk_body;
     size_t count;
+    size_t grain;
     {
       std::unique_lock lock(mu_);
       work_cv_.wait(lock,
@@ -50,12 +77,23 @@ void ThreadPool::WorkerLoop(size_t worker) {
       if (stop_) return;
       seen = generation_;
       body = body_;
+      chunk_body = chunk_body_;
       count = count_;
+      grain = grain_;
     }
-    for (;;) {
-      const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) break;
-      (*body)(worker, i);
+    if (chunk_body != nullptr) {
+      for (;;) {
+        const size_t chunk = next_.fetch_add(1, std::memory_order_relaxed);
+        const size_t begin = chunk * grain;
+        if (begin >= count) break;
+        (*chunk_body)(worker, begin, std::min(begin + grain, count));
+      }
+    } else {
+      for (;;) {
+        const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) break;
+        (*body)(worker, i);
+      }
     }
     {
       std::scoped_lock lock(mu_);

@@ -49,6 +49,16 @@ class ThreadPool {
   void ParallelFor(size_t count,
                    const std::function<void(size_t, size_t)>& body);
 
+  /// Chunked work handoff: runs body(worker, begin, end) over
+  /// consecutive ranges of [0, count), `grain` indices per range (the
+  /// last may be short). One atomic claim and one body indirection per
+  /// grain indices instead of per index — the dispatch amortization
+  /// that matters when each index is a cheap query. grain == 1 is the
+  /// same schedule as ParallelFor. Same restrictions as ParallelFor.
+  void ParallelForChunked(
+      size_t count, size_t grain,
+      const std::function<void(size_t, size_t, size_t)>& body);
+
  private:
   void WorkerLoop(size_t worker);
 
@@ -56,6 +66,9 @@ class ThreadPool {
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   const std::function<void(size_t, size_t)>* body_ = nullptr;  // current job
+  /// Chunked job, exclusive with body_.
+  const std::function<void(size_t, size_t, size_t)>* chunk_body_ = nullptr;
+  size_t grain_ = 1;
   size_t count_ = 0;
   std::atomic<size_t> next_{0};
   size_t active_ = 0;

@@ -205,6 +205,48 @@ Catalog BuildCatalog() {
       "knmatch_deadline_fraction_percent", "",
       "Per-query percentage of the wall-clock deadline consumed "
       "(tripped queries observe >= 100)");
+
+  c.batch_dup_collapsed = r.GetCounter(
+      "knmatch_batch_dup_collapsed_total", "",
+      "Batch queries answered by copying the result of an identical "
+      "query in the same batch (executed once, fanned out)");
+
+  const char* kCacheLookupName = "knmatch_cache_lookups_total";
+  const char* kCacheLookupHelp =
+      "Query result cache lookups, by outcome";
+  c.cache_hits = r.GetCounter(kCacheLookupName, "outcome=\"hit\"",
+                              kCacheLookupHelp);
+  c.cache_misses = r.GetCounter(kCacheLookupName, "outcome=\"miss\"",
+                                kCacheLookupHelp);
+  c.cache_stores = r.GetCounter(
+      "knmatch_cache_stores_total", "",
+      "Results copied into the query result cache");
+  c.cache_evictions = r.GetCounter(
+      "knmatch_cache_evictions_total", "",
+      "Cache entries evicted by the LRU byte budget");
+  const char* kInvalidatedName = "knmatch_cache_invalidated_total";
+  const char* kInvalidatedHelp =
+      "Cache entries evicted by precise invalidation, by mutation kind";
+  c.cache_invalidated_insert = r.GetCounter(
+      kInvalidatedName, "mutation=\"insert\"", kInvalidatedHelp);
+  c.cache_invalidated_erase = r.GetCounter(
+      kInvalidatedName, "mutation=\"erase\"", kInvalidatedHelp);
+  const char* kWarmName = "knmatch_cache_warm_starts_total";
+  const char* kWarmHelp =
+      "Near-miss warm starts of the AD search, by outcome";
+  c.cache_warm_hits = r.GetCounter(kWarmName, "outcome=\"hit\"",
+                                   kWarmHelp);
+  c.cache_warm_fallbacks = r.GetCounter(kWarmName, "outcome=\"fallback\"",
+                                        kWarmHelp);
+  c.cache_entries = r.GetGauge("knmatch_cache_entries", "",
+                               "Entries currently held by the query "
+                               "result cache");
+  c.cache_bytes = r.GetGauge("knmatch_cache_bytes", "",
+                             "Estimated bytes currently held by the "
+                             "query result cache");
+  c.cache_hit_ratio = r.GetGauge(
+      "knmatch_cache_hit_ratio_percent", "",
+      "Lifetime cache hit percentage, hits / (hits + misses)");
   return c;
 }
 

@@ -79,11 +79,25 @@ struct Catalog {
   Counter* batch_shed_queue_depth;      // shed: queue-depth cap
   Counter* batch_shed_pool;             // shed: batch budget pool drained
   Counter* batch_shed_predicted;        // shed: predicted to miss deadline
+  Counter* batch_dup_collapsed;         // duplicate queries answered once
   Counter* breaker_skipped;             // routings refused by open breakers
   Gauge* breaker_state_scan;  // 0 closed, 1 open, 2 half-open
   Gauge* breaker_state_ad;
   Gauge* breaker_state_va;
   Histogram* deadline_fraction;  // percent of the deadline consumed
+
+  // --- Query result cache (cache/query_cache.h). ---
+  Counter* cache_hits;
+  Counter* cache_misses;
+  Counter* cache_stores;
+  Counter* cache_evictions;           // LRU / byte-budget evictions
+  Counter* cache_invalidated_insert;  // precise invalidation, by cause
+  Counter* cache_invalidated_erase;
+  Counter* cache_warm_hits;       // near-misses answered by the warm path
+  Counter* cache_warm_fallbacks;  // warm attempts that re-ran cold
+  Gauge* cache_entries;
+  Gauge* cache_bytes;
+  Gauge* cache_hit_ratio;  // percent, hits / (hits + misses)
 };
 
 /// The catalog over MetricsRegistry::Global(), built on first use

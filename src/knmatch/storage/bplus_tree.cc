@@ -317,6 +317,7 @@ Status BPlusTree::Insert(ColumnEntry entry) {
   if (nodes_[leaf].entries.size() > kLeafCapacity) {
     SplitUpward(path, leaf);
   }
+  if (listener_ != nullptr) listener_->OnInsert(entry);
   return Status::OK();
 }
 
@@ -426,6 +427,7 @@ Result<bool> BPlusTree::Erase(ColumnEntry entry) {
       }
     }
   }
+  if (listener_ != nullptr) listener_->OnErase(entry);
   return true;
 }
 

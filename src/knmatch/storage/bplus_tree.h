@@ -28,9 +28,31 @@ namespace knmatch {
 /// underflowed leaves are merged only by a rebuild.
 class BPlusTree {
  public:
+  /// Observes successful mutations of the tree's entry set. The hook
+  /// behind cache invalidation: a listener on each per-dimension tree
+  /// lets a result cache evict exactly the entries a point mutation
+  /// could affect. Callbacks fire after the tree is updated, on the
+  /// mutating thread; BulkLoad does not notify (it replaces the whole
+  /// column — callers handling a rebuild should clear dependent state
+  /// themselves).
+  class MutationListener {
+   public:
+    virtual ~MutationListener() = default;
+    virtual void OnInsert(const ColumnEntry& entry) = 0;
+    virtual void OnErase(const ColumnEntry& entry) = 0;
+  };
+
   /// Creates an empty tree whose nodes live on `disk`. The simulator
   /// must outlive the tree.
   explicit BPlusTree(DiskSimulator* disk);
+
+  /// Registers `listener` (nullptr to detach) for Insert/Erase
+  /// notifications. The listener must outlive the tree or be detached
+  /// first; it is invoked under no tree lock (the tree is externally
+  /// synchronized, like all its mutations).
+  void set_mutation_listener(MutationListener* listener) {
+    listener_ = listener;
+  }
 
   /// Bulk loads from entries sorted ascending by (value, pid).
   /// Replaces any existing content. O(n).
@@ -158,6 +180,7 @@ class BPlusTree {
   uint32_t first_leaf_ = kInvalid;
   size_t size_ = 0;
   size_t height_ = 0;
+  MutationListener* listener_ = nullptr;
 };
 
 }  // namespace knmatch

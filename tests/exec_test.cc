@@ -422,5 +422,169 @@ TEST(EngineConcurrencyTest, ConcurrentBatchCallsSerializeSafely) {
   EXPECT_EQ(mismatches.load(), 0);
 }
 
+// ---------------------------------------------------------------------------
+// Chunked dispatch and duplicate collapse
+
+TEST(ThreadPoolTest, ChunkedRunsEveryIndexOnceForAnyGrain) {
+  exec::ThreadPool pool(4);
+  constexpr size_t kCount = 997;  // prime: exercises the short tail chunk
+  for (const size_t grain : {size_t{1}, size_t{7}, size_t{64}, size_t{2000}}) {
+    std::vector<std::atomic<int>> hits(kCount);
+    bool ranges_ok = true;
+    pool.ParallelForChunked(kCount, grain,
+                            [&](size_t /*worker*/, size_t begin, size_t end) {
+                              if (end <= begin || end > kCount) {
+                                ranges_ok = false;
+                              }
+                              for (size_t i = begin; i < end; ++i) {
+                                hits[i].fetch_add(1, std::memory_order_relaxed);
+                              }
+                            });
+    EXPECT_TRUE(ranges_ok) << "grain " << grain;
+    for (size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "grain " << grain << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ChunkedZeroWorkerPoolRunsInline) {
+  exec::ThreadPool pool(0);
+  size_t ran = 0;
+  pool.ParallelForChunked(10, 3, [&](size_t worker, size_t begin, size_t end) {
+    EXPECT_EQ(worker, 0u);
+    ran += end - begin;
+  });
+  EXPECT_EQ(ran, 10u);
+}
+
+TEST(BatchDedupTest, DuplicateQueriesCollapseToOneExecution) {
+  SimilarityEngine engine(datagen::MakeUniform(400, 4, 91));
+  exec::BatchRequest request;
+  const std::vector<Value> hot{0.2, 0.4, 0.6, 0.8};
+  const std::vector<Value> other{0.7, 0.1, 0.3, 0.9};
+  // 6 copies of `hot` interleaved with 2 distinct queries.
+  request.queries = {hot, other, hot, hot, {0.5, 0.5, 0.5, 0.5},
+                     hot, hot, hot};
+  request.options.threads = 2;
+  request.options.allow_oversubscription = true;
+
+  const auto batch = engine.KnMatchBatch(request, 2, 5);
+  ASSERT_TRUE(batch.ok());
+  // Every duplicate slot carries the representative's exact answer.
+  const auto solo = engine.KnMatch(hot, 2, 5);
+  ASSERT_TRUE(solo.ok());
+  for (const size_t i : {0u, 2u, 3u, 5u, 6u, 7u}) {
+    EXPECT_TRUE(batch.value().results[i].matches == solo.value().matches)
+        << "slot " << i;
+  }
+  // The batch's cost metric counts the 3 distinct executions once each.
+  uint64_t distinct_cost = solo.value().attributes_retrieved;
+  for (const auto& q : {other, std::vector<Value>{0.5, 0.5, 0.5, 0.5}}) {
+    distinct_cost += engine.KnMatch(q, 2, 5).value().attributes_retrieved;
+  }
+  EXPECT_EQ(batch.value().attributes_retrieved, distinct_cost);
+
+  // With collapsing off the answers are identical and the cost metric
+  // counts every slot.
+  request.options.collapse_duplicates = false;
+  const auto full = engine.KnMatchBatch(request, 2, 5);
+  ASSERT_TRUE(full.ok());
+  for (size_t i = 0; i < request.queries.size(); ++i) {
+    EXPECT_TRUE(full.value().results[i].matches ==
+                batch.value().results[i].matches)
+        << "slot " << i;
+  }
+  EXPECT_GT(full.value().attributes_retrieved,
+            batch.value().attributes_retrieved);
+}
+
+TEST(BatchDedupTest, GovernanceAccountingSeesDistinctQueriesOnly) {
+  SimilarityEngine engine(datagen::MakeUniform(400, 4, 92));
+  exec::BatchRequest request;
+  const std::vector<Value> hot{0.3, 0.6, 0.2, 0.8};
+  request.queries.assign(8, hot);  // one distinct query, 8 slots
+  request.options.threads = 1;
+  // An attribute pool large enough for exactly one execution of `hot`:
+  // collapsing must satisfy all 8 slots from that single run.
+  const auto solo = engine.KnMatch(hot, 2, 4);
+  ASSERT_TRUE(solo.ok());
+  request.options.attribute_pool = solo.value().attributes_retrieved;
+
+  const auto batch = engine.KnMatchBatch(request, 2, 4);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(batch.value().statuses[i].ok()) << "slot " << i;
+    EXPECT_TRUE(batch.value().results[i].matches == solo.value().matches)
+        << "slot " << i;
+  }
+  EXPECT_EQ(batch.value().attributes_retrieved,
+            solo.value().attributes_retrieved);
+
+  // Without collapsing, the same pool is exhausted after the first
+  // query and the remaining slots shed.
+  request.options.collapse_duplicates = false;
+  const auto shed = engine.KnMatchBatch(request, 2, 4);
+  ASSERT_TRUE(shed.ok());
+  EXPECT_TRUE(shed.value().statuses[0].ok());
+  size_t exhausted = 0;
+  for (size_t i = 1; i < 8; ++i) {
+    if (shed.value().statuses[i].code() == StatusCode::kResourceExhausted) {
+      ++exhausted;
+    }
+  }
+  EXPECT_EQ(exhausted, 7u);
+}
+
+TEST(BatchDedupTest, QueueDepthCapAppliesBeforeCollapse) {
+  SimilarityEngine engine(datagen::MakeUniform(300, 3, 93));
+  exec::BatchRequest request;
+  const std::vector<Value> hot{0.5, 0.5, 0.5};
+  request.queries.assign(6, hot);
+  request.options.threads = 1;
+  request.options.max_queue_depth = 4;  // sheds slots 4 and 5 first
+
+  const auto batch = engine.KnMatchBatch(request, 2, 3);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(batch.value().statuses[i].ok()) << "slot " << i;
+  }
+  for (size_t i = 4; i < 6; ++i) {
+    EXPECT_EQ(batch.value().statuses[i].code(),
+              StatusCode::kResourceExhausted)
+        << "slot " << i;
+  }
+}
+
+TEST(BatchDedupTest, ChunkedBatchStaysDeterministicAcrossThreadCounts) {
+  SimilarityEngine engine(datagen::MakeUniform(800, 6, 94));
+  exec::BatchRequest request;
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<Value> q(6);
+    for (Value& v : q) v = rng.Uniform01();
+    request.queries.push_back(q);
+    if (i % 3 == 0) request.queries.push_back(q);  // sprinkle duplicates
+  }
+  exec::BatchRequest seq = request;
+  seq.options.threads = 1;
+  const auto reference = engine.KnMatchBatch(seq, 3, 5);
+  ASSERT_TRUE(reference.ok());
+  for (const size_t threads : {2u, 4u, 8u}) {
+    exec::BatchRequest par = request;
+    par.options.threads = threads;
+    par.options.allow_oversubscription = true;
+    const auto got = engine.KnMatchBatch(par, 3, 5);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got.value().results.size(), reference.value().results.size());
+    for (size_t i = 0; i < got.value().results.size(); ++i) {
+      EXPECT_TRUE(got.value().results[i].matches ==
+                  reference.value().results[i].matches)
+          << "threads " << threads << " slot " << i;
+    }
+    EXPECT_EQ(got.value().attributes_retrieved,
+              reference.value().attributes_retrieved);
+  }
+}
+
 }  // namespace
 }  // namespace knmatch
