@@ -15,6 +15,7 @@
 // on a single-core host every T collapses to ~1x and only the arena
 // win remains.
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -297,6 +298,91 @@ int main(int argc, char** argv) {
                  "\"hit_ratio_percent\": %.1f}",
                  spec.pool_size, mix.size(), spec.skew, cold_qps,
                  cached_qps, cold_seconds / cached_seconds, hit_ratio);
+  }
+
+  // ingest_under_load: live-snapshot query throughput while one writer
+  // streams WAL-logged inserts into the same engine. Answers shift as
+  // epochs publish, so there is no cross-pass checksum; the lane's
+  // field names (query_qps / ingest_ops_per_sec) keep it out of the
+  // sequential-drift gate, which only tracks sequential_qps.
+  {
+    SimilarityEngine live_engine(
+        datagen::MakeUniform(cardinality / 4, dims, 20260808));
+    SimilarityEngine::IngestConfig ingest_config;
+    ingest_config.group_commit_window = 8;
+    if (Status s = live_engine.BeginIngest(ingest_config); !s.ok()) {
+      std::fprintf(stderr, "BeginIngest failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    const auto live_queries =
+        bench::SampleQueries(live_engine.dataset(), num_queries, 4242);
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> ingested{0};
+    std::thread writer([&live_engine, &stop, &ingested, dims] {
+      Rng rng(77);
+      std::vector<Value> coords(dims);
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (auto& v : coords) v = rng.Uniform01();
+        if (!live_engine.IngestPoint(coords).ok()) break;
+        ingested.fetch_add(1, std::memory_order_relaxed);
+      }
+      (void)live_engine.FlushIngest();
+    });
+
+    constexpr size_t kN = 8, kK = 10;
+    constexpr double kWindowSeconds = 1.0;
+    uint64_t answered = 0;
+    const auto start = std::chrono::steady_clock::now();
+    while (Seconds(start) < kWindowSeconds) {
+      for (const auto& q : live_queries) {
+        auto r = live_engine.LiveKnMatch(q, kN, kK);
+        if (!r.ok()) {
+          std::fprintf(stderr, "LiveKnMatch failed under load: %s\n",
+                       r.status().ToString().c_str());
+          stop.store(true);
+          writer.join();
+          return 1;
+        }
+        ++answered;
+      }
+    }
+    const double window = Seconds(start);
+    stop.store(true);
+    writer.join();
+
+    const uint64_t ops = ingested.load();
+    const WriteAheadLog::Stats wal = live_engine.live_index()->wal().stats();
+    if (answered == 0 || ops == 0) {
+      std::fprintf(stderr, "ingest_under_load made no progress "
+                   "(%llu queries, %llu ops)\n",
+                   static_cast<unsigned long long>(answered),
+                   static_cast<unsigned long long>(ops));
+      return 1;
+    }
+    const double query_qps = static_cast<double>(answered) / window;
+    const double ops_per_sec = static_cast<double>(ops) / window;
+    std::printf("%-20s queries:    %8.1f q/s  (under live writer)\n",
+                "ingest_under_load", query_qps);
+    std::printf("%-20s ingest:     %8.1f ops/s  (%llu WAL fsyncs, "
+                "%zu live points)\n\n",
+                "", ops_per_sec, static_cast<unsigned long long>(wal.fsyncs),
+                live_engine.live_index()->live_size());
+    std::fprintf(json,
+                 ",\n    {\"name\": \"ingest_under_load\", "
+                 "\"query_qps\": %.1f, \"ingest_ops_per_sec\": %.1f, "
+                 "\"wal_fsyncs\": %llu, \"wal_appends\": %llu, "
+                 "\"group_commit_window\": %zu, \"live_points\": %zu}",
+                 query_qps, ops_per_sec,
+                 static_cast<unsigned long long>(wal.fsyncs),
+                 static_cast<unsigned long long>(wal.appends),
+                 ingest_config.group_commit_window,
+                 live_engine.live_index()->live_size());
+    if (Status s = live_engine.EndIngest(); !s.ok()) {
+      std::fprintf(stderr, "EndIngest failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
   }
 
   std::fprintf(json, "\n  ]\n}\n");

@@ -19,6 +19,19 @@
 //   join <n> <eps>                    epsilon-n-match self-join (pair count)
 //   estimate <n> <k> <pid>            analytic selectivity estimate
 //   insert <v1> <v2> ... <vd>         append a point (indexes rebuild lazily)
+//   ingest begin [window]             durable live-ingest session (WAL,
+//                                     group-commit window in txns)
+//   ingest add <v1> ... <vd>          WAL-logged insert into the live trees
+//   ingest erase <pid>                WAL-logged erase (frees tree slots)
+//   ingest flush                      force the group-commit fsync
+//   ingest query <n> <k> <pid>        k-n-match over the live snapshot
+//   ingest status                     epoch, live size, free slots
+//   ingest end                        checkpoint + fold live rows into the
+//                                     dataset (indexes rebuild lazily)
+//   wal stats                         appends/fsyncs/bytes/pending commits
+//   wal checkpoint                    flush dirty pages, truncate the log
+//   recover                           crash-recovery drill: rebuild the
+//                                     trees from checkpoint + WAL redo
 //   faults rate <transient> <corrupt> [seed]   randomized fault schedule
 //   faults fail <page> <times>        script transient failures of a page
 //   faults corrupt <page>             script sticky corruption of a page
@@ -176,6 +189,10 @@ class Cli {
           "disk auto|scan|ad|va|mem <n0> <n1> <k> <pid> | join <n> <eps> | "
           "estimate <n> <k> <pid> |\n"
           "insert <v1> ... <vd> | threads <t> |\n"
+          "ingest begin [window] | ingest add <v1> ... <vd> | "
+          "ingest erase <pid> | ingest flush |\n"
+          "ingest query <n> <k> <pid> | ingest status | ingest end | "
+          "wal stats|checkpoint | recover |\n"
           "faults rate <transient> <corrupt> [seed] | faults fail <page> "
           "<times> | faults corrupt <page> |\n"
           "faults clear | faults status | metrics [json|reset] | "
@@ -454,6 +471,149 @@ class Cli {
         return true;
       }
       RunBatch(what, n0, n1, k, q);
+      return true;
+    }
+
+    if (cmd == "ingest") {
+      if (!RequireData()) return true;
+      std::string what;
+      in >> what;
+      if (what == "begin") {
+        SimilarityEngine::IngestConfig config;
+        in >> config.group_commit_window;
+        if (config.group_commit_window == 0) config.group_commit_window = 1;
+        const Status s = engine_->BeginIngest(config);
+        if (!s.ok()) {
+          std::printf("%s\n", s.ToString().c_str());
+          return true;
+        }
+        std::printf("ingest session open (group-commit window %zu)\n",
+                    config.group_commit_window);
+      } else if (what == "add") {
+        std::vector<Value> coords;
+        Value v;
+        while (in >> v) coords.push_back(v);
+        auto r = engine_->IngestPoint(coords);
+        if (!r.ok()) {
+          std::printf("%s\n", r.status().ToString().c_str());
+          return true;
+        }
+        std::printf("ingested pid %u\n", r.value());
+      } else if (what == "erase") {
+        PointId pid = 0;
+        if (!(in >> pid)) {
+          std::printf("usage: ingest erase <pid>\n");
+          return true;
+        }
+        auto r = engine_->ErasePoint(pid);
+        if (!r.ok()) {
+          std::printf("%s\n", r.status().ToString().c_str());
+        } else {
+          std::printf(r.value() ? "erased pid %u\n"
+                                : "pid %u was not live\n",
+                      pid);
+        }
+      } else if (what == "flush") {
+        const Status s = engine_->FlushIngest();
+        std::printf("%s\n", s.ok() ? "flushed" : s.ToString().c_str());
+      } else if (what == "query") {
+        size_t n, k, pid;
+        if (!(in >> n >> k >> pid)) {
+          std::printf("usage: ingest query <n> <k> <pid>\n");
+          return true;
+        }
+        std::vector<Value> q;
+        if (!QueryOf(pid, &q)) return true;
+        QueryContext ctx;
+        QueryContext* pctx = ArmContext(&ctx);
+        auto r = engine_->LiveKnMatch(q, n, k, pctx);
+        if (!r.ok()) {
+          PrintStatus(r.status(), pctx);
+          return true;
+        }
+        PrintMatches(r.value().matches);
+        std::printf("  (%llu attributes retrieved, live snapshot)\n",
+                    static_cast<unsigned long long>(
+                        r.value().attributes_retrieved));
+      } else if (what == "status") {
+        const LiveColumnIndex* live = engine_->live_index();
+        if (live == nullptr) {
+          std::printf("no ingest session; 'ingest begin' first\n");
+          return true;
+        }
+        std::printf("  epoch %llu | %zu live points | %zu free tree "
+                    "slots | %zu committed ops (%zu pending)\n",
+                    static_cast<unsigned long long>(live->epoch()),
+                    live->live_size(), live->free_slots(),
+                    live->committed_ops().size(), live->pending_ops());
+      } else if (what == "end") {
+        const Status s = engine_->EndIngest();
+        if (!s.ok()) {
+          std::printf("%s\n", s.ToString().c_str());
+          return true;
+        }
+        std::printf("ingest folded in: dataset now %zu points (indexes "
+                    "rebuild on next query)\n",
+                    engine_->dataset().size());
+      } else {
+        std::printf(
+            "usage: ingest begin|add|erase|flush|query|status|end ...\n");
+      }
+      return true;
+    }
+
+    if (cmd == "wal") {
+      if (!RequireData()) return true;
+      std::string what;
+      in >> what;
+      const LiveColumnIndex* live = engine_->live_index();
+      if (live == nullptr) {
+        std::printf("no ingest session; 'ingest begin' first\n");
+        return true;
+      }
+      if (what == "stats") {
+        const WriteAheadLog::Stats st = live->wal().stats();
+        std::printf(
+            "  appends %llu  commits %llu  fsyncs %llu  checkpoints %llu\n"
+            "  log %llu B (%llu durable)  lifetime appended %llu B\n"
+            "  pending commits %llu  truncations %llu  next lsn %llu\n",
+            static_cast<unsigned long long>(st.appends),
+            static_cast<unsigned long long>(st.commits),
+            static_cast<unsigned long long>(st.fsyncs),
+            static_cast<unsigned long long>(st.checkpoints),
+            static_cast<unsigned long long>(st.log_bytes),
+            static_cast<unsigned long long>(st.durable_bytes),
+            static_cast<unsigned long long>(st.bytes_appended),
+            static_cast<unsigned long long>(st.pending_commits),
+            static_cast<unsigned long long>(st.truncations),
+            static_cast<unsigned long long>(st.next_lsn));
+      } else if (what == "checkpoint") {
+        const Status s = engine_->Checkpoint();
+        std::printf("%s\n",
+                    s.ok() ? "checkpointed; log truncated"
+                           : s.ToString().c_str());
+      } else {
+        std::printf("usage: wal stats|checkpoint\n");
+      }
+      return true;
+    }
+
+    if (cmd == "recover") {
+      if (!RequireData()) return true;
+      if (engine_->live_index() == nullptr) {
+        std::printf("no ingest session; 'ingest begin' first\n");
+        return true;
+      }
+      const Status s = engine_->Recover();
+      if (!s.ok()) {
+        std::printf("%s\n", s.ToString().c_str());
+        return true;
+      }
+      const LiveColumnIndex* live = engine_->live_index();
+      std::printf("recovered: epoch %llu, %zu live points (cache epoch "
+                  "bumped)\n",
+                  static_cast<unsigned long long>(live->epoch()),
+                  live->live_size());
       return true;
     }
 

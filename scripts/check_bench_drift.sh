@@ -44,11 +44,13 @@ printf '%s\n' "$overhead_out"
 overhead=$(printf '%s\n' "$overhead_out" |
   awk -F= '/^overhead_enabled_percent=/{print $2}')
 if [[ -z "$overhead" ]]; then
-  echo "FAIL: bench_obs_overhead printed no overhead_enabled_percent" >&2
+  echo "FAIL [lane obs_overhead]: bench_obs_overhead printed no" \
+       "overhead_enabled_percent" >&2
   exit 1
 fi
 if awk -v o="$overhead" -v b="$BUDGET" 'BEGIN{exit !(o > b)}'; then
-  echo "FAIL: metrics overhead ${overhead}% exceeds budget ${BUDGET}%" >&2
+  echo "FAIL [lane obs_overhead]: metrics overhead ${overhead}%" \
+       "exceeds budget ${BUDGET}%" >&2
   exit 1
 fi
 echo "OK: metrics overhead ${overhead}% within budget ${BUDGET}%"
@@ -63,13 +65,13 @@ printf '%s\n' "$gov_out"
 gov_overhead=$(printf '%s\n' "$gov_out" |
   awk -F= '/^overhead_governed_percent=/{print $2}')
 if [[ -z "$gov_overhead" ]]; then
-  echo "FAIL: bench_governance_overhead printed no" \
-       "overhead_governed_percent" >&2
+  echo "FAIL [lane governance_overhead]: bench_governance_overhead" \
+       "printed no overhead_governed_percent" >&2
   exit 1
 fi
 if awk -v o="$gov_overhead" -v b="$BUDGET" 'BEGIN{exit !(o > b)}'; then
-  echo "FAIL: governance overhead ${gov_overhead}% exceeds budget" \
-       "${BUDGET}%" >&2
+  echo "FAIL [lane governance_overhead]: governance overhead" \
+       "${gov_overhead}% exceeds budget ${BUDGET}%" >&2
   exit 1
 fi
 echo "OK: governance overhead ${gov_overhead}% within budget ${BUDGET}%"
@@ -100,7 +102,8 @@ if [[ "$have_baseline" == 1 ]]; then
     new=$(sequential_qps BENCH_throughput.json |
       awk -v n="$name" '$1 == n {print $2}')
     if [[ -z "$new" ]]; then
-      echo "FAIL: workload $name missing from new BENCH_throughput.json" >&2
+      echo "FAIL [lane $name]: workload missing from new" \
+           "BENCH_throughput.json" >&2
       drift_fail=1
       continue
     fi
@@ -108,7 +111,7 @@ if [[ "$have_baseline" == 1 ]]; then
       'BEGIN{printf "%+.1f", (n - b) / b * 100}')
     if awk -v b="$base" -v n="$new" -v t="$QPS_DRIFT" \
         'BEGIN{d = (n - b) / b * 100; if (d < 0) d = -d; exit !(d > t)}'; then
-      echo "FAIL: $name sequential QPS drifted ${drift}%" \
+      echo "FAIL [lane $name]: sequential QPS drifted ${drift}%" \
            "(${base} -> ${new}, budget +/-${QPS_DRIFT}%)" >&2
       drift_fail=1
     else
@@ -129,16 +132,37 @@ fi
 speedup=$(grep -o '"cache_speedup": [0-9.]*' BENCH_throughput.json |
   head -1 | awk '{print $2}')
 if [[ -z "$speedup" ]]; then
-  echo "FAIL: zipfian_repeat cache_speedup missing from" \
+  echo "FAIL [lane zipfian_repeat]: cache_speedup missing from" \
        "BENCH_throughput.json" >&2
   exit 1
 fi
 if awk -v s="$speedup" -v m="$MIN_SPEEDUP" 'BEGIN{exit !(s < m)}'; then
-  echo "FAIL: zipfian_repeat cache speedup ${speedup}x below minimum" \
-       "${MIN_SPEEDUP}x" >&2
+  echo "FAIL [lane zipfian_repeat]: cache speedup ${speedup}x below" \
+       "minimum ${MIN_SPEEDUP}x" >&2
   exit 1
 fi
 echo "OK: zipfian_repeat cache speedup ${speedup}x (minimum ${MIN_SPEEDUP}x)"
+
+# --- Gate: the live-ingest lane made progress on both sides. ---
+# bench_throughput runs readers against published snapshots while one
+# writer streams WAL transactions; zero throughput on either side
+# means the publish/pin protocol stalled. Like the cached lane, its
+# field names keep it out of the sequential-drift gate.
+ingest_qps=$(grep -o '"name": "ingest_under_load", "query_qps": [0-9.]*'   BENCH_throughput.json | awk '{print $NF}')
+ingest_ops=$(grep -o '"ingest_ops_per_sec": [0-9.]*'   BENCH_throughput.json | head -1 | awk '{print $2}')
+if [[ -z "$ingest_qps" || -z "$ingest_ops" ]]; then
+  echo "FAIL [lane ingest_under_load]: lane missing from" \
+       "BENCH_throughput.json" >&2
+  exit 1
+fi
+if awk -v q="$ingest_qps" -v o="$ingest_ops" \
+    'BEGIN{exit !(q <= 0 || o <= 0)}'; then
+  echo "FAIL [lane ingest_under_load]: no progress under load" \
+       "(${ingest_qps} q/s, ${ingest_ops} ingest ops/s)" >&2
+  exit 1
+fi
+echo "OK: ingest_under_load ${ingest_qps} q/s while ingesting" \
+     "${ingest_ops} ops/s"
 
 # Both benchmarks drop their JSON in the current directory (the repo
 # root). Fold them into one history line.

@@ -20,4 +20,14 @@ TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   "$BUILD_DIR"/tests/knmatch_tests \
   --gtest_filter='ThreadPool*:AdCursorHeap*:AdKernel*:AdScratch*:Batch*:EngineConcurrency*:Obs*:Governance*:Cache*'
 
+# The live-ingest reader/writer soak: N snapshot-pinning query threads
+# race one WAL-committing writer for KNMATCH_SOAK_MS (longer here than
+# the default ctest run — the soak is the TSan gate for the epoch
+# publish/pin protocol), with every sampled answer differentially
+# checked against a quiesced mirror.
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  KNMATCH_SOAK_MS=${KNMATCH_SOAK_MS:-10000} \
+  "$BUILD_DIR"/tests/knmatch_tests \
+  --gtest_filter='IngestSoak*:LiveColumnIndex*'
+
 echo "TSan: exec-layer tests passed with zero reported races"

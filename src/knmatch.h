@@ -38,9 +38,12 @@
 #include "knmatch/storage/column_store.h"
 #include "knmatch/storage/disk_simulator.h"
 #include "knmatch/storage/fault_injector.h"
+#include "knmatch/storage/free_space.h"
+#include "knmatch/storage/ingest.h"
 #include "knmatch/storage/page_codec.h"
 #include "knmatch/storage/paged_file.h"
 #include "knmatch/storage/row_store.h"
+#include "knmatch/storage/wal.h"
 
 #include "knmatch/diskalgo/btree_ad.h"
 #include "knmatch/diskalgo/disk_ad.h"

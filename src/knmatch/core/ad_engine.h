@@ -64,7 +64,12 @@ struct AdOutput {
 /// when its columns are ragged — shorter than the cardinality because
 /// some points lack a value in some dimension (missing attributes,
 /// heterogeneous sources). Without it every column is assumed to hold
-/// exactly `column_size()` entries.
+/// exactly `column_size()` entries. Accessors whose pid space is
+/// sparse (ids are not 0..c-1, e.g. live-ingest snapshots after
+/// erases) may provide
+///   size_t pid_bound() const;   // exclusive upper bound on any pid
+/// so the per-point appearance table is sized for the id range rather
+/// than the cardinality; without it the two are assumed equal.
 ///
 /// `ReadEntry` calls are the retrieved attributes (the paper's cost
 /// metric); the engine counts them. Locating the query's position
@@ -102,7 +107,14 @@ class AdEngine {
     const size_t d = acc_.dims();
     assert(query.size() == d);
     assert(weights.empty() || weights.size() == d);
-    scratch_->Prepare(c_, d);
+    // Accessors over sparse pid spaces (live-ingest snapshots) expose a
+    // pid_bound() above the cardinality; size the appearance table for
+    // it up front so BumpAppearances never grows mid-search.
+    size_t table = c_;
+    if constexpr (requires { acc_.pid_bound(); }) {
+      table = std::max<size_t>(table, acc_.pid_bound());
+    }
+    scratch_->Prepare(table, d);
     g_ = &scratch_->heap();
     next_idx_ = scratch_->next_idx();
     for (size_t dim = 0; dim < d; ++dim) {
@@ -257,8 +269,12 @@ AdOutput RunAdSearch(Accessor& acc, std::span<const Value> query, size_t n0,
 
   AdOutput out;
   const bool governed = ctx != nullptr && ctx->governed();
+  size_t table_points = acc.column_size();
+  if constexpr (requires { acc.pid_bound(); }) {
+    table_points = std::max<size_t>(table_points, acc.pid_bound());
+  }
   if (governed && !ctx->AdmitScratch(AdScratch::EstimateFootprintBytes(
-                      acc.column_size(), acc.dims()))) {
+                      table_points, acc.dims()))) {
     out.per_n_sets.resize(n1 - n0 + 1);
     return out;  // refused at admission; ctx latched the trip status
   }

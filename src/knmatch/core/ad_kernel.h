@@ -116,7 +116,13 @@ class AdKernel {
     assert(d >= 1);
     assert(query.size() == d);
     assert(weights.empty() || weights.size() == d);
-    scratch_->Prepare(c_, d);
+    // As in AdEngine: sparse pid spaces advertise pid_bound() so the
+    // appearance table is sized before the hot loop starts.
+    size_t table = c_;
+    if constexpr (requires { acc_.pid_bound(); }) {
+      table = std::max<size_t>(table, acc_.pid_bound());
+    }
+    scratch_->Prepare(table, d);
     slots_ = 2 * d;
     next_idx_ = scratch_->next_idx();
     cur_dif_ = scratch_->cur_difs();

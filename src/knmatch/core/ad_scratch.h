@@ -265,7 +265,13 @@ class AdScratch {
   /// line, and the table is half the size an 8-byte slot would make it
   /// — 16 cache lines' worth of counters per line fetched.
   uint16_t BumpAppearances(PointId pid) {
-    assert(pid < appear_.size());
+    if (pid >= appear_.size()) {
+      // Sparse pid spaces (live ingest after erases) can carry ids past
+      // the cardinality Prepare() sized for; grow geometrically so the
+      // branch stays predictable. Fresh cells are zero-stamped, which
+      // never matches the current epoch, so they read as count zero.
+      appear_.resize(std::max<size_t>(pid + 1, appear_.size() * 2), 0);
+    }
     uint32_t v = appear_[pid];
     if ((v >> 16) != epoch_) v = epoch_ << 16;
     ++v;

@@ -42,13 +42,18 @@ Status BTreeColumns::InsertPoint(PointId pid,
 
 namespace {
 
-/// AD-engine accessor over the per-dimension B+-trees. Each cursor
+/// AD-engine accessor over per-dimension B+-tree columns. Each cursor
 /// direction owns a tree iterator and an I/O stream; the engine's
 /// strictly sequential per-slot access pattern (one step outward per
 /// refill) maps to Prev()/Next() leaf walks.
+///
+/// `Columns` is BTreeColumns (live trees) or SnapshotColumns (frozen
+/// epoch of the ingest index) — both expose dims()/column_size() and a
+/// tree(dim) whose seeks and iterators share one interface.
+template <typename Columns>
 class BTreeColumnAccessor {
  public:
-  BTreeColumnAccessor(const BTreeColumns& columns,
+  BTreeColumnAccessor(const Columns& columns,
                       std::span<const Value> query)
       : columns_(columns),
         query_(query),
@@ -56,6 +61,13 @@ class BTreeColumnAccessor {
 
   size_t dims() const { return columns_.dims(); }
   size_t column_size() const { return columns_.column_size(); }
+  size_t pid_bound() const {
+    if constexpr (requires { columns_.pid_bound(); }) {
+      return columns_.pid_bound();
+    } else {
+      return columns_.column_size();
+    }
+  }
 
   ColumnEntry ReadEntry(size_t dim, size_t idx, uint32_t slot) {
     Cursor& cursor = cursors_[slot];
@@ -108,24 +120,25 @@ class BTreeColumnAccessor {
     size_t stream = 0;
     BPlusTree::Iterator it;
   };
-  const BTreeColumns& columns_;
+  const Columns& columns_;
   std::span<const Value> query_;
   std::vector<Cursor> cursors_;
   size_t locate_stream_ = kNoStream;
   Status status_;
 };
 
-}  // namespace
-
-Result<KnMatchResult> BTreeAdSearcher::KnMatch(std::span<const Value> query,
-                                               size_t n, size_t k,
-                                               QueryContext* ctx) const {
-  Status s = ValidateMatchParams(columns_.column_size(), columns_.dims(),
+/// Shared implementation of the two public searchers over either
+/// columns type.
+template <typename Columns>
+Result<KnMatchResult> KnMatchOver(const Columns& columns,
+                                  std::span<const Value> query, size_t n,
+                                  size_t k, QueryContext* ctx) {
+  Status s = ValidateMatchParams(columns.column_size(), columns.dims(),
                                  query.size(), n, n, k);
   if (!s.ok()) return s;
 
-  if (ctx != nullptr) ctx->ArmPages(columns_.tree(0).disk());
-  BTreeColumnAccessor acc(columns_, query);
+  if (ctx != nullptr) ctx->ArmPages(columns.tree(0).disk());
+  BTreeColumnAccessor<Columns> acc(columns, query);
   internal::AdOutput out =
       internal::RunAdSearch(acc, query, n, n, k, {}, nullptr, ctx);
   obs::Cat().attrs_ad_btree->Add(out.attributes_retrieved);
@@ -139,15 +152,16 @@ Result<KnMatchResult> BTreeAdSearcher::KnMatch(std::span<const Value> query,
   return result;
 }
 
-Result<FrequentKnMatchResult> BTreeAdSearcher::FrequentKnMatch(
-    std::span<const Value> query, size_t n0, size_t n1, size_t k,
-    QueryContext* ctx) const {
-  Status s = ValidateMatchParams(columns_.column_size(), columns_.dims(),
+template <typename Columns>
+Result<FrequentKnMatchResult> FrequentKnMatchOver(
+    const Columns& columns, std::span<const Value> query, size_t n0,
+    size_t n1, size_t k, QueryContext* ctx) {
+  Status s = ValidateMatchParams(columns.column_size(), columns.dims(),
                                  query.size(), n0, n1, k);
   if (!s.ok()) return s;
 
-  if (ctx != nullptr) ctx->ArmPages(columns_.tree(0).disk());
-  BTreeColumnAccessor acc(columns_, query);
+  if (ctx != nullptr) ctx->ArmPages(columns.tree(0).disk());
+  BTreeColumnAccessor<Columns> acc(columns, query);
   internal::AdOutput out =
       internal::RunAdSearch(acc, query, n0, n1, k, {}, nullptr, ctx);
   obs::Cat().attrs_ad_btree->Add(out.attributes_retrieved);
@@ -163,6 +177,32 @@ Result<FrequentKnMatchResult> BTreeAdSearcher::FrequentKnMatch(
     RankByFrequency(k, &result);
   }
   return result;
+}
+
+}  // namespace
+
+Result<KnMatchResult> BTreeAdSearcher::KnMatch(std::span<const Value> query,
+                                               size_t n, size_t k,
+                                               QueryContext* ctx) const {
+  return KnMatchOver(columns_, query, n, k, ctx);
+}
+
+Result<FrequentKnMatchResult> BTreeAdSearcher::FrequentKnMatch(
+    std::span<const Value> query, size_t n0, size_t n1, size_t k,
+    QueryContext* ctx) const {
+  return FrequentKnMatchOver(columns_, query, n0, n1, k, ctx);
+}
+
+Result<KnMatchResult> SnapshotAdSearcher::KnMatch(
+    std::span<const Value> query, size_t n, size_t k,
+    QueryContext* ctx) const {
+  return KnMatchOver(columns_, query, n, k, ctx);
+}
+
+Result<FrequentKnMatchResult> SnapshotAdSearcher::FrequentKnMatch(
+    std::span<const Value> query, size_t n0, size_t n1, size_t k,
+    QueryContext* ctx) const {
+  return FrequentKnMatchOver(columns_, query, n0, n1, k, ctx);
 }
 
 }  // namespace knmatch

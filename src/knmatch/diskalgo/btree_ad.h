@@ -1,6 +1,7 @@
 #ifndef KNMATCH_DISKALGO_BTREE_AD_H_
 #define KNMATCH_DISKALGO_BTREE_AD_H_
 
+#include <algorithm>
 #include <memory>
 #include <span>
 #include <vector>
@@ -45,6 +46,32 @@ class BTreeColumns {
   std::vector<std::unique_ptr<BPlusTree>> trees_;
 };
 
+/// A frozen set of per-dimension B+-tree snapshots (one epoch of the
+/// live-ingest index) presented through the same columns interface as
+/// BTreeColumns, so the AD accessor can drive either. Cheap to copy.
+///
+/// Unlike a bulk-loaded store, the live pid space is sparse (erases
+/// leave holes, inserts extend it), so the cardinality no longer bounds
+/// the ids: `pid_bound` must be an exclusive upper bound on every pid
+/// in the trees — it sizes the AD search's per-point appearance table.
+class SnapshotColumns {
+ public:
+  explicit SnapshotColumns(std::vector<BPlusTree::Snapshot> trees,
+                           size_t pid_bound = 0)
+      : trees_(std::move(trees)), pid_bound_(pid_bound) {}
+
+  size_t dims() const { return trees_.size(); }
+  size_t column_size() const {
+    return trees_.empty() ? 0 : trees_[0].size();
+  }
+  size_t pid_bound() const { return std::max(pid_bound_, column_size()); }
+  const BPlusTree::Snapshot& tree(size_t dim) const { return trees_[dim]; }
+
+ private:
+  std::vector<BPlusTree::Snapshot> trees_;
+  size_t pid_bound_ = 0;
+};
+
 /// The AD algorithm driven by B+-tree cursors: identical answers and
 /// attribute counts to the ColumnStore-based DiskAdSearcher, with index
 /// traversals charged per query. The ablation bench compares the two
@@ -70,6 +97,32 @@ class BTreeAdSearcher {
 
  private:
   const BTreeColumns& columns_;
+};
+
+/// The AD algorithm over one frozen epoch of the live-ingest index:
+/// identical semantics to BTreeAdSearcher, but every cursor traverses
+/// immutable snapshots, so queries run concurrently with the single
+/// writer and answer exactly as a quiesced engine holding the same
+/// committed state would. Safe to use from any thread (each call opens
+/// its own I/O streams on the thread-safe simulator).
+class SnapshotAdSearcher {
+ public:
+  explicit SnapshotAdSearcher(const SnapshotColumns& columns)
+      : columns_(columns) {}
+
+  /// Snapshot-backed KNMatchAD; `ctx` as on BTreeAdSearcher::KnMatch.
+  Result<KnMatchResult> KnMatch(std::span<const Value> query, size_t n,
+                                size_t k, QueryContext* ctx = nullptr) const;
+
+  /// Snapshot-backed FKNMatchAD; `ctx` as above.
+  Result<FrequentKnMatchResult> FrequentKnMatch(std::span<const Value> query,
+                                                size_t n0, size_t n1,
+                                                size_t k,
+                                                QueryContext* ctx =
+                                                    nullptr) const;
+
+ private:
+  const SnapshotColumns& columns_;
 };
 
 }  // namespace knmatch

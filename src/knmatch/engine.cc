@@ -2,12 +2,16 @@
 
 #include <atomic>
 #include <utility>
+#include <vector>
 
+#include "knmatch/cache/btree_bridge.h"
 #include "knmatch/core/nmatch.h"
 #include "knmatch/core/nmatch_join.h"
+#include "knmatch/diskalgo/btree_ad.h"
 #include "knmatch/eval/selectivity.h"
 #include "knmatch/obs/catalog.h"
 #include "knmatch/obs/trace.h"
+#include "knmatch/storage/ingest.h"
 
 namespace knmatch {
 
@@ -59,12 +63,19 @@ obs::Gauge* BreakerGauge(SimilarityEngine::DiskMethod m) {
   return nullptr;
 }
 
+/// Process-unique cache epochs: every engine instance — and every
+/// dataset generation within one engine (recovery, EndIngest) — gets an
+/// epoch no cached entry has ever been written under.
+uint64_t NextCacheEpoch() {
+  static std::atomic<uint64_t> next_epoch{1};
+  return next_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 SimilarityEngine::SimilarityEngine(Dataset db, DiskConfig config)
     : db_(std::move(db)), config_(config) {
-  static std::atomic<uint64_t> next_epoch{1};
-  cache_epoch_ = next_epoch.fetch_add(1, std::memory_order_relaxed);
+  cache_epoch_ = NextCacheEpoch();
   ResetOnceFlags();
 }
 
@@ -233,9 +244,155 @@ PointId SimilarityEngine::InsertPoint(std::span<const Value> coords,
   return pid;
 }
 
+Status SimilarityEngine::BeginIngest(IngestConfig config) {
+  if (live_ != nullptr) {
+    return Status::FailedPrecondition(
+        "an ingest session is already active; EndIngest() first");
+  }
+  if (db_.dims() == 0) {
+    return Status::FailedPrecondition(
+        "cannot ingest into an empty dataset (dimensionality unknown)");
+  }
+  live_disk_ = std::make_unique<DiskSimulator>(config_);
+  LiveColumnIndex::Config live_config;
+  live_config.group_commit_window = config.group_commit_window;
+  auto live =
+      std::make_unique<LiveColumnIndex>(db_, live_disk_.get(), live_config);
+  live->set_fault_injector(injector_);
+  if (cache_ != nullptr) {
+    // Per-tree listeners translate entry mutations into precise cache
+    // invalidations. The trees buffer notifications until commit
+    // durability, so the cache never evicts for a transaction a crash
+    // could still discard.
+    live_bridge_ = std::make_unique<cache::BTreeCacheBridge>(cache_.get(),
+                                                             db_.dims());
+    for (size_t dim = 0; dim < db_.dims(); ++dim) {
+      live->tree(dim).set_mutation_listener(live_bridge_->ListenerFor(dim));
+    }
+  }
+  live_ = std::move(live);
+  next_ingest_pid_ = static_cast<PointId>(db_.size());
+  return Status::OK();
+}
+
+Status SimilarityEngine::BeginIngest() { return BeginIngest(IngestConfig()); }
+
+Result<PointId> SimilarityEngine::IngestPoint(std::span<const Value> coords) {
+  if (live_ == nullptr) {
+    return Status::FailedPrecondition("no ingest session; BeginIngest() first");
+  }
+  const PointId pid = next_ingest_pid_;
+  Status s = live_->Insert(pid, coords);
+  if (!s.ok()) return s;
+  ++next_ingest_pid_;
+  return pid;
+}
+
+Result<bool> SimilarityEngine::ErasePoint(PointId pid) {
+  if (live_ == nullptr) {
+    return Status::FailedPrecondition("no ingest session; BeginIngest() first");
+  }
+  return live_->Erase(pid);
+}
+
+Status SimilarityEngine::FlushIngest() {
+  if (live_ == nullptr) {
+    return Status::FailedPrecondition("no ingest session; BeginIngest() first");
+  }
+  return live_->Flush();
+}
+
+Status SimilarityEngine::Checkpoint() {
+  if (live_ == nullptr) {
+    return Status::FailedPrecondition("no ingest session; BeginIngest() first");
+  }
+  return live_->Checkpoint();
+}
+
+Status SimilarityEngine::Recover() {
+  if (live_ == nullptr) {
+    return Status::FailedPrecondition("no ingest session; BeginIngest() first");
+  }
+  Status s = live_->Recover();
+  // Entries cached before the crash may reflect transactions recovery
+  // discarded (volatile WAL tail); a fresh epoch makes every one of
+  // them unreachable, whatever recovery concluded.
+  cache_epoch_ = NextCacheEpoch();
+  return s;
+}
+
+Status SimilarityEngine::EndIngest() {
+  if (live_ == nullptr) {
+    return Status::FailedPrecondition("no ingest session; BeginIngest() first");
+  }
+  Status s = live_->Flush();
+  if (!s.ok()) return s;
+  s = live_->Checkpoint();
+  if (!s.ok()) return s;
+
+  // Materialize the committed live rows into a fresh dataset, ids
+  // remapped to 0..n-1 in ascending live-id order. Labels are dropped:
+  // after erases and inserts there is no per-row label assignment that
+  // is both total and faithful to the base labelling.
+  Dataset next;
+  next.set_name(db_.name());
+  for (const PointId pid : live_->LivePids()) {
+    auto coords = live_->CoordsOf(pid);
+    if (!coords.ok()) return coords.status();
+    next.Append(coords.value());
+  }
+  db_ = std::move(next);
+
+  live_.reset();
+  live_bridge_.reset();
+  live_disk_.reset();
+
+  // The id space changed wholesale, so precise invalidation cannot
+  // help: a fresh epoch strands every cached entry, and every derived
+  // structure rebuilds on next use.
+  cache_epoch_ = NextCacheEpoch();
+  ad_.reset();
+  igrid_.reset();
+  disk_.reset();
+  rows_.reset();
+  columns_.reset();
+  va_.reset();
+  advisor_.reset();
+  estimator_.reset();
+  ResetOnceFlags();
+  return Status::OK();
+}
+
+Result<KnMatchResult> SimilarityEngine::LiveKnMatch(
+    std::span<const Value> query, size_t n, size_t k,
+    QueryContext* ctx) const {
+  if (live_ == nullptr) {
+    return Status::FailedPrecondition("no ingest session; BeginIngest() first");
+  }
+  const auto snap = live_->PinSnapshot();
+  SnapshotColumns columns(snap->trees, snap->pid_bound);
+  auto r = SnapshotAdSearcher(columns).KnMatch(query, n, k, ctx);
+  if (ctx != nullptr) ctx->ObserveDeadlineFraction();
+  return r;
+}
+
+Result<FrequentKnMatchResult> SimilarityEngine::LiveFrequentKnMatch(
+    std::span<const Value> query, size_t n0, size_t n1, size_t k,
+    QueryContext* ctx) const {
+  if (live_ == nullptr) {
+    return Status::FailedPrecondition("no ingest session; BeginIngest() first");
+  }
+  const auto snap = live_->PinSnapshot();
+  SnapshotColumns columns(snap->trees, snap->pid_bound);
+  auto r = SnapshotAdSearcher(columns).FrequentKnMatch(query, n0, n1, k, ctx);
+  if (ctx != nullptr) ctx->ObserveDeadlineFraction();
+  return r;
+}
+
 void SimilarityEngine::SetFaultInjector(FaultInjector* injector) {
   injector_ = injector;
   if (disk_ != nullptr) disk_->set_fault_injector(injector_);
+  if (live_ != nullptr) live_->set_fault_injector(injector_);
 }
 
 void SimilarityEngine::ClearFaults() {

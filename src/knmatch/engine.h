@@ -30,6 +30,12 @@
 
 namespace knmatch {
 
+class LiveColumnIndex;
+
+namespace cache {
+class BTreeCacheBridge;
+}  // namespace cache
+
 namespace eval {
 class SelectivityEstimator;
 }  // namespace eval
@@ -169,6 +175,79 @@ class SimilarityEngine {
   /// cache in a future embedding.
   uint64_t cache_epoch() const { return cache_epoch_; }
 
+  // --- Live ingest (crash-consistent streaming mutations) ---
+  //
+  // BeginIngest() opens a durable single-writer session over the
+  // current dataset: one WAL-backed B+-tree per dimension
+  // (LiveColumnIndex). IngestPoint/ErasePoint are then transactional
+  // across all d trees, and LiveKnMatch/LiveFrequentKnMatch answer
+  // from the last durably committed snapshot epoch — safe to call
+  // concurrently with the writer from any thread, bit-identical to a
+  // quiesced engine holding the same committed state. The classic
+  // query paths keep answering over the dataset as of BeginIngest()
+  // until EndIngest() materializes the session.
+  //
+  // Thread-safety: the Live* query methods are thread-safe;
+  // everything else here is writer-side state and requires external
+  // serialization (like InsertPoint).
+
+  struct IngestConfig {
+    /// WAL commits batched per fsync (see LiveColumnIndex::Config).
+    size_t group_commit_window = 1;
+  };
+
+  /// Opens a live-ingest session (its own DiskSimulator; the base
+  /// dataset is bulk-loaded and checkpointed durably). Fails when one
+  /// is already active. When the result cache is enabled, each tree
+  /// gets a cache-invalidation listener whose callbacks fire only
+  /// after commit durability.
+  Status BeginIngest(IngestConfig config);
+  Status BeginIngest();
+
+  /// True between BeginIngest() and EndIngest().
+  bool ingest_active() const { return live_ != nullptr; }
+
+  /// Durably inserts one point into the live session; its id extends
+  /// the id space (base cardinality + inserts so far).
+  Result<PointId> IngestPoint(std::span<const Value> coords);
+
+  /// Durably erases a live point; false when `pid` is not live.
+  Result<bool> ErasePoint(PointId pid);
+
+  /// Syncs and publishes mutations waiting on the group-commit window.
+  Status FlushIngest();
+
+  /// Flushes dirty pages to the checkpoint file and truncates the WAL.
+  Status Checkpoint();
+
+  /// Rebuilds the live session's committed state from its durable
+  /// surfaces after a (simulated) crash, and bumps the cache epoch so
+  /// entries cached before the crash can never serve post-recovery
+  /// answers.
+  Status Recover();
+
+  /// Ends the session: flush + checkpoint, then materializes the
+  /// committed live rows into the engine's dataset (ids remapped to
+  /// 0..n-1 in ascending live-id order; labels are dropped — erases
+  /// make per-row labels ambiguous) and invalidates every derived
+  /// structure, exactly like a bulk rebuild.
+  Status EndIngest();
+
+  /// k-n-match over the last durably committed snapshot epoch.
+  /// Thread-safe; runs concurrently with the single writer.
+  Result<KnMatchResult> LiveKnMatch(std::span<const Value> query, size_t n,
+                                    size_t k,
+                                    QueryContext* ctx = nullptr) const;
+
+  /// Frequent k-n-match over the committed snapshot; as LiveKnMatch.
+  Result<FrequentKnMatchResult> LiveFrequentKnMatch(
+      std::span<const Value> query, size_t n0, size_t n1, size_t k,
+      QueryContext* ctx = nullptr) const;
+
+  /// The live session's index (nullptr when no session is active).
+  /// For the CLI's wal/ingest tooling and tests.
+  LiveColumnIndex* live_index() const { return live_.get(); }
+
   /// Frequent k-n-match against the simulated disk, with the execution
   /// method chosen explicitly or by the cost advisor. The I/O cost of
   /// the run is available from last_disk_cost() afterwards.
@@ -296,6 +375,16 @@ class SimilarityEngine {
   mutable exec::CircuitBreaker breaker_ad_;
   mutable exec::CircuitBreaker breaker_va_;
   FaultInjector* injector_ = nullptr;
+
+  // Live-ingest session state (null when inactive). The session gets
+  // its own simulator so ingest I/O accounting never perturbs the
+  // Disk* methods' counters. Declaration order matters: the trees in
+  // live_ hold raw listener pointers into live_bridge_, so the index
+  // must be destroyed first.
+  std::unique_ptr<DiskSimulator> live_disk_;
+  std::unique_ptr<cache::BTreeCacheBridge> live_bridge_;
+  std::unique_ptr<LiveColumnIndex> live_;
+  PointId next_ingest_pid_ = 0;
 
   // Lazy-builder guards. std::once_flag is not resettable, so each
   // lives behind a unique_ptr that InsertPoint recreates when it

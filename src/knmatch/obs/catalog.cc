@@ -211,6 +211,45 @@ Catalog BuildCatalog() {
       "Batch queries answered by copying the result of an identical "
       "query in the same batch (executed once, fanned out)");
 
+  c.wal_appends = r.GetCounter(
+      "knmatch_wal_appends_total", "",
+      "Write-ahead-log records appended, all record types");
+  c.wal_commits = r.GetCounter(
+      "knmatch_wal_commits_total", "",
+      "Transaction commit records appended to the write-ahead log");
+  c.wal_fsyncs = r.GetCounter(
+      "knmatch_wal_fsyncs_total", "",
+      "Write-ahead-log fsyncs (one per group-commit batch)");
+  c.wal_bytes = r.GetCounter(
+      "knmatch_wal_bytes_total", "",
+      "Framed bytes appended to the write-ahead log");
+  c.wal_checkpoints = r.GetCounter(
+      "knmatch_wal_checkpoints_total", "",
+      "Checkpoint records appended to the write-ahead log");
+  c.ingest_txns = r.GetCounter(
+      "knmatch_ingest_txns_total", "",
+      "Ingest transactions whose commit became durable");
+  c.ingest_pages_flushed = r.GetCounter(
+      "knmatch_ingest_pages_flushed_total", "",
+      "B+-tree page images flushed to the paged file at checkpoints");
+  c.recoveries = r.GetCounter(
+      "knmatch_recoveries_total", "",
+      "Crash-recovery runs (WAL scan + redo replay)");
+  c.recovery_replayed_pages = r.GetCounter(
+      "knmatch_recovery_replayed_pages_total", "",
+      "Committed WAL page images replayed during recovery");
+  c.recovery_discarded_txns = r.GetCounter(
+      "knmatch_recovery_discarded_txns_total", "",
+      "Transactions begun but not durably committed, discarded by "
+      "recovery");
+  c.snapshot_epoch = r.GetGauge(
+      "knmatch_snapshot_epoch", "",
+      "Epoch of the last published live-ingest read snapshot");
+  c.ingest_free_slots = r.GetGauge(
+      "knmatch_ingest_free_slots", "",
+      "Reusable B+-tree node slots tracked by the free-space manager, "
+      "summed over all dimension trees");
+
   const char* kCacheLookupName = "knmatch_cache_lookups_total";
   const char* kCacheLookupHelp =
       "Query result cache lookups, by outcome";

@@ -86,6 +86,21 @@ struct Catalog {
   Gauge* breaker_state_va;
   Histogram* deadline_fraction;  // percent of the deadline consumed
 
+  // --- Write-ahead log + live ingest (storage/wal.h, storage/
+  // ingest.h). ---
+  Counter* wal_appends;        // records appended (all types)
+  Counter* wal_commits;        // commit records appended
+  Counter* wal_fsyncs;         // Sync() calls (group commit batches)
+  Counter* wal_bytes;          // framed bytes appended
+  Counter* wal_checkpoints;    // checkpoint records appended
+  Counter* ingest_txns;        // ingest transactions durably committed
+  Counter* ingest_pages_flushed;     // page images flushed at checkpoint
+  Counter* recoveries;               // Recover() runs
+  Counter* recovery_replayed_pages;  // WAL page images redone
+  Counter* recovery_discarded_txns;  // uncommitted txns dropped
+  Gauge* snapshot_epoch;       // last published read-snapshot epoch
+  Gauge* ingest_free_slots;    // reusable node slots across all trees
+
   // --- Query result cache (cache/query_cache.h). ---
   Counter* cache_hits;
   Counter* cache_misses;

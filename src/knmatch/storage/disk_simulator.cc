@@ -9,12 +9,14 @@
 namespace knmatch {
 
 uint64_t DiskSimulator::AllocatePages(uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
   const uint64_t first = next_page_;
   next_page_ += count;
   return first;
 }
 
 size_t DiskSimulator::OpenStream() {
+  std::lock_guard<std::mutex> lock(mu_);
   stream_last_page_.push_back(0);
   stream_has_pos_.push_back(false);
   stream_buffer_valid_.push_back(false);
@@ -50,9 +52,22 @@ void DiskSimulator::BufferPool::Clear() {
   index.clear();
 }
 
-void DiskSimulator::DropBufferPool() { pool_.Clear(); }
+void DiskSimulator::DropBufferPool() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pool_.Clear();
+}
+
+bool DiskSimulator::IsQuarantined(uint64_t page) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_.contains(page);
+}
 
 void DiskSimulator::QuarantinePage(uint64_t page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QuarantinePageLocked(page);
+}
+
+void DiskSimulator::QuarantinePageLocked(uint64_t page) {
   if (quarantined_.insert(page).second) {
     obs::Cat().quarantines->Add();
     obs::Cat().quarantined_pages->Add(1);
@@ -64,12 +79,16 @@ void DiskSimulator::QuarantinePage(uint64_t page) {
 }
 
 void DiskSimulator::ClearQuarantine() {
+  std::lock_guard<std::mutex> lock(mu_);
   obs::Cat().quarantined_pages->Add(
       -static_cast<int64_t>(quarantined_.size()));
   quarantined_.clear();
 }
 
-void DiskSimulator::EvictPage(uint64_t page) { pool_.Erase(page); }
+void DiskSimulator::EvictPage(uint64_t page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pool_.Erase(page);
+}
 
 void DiskSimulator::SetPosition(size_t stream, uint64_t page,
                                 bool buffer_valid) {
@@ -118,6 +137,12 @@ void DiskSimulator::ChargeAttempt(size_t stream, uint64_t page) {
 
 DiskSimulator::ReadOutcome DiskSimulator::ReadAttempt(size_t stream,
                                                       uint64_t page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ReadAttemptLocked(stream, page);
+}
+
+DiskSimulator::ReadOutcome DiskSimulator::ReadAttemptLocked(
+    size_t stream, uint64_t page) {
   assert(stream < stream_last_page_.size());
   assert(page < next_page_);
   // Re-reading the contents held by the reader's own page buffer:
@@ -179,7 +204,8 @@ void DiskSimulator::RecordRead(size_t stream, uint64_t page) {
 }
 
 Status DiskSimulator::ChargedRead(size_t stream, uint64_t page) {
-  if (IsQuarantined(page)) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (quarantined_.contains(page)) {
     return Status::DataLoss("page " + std::to_string(page) +
                             " is quarantined");
   }
@@ -190,13 +216,13 @@ Status DiskSimulator::ChargedRead(size_t stream, uint64_t page) {
         ++trace->counters().retries;
       }
     }
-    switch (ReadAttempt(stream, page)) {
+    switch (ReadAttemptLocked(stream, page)) {
       case ReadOutcome::kOk:
         return Status::OK();
       case ReadOutcome::kTransientError:
         continue;
       case ReadOutcome::kCorruption:
-        QuarantinePage(page);
+        QuarantinePageLocked(page);
         return Status::DataLoss("page " + std::to_string(page) +
                                 " failed verification; quarantined");
     }
@@ -208,6 +234,7 @@ Status DiskSimulator::ChargedRead(size_t stream, uint64_t page) {
 }
 
 double DiskSimulator::SimulatedIoSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return (static_cast<double>(sequential_reads_) *
               config_.sequential_read_ms +
           static_cast<double>(random_reads_) * config_.random_read_ms) /
@@ -215,6 +242,7 @@ double DiskSimulator::SimulatedIoSeconds() const {
 }
 
 void DiskSimulator::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
   sequential_reads_ = 0;
   random_reads_ = 0;
   failed_reads_ = 0;

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -61,6 +62,13 @@ struct DiskConfig {
 /// pool. Pages whose contents prove unrecoverable are quarantined:
 /// subsequent reads are refused immediately, without charging I/O,
 /// until ClearQuarantine().
+///
+/// Thread safety: all public methods are internally synchronized by
+/// one mutex, so concurrent snapshot readers (the live-ingest engine
+/// runs AD queries against pinned epochs while a writer commits) can
+/// charge I/O on their own streams without data races. The attached
+/// FaultInjector is only ever consulted under that mutex, so it needs
+/// no locking of its own.
 class DiskSimulator {
  public:
   explicit DiskSimulator(DiskConfig config = DiskConfig())
@@ -72,9 +80,13 @@ class DiskSimulator {
   /// Attaches a fault source (nullptr detaches). Not owned; must
   /// outlive the simulator or be detached first.
   void set_fault_injector(FaultInjector* injector) {
+    std::lock_guard<std::mutex> lock(mu_);
     injector_ = injector;
   }
-  FaultInjector* fault_injector() const { return injector_; }
+  FaultInjector* fault_injector() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return injector_;
+  }
 
   /// Allocates `count` fresh page ids (one contiguous run) and returns
   /// the first. Called by files at build time.
@@ -117,14 +129,15 @@ class DiskSimulator {
   static constexpr int kMaxReadAttempts = 3;
 
   /// Quarantine of unrecoverable pages.
-  bool IsQuarantined(uint64_t page) const {
-    return quarantined_.contains(page);
-  }
+  bool IsQuarantined(uint64_t page) const;
   /// Marks `page` unrecoverable and evicts it from the buffer pool.
   void QuarantinePage(uint64_t page);
   /// Lifts every quarantine (after the fault source is cleared).
   void ClearQuarantine();
-  size_t quarantined_pages() const { return quarantined_.size(); }
+  size_t quarantined_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return quarantined_.size();
+  }
 
   /// Evicts `page` from the shared buffer pool (e.g., when its cached
   /// image failed verification).
@@ -132,12 +145,27 @@ class DiskSimulator {
 
   /// Counters. Sequential/random totals include failed attempts — every
   /// physical attempt costs I/O — and failed_reads() tallies them.
-  uint64_t sequential_reads() const { return sequential_reads_; }
-  uint64_t random_reads() const { return random_reads_; }
-  uint64_t total_reads() const { return sequential_reads_ + random_reads_; }
-  uint64_t failed_reads() const { return failed_reads_; }
+  uint64_t sequential_reads() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sequential_reads_;
+  }
+  uint64_t random_reads() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return random_reads_;
+  }
+  uint64_t total_reads() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sequential_reads_ + random_reads_;
+  }
+  uint64_t failed_reads() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return failed_reads_;
+  }
   /// Reads absorbed by the buffer pool (only when configured).
-  uint64_t buffer_hits() const { return buffer_hits_; }
+  uint64_t buffer_hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return buffer_hits_;
+  }
 
   /// Modelled elapsed I/O time, in seconds, for the recorded reads.
   double SimulatedIoSeconds() const;
@@ -158,7 +186,12 @@ class DiskSimulator {
   /// Moves the stream's position to `page` and records whether its
   /// page buffer now holds valid contents.
   void SetPosition(size_t stream, uint64_t page, bool buffer_valid);
+  /// Unsynchronized bodies, called with mu_ held.
+  ReadOutcome ReadAttemptLocked(size_t stream, uint64_t page);
+  void QuarantinePageLocked(uint64_t page);
 
+  /// Guards every member below; public methods lock it on entry.
+  mutable std::mutex mu_;
   DiskConfig config_;
   FaultInjector* injector_ = nullptr;
   uint64_t next_page_ = 0;

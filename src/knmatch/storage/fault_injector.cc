@@ -72,10 +72,30 @@ void FaultInjector::HealPage(uint64_t page) {
   healed_.insert(page);
 }
 
+void FaultInjector::ScheduleCrash(CrashPoint point, uint32_t nth) {
+  crash_schedule_[static_cast<size_t>(point)] = nth;
+}
+
+bool FaultInjector::ShouldCrash(CrashPoint point) {
+  uint32_t& remaining = crash_schedule_[static_cast<size_t>(point)];
+  if (remaining == 0) return false;
+  if (--remaining > 0) return false;
+  ++crashes_delivered_;
+  return true;
+}
+
+bool FaultInjector::HasScheduledCrash() const {
+  for (const uint32_t n : crash_schedule_) {
+    if (n != 0) return true;
+  }
+  return false;
+}
+
 void FaultInjector::Clear() {
   scripted_failures_.clear();
   scripted_corrupt_.clear();
   healed_.clear();
+  crash_schedule_.fill(0);
   config_.transient_error_rate = 0.0;
   config_.corruption_rate = 0.0;
 }

@@ -1,6 +1,8 @@
 #ifndef KNMATCH_STORAGE_FAULT_INJECTOR_H_
 #define KNMATCH_STORAGE_FAULT_INJECTOR_H_
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
@@ -40,6 +42,23 @@ class FaultInjector {
     kCorruption,      // a full page transferred, contents damaged
   };
 
+  /// Kill points of the live-ingest write path (storage/ingest.h).
+  /// The writer consults ShouldCrash() at each boundary; a scheduled
+  /// crash makes it fail-stop there, leaving exactly the durable state
+  /// a power loss at that instant would leave. The crash-matrix test
+  /// proves every point recovers to a bit-identical pre- or
+  /// post-transaction state.
+  enum class CrashPoint : uint8_t {
+    kAfterWalAppend = 0,  // txn's page images logged, commit record not
+    kAfterCommitAppend,   // commit record appended but not fsynced
+    kMidFsync,            // fsync advanced the durable mark part-way
+    kAfterFsync,          // commit durable; nothing flushed/published
+    kMidPageFlush,        // checkpoint tore one flushed page image
+    kAfterPageFlush,      // pages flushed; checkpoint record not logged
+    kMidCheckpoint,       // checkpoint record durable, WAL not truncated
+  };
+  static constexpr size_t kNumCrashPoints = 7;
+
   FaultInjector() = default;
   explicit FaultInjector(const Config& config) : config_(config) {}
 
@@ -61,8 +80,24 @@ class FaultInjector {
   /// corruption of it.
   void HealPage(uint64_t page);
 
-  /// Drops every scripted fault, every healed-page mask, and both
-  /// randomized rates: the disk is healthy from now on.
+  /// Schedules a fail-stop crash at the `nth` future arrival at
+  /// `point` (1 = the very next one). At most one schedule per point;
+  /// re-scheduling replaces it.
+  void ScheduleCrash(CrashPoint point, uint32_t nth = 1);
+
+  /// Consulted by the ingest writer at each kill point: decrements the
+  /// schedule for `point` and returns true when it hits zero (crash
+  /// now). Unscheduled points always return false.
+  bool ShouldCrash(CrashPoint point);
+
+  /// True when any crash schedule is still armed.
+  bool HasScheduledCrash() const;
+
+  uint64_t crashes_delivered() const { return crashes_delivered_; }
+
+  /// Drops every scripted fault, every healed-page mask, every crash
+  /// schedule, and both randomized rates: the disk is healthy from now
+  /// on.
   void Clear();
 
   /// Totals of injected faults, for diagnostics and tests.
@@ -83,6 +118,9 @@ class FaultInjector {
   std::unordered_map<uint64_t, uint64_t> attempts_;
   uint64_t transient_faults_injected_ = 0;
   uint64_t corruptions_injected_ = 0;
+  /// Per-point countdown; 0 = unarmed.
+  std::array<uint32_t, kNumCrashPoints> crash_schedule_{};
+  uint64_t crashes_delivered_ = 0;
 };
 
 }  // namespace knmatch

@@ -1,0 +1,23 @@
+#include "knmatch/storage/free_space.h"
+
+namespace knmatch {
+
+void FreeSpaceManager::Free(uint64_t id) { free_.insert(id); }
+
+std::optional<uint64_t> FreeSpaceManager::Acquire() {
+  if (free_.empty()) return std::nullopt;
+  const uint64_t id = *free_.begin();
+  free_.erase(free_.begin());
+  return id;
+}
+
+std::vector<uint64_t> FreeSpaceManager::ToSortedList() const {
+  return std::vector<uint64_t>(free_.begin(), free_.end());
+}
+
+void FreeSpaceManager::Restore(const std::vector<uint64_t>& ids) {
+  free_.clear();
+  free_.insert(ids.begin(), ids.end());
+}
+
+}  // namespace knmatch

@@ -1,0 +1,49 @@
+#ifndef KNMATCH_STORAGE_FREE_SPACE_H_
+#define KNMATCH_STORAGE_FREE_SPACE_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace knmatch {
+
+/// Tracks reusable page slots freed by lazy erases so that later
+/// allocations fill holes instead of growing the file — the
+/// free-space-manager half of the ingest engine's storage layer (the
+/// WAL is the other half; see storage/wal.h).
+///
+/// Keys are opaque page/slot ids owned by the caller (the B+-tree uses
+/// its node-slot indices). Acquisition order is deterministic —
+/// always the smallest free id — so a mutation history replays to an
+/// identical physical layout, which the crash-recovery tests rely on.
+///
+/// Not thread-safe; owned and serialized by the structure it serves.
+class FreeSpaceManager {
+ public:
+  /// Marks `id` reusable. Freeing an id twice is a no-op (idempotent,
+  /// so a redo-recovered free list can be re-applied safely).
+  void Free(uint64_t id);
+
+  /// Takes the smallest free id, or nullopt when none is free (the
+  /// caller should then extend the file).
+  std::optional<uint64_t> Acquire();
+
+  bool is_free(uint64_t id) const { return free_.contains(id); }
+  size_t free_count() const { return free_.size(); }
+
+  /// The free ids in ascending order (for meta-page serialization).
+  std::vector<uint64_t> ToSortedList() const;
+
+  /// Replaces the free set (recovery from a deserialized meta page).
+  void Restore(const std::vector<uint64_t>& ids);
+
+  void Clear() { free_.clear(); }
+
+ private:
+  std::set<uint64_t> free_;
+};
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_STORAGE_FREE_SPACE_H_

@@ -1,0 +1,301 @@
+#ifndef KNMATCH_STORAGE_INGEST_H_
+#define KNMATCH_STORAGE_INGEST_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "knmatch/common/dataset.h"
+#include "knmatch/common/status.h"
+#include "knmatch/storage/bplus_tree.h"
+#include "knmatch/storage/fault_injector.h"
+#include "knmatch/storage/paged_file.h"
+#include "knmatch/storage/wal.h"
+
+namespace knmatch {
+
+/// One committed mutation of the live column index. Erases carry the
+/// erased coordinates too (recovery replays ops against the trees'
+/// row bookkeeping without consulting the base dataset's column
+/// values).
+struct RowOp {
+  bool insert = true;
+  PointId pid = 0;
+  /// Global op sequence number, assigned at log time. Serialized into
+  /// both the WAL row record and the checkpoint row pages so recovery
+  /// can merge the two sources without double-applying an op (a crash
+  /// between the row-page flush and the log truncation leaves the same
+  /// ops durable in both).
+  uint64_t seq = 0;
+  std::vector<Value> coords;
+};
+
+/// Crash-consistent live ingest over the per-dimension B+-trees: the
+/// single-writer coordinator that makes InsertPoint/ErasePoint durable
+/// and lets queries run concurrently with the writer.
+///
+/// ## Transaction protocol
+/// A point mutation is ONE logical transaction across all d trees:
+///
+///   1. Mutate the d trees in memory (copy-on-write against the last
+///      published snapshot; MutationListener callbacks buffered).
+///   2. WAL: Begin, a full page image of every node slot the mutation
+///      dirtied (plus each touched tree's meta page), one logical row
+///      record, Commit.
+///   3. When the group-commit window fills (or Flush()/Checkpoint()
+///      is called): one Sync() makes the whole batch durable, then —
+///      and only then — the buffered cache notifications fire, the
+///      ops enter the committed tail, and a new snapshot epoch is
+///      published for readers.
+///
+/// A crash before the commit record is durable loses the transaction
+/// entirely (redo-only recovery discards it); after, recovery replays
+/// it into all d trees. There is no state in between — the recovery
+/// matrix test drives a kill at every boundary and checks exactly
+/// this.
+///
+/// ## Durability surfaces
+/// The durable state is (a) the checkpoint file — a PagedFile of
+/// CRC-framed page images, each prefixed with its 64-bit page key —
+/// and (b) the WAL's durable prefix. Checkpoint() flushes every page
+/// dirtied since the previous checkpoint, appends row pages for the
+/// committed ops since then, then appends + syncs a checkpoint record
+/// and truncates the log up to it. Pages already flushed by an older
+/// checkpoint are never rewritten unless re-dirtied, so any page a
+/// crash can tear is still covered by an untruncated WAL image.
+///
+/// ## Snapshot reads
+/// PinSnapshot() hands out the last *durably committed* state as
+/// frozen per-dimension BPlusTree::Snapshots — readers on any thread
+/// traverse them lock-free (I/O charging goes through the thread-safe
+/// DiskSimulator) while the writer keeps mutating copy-on-write.
+/// Answers over a pinned snapshot are bit-identical to a quiesced
+/// engine holding the same committed state.
+///
+/// ## Crash simulation
+/// A FaultInjector schedule (FaultInjector::ScheduleCrash) kills the
+/// writer at WAL/fsync/flush/checkpoint boundaries: the in-memory
+/// state is failstopped (crashed() == true, every mutation refused)
+/// and the durable surfaces are left exactly as a power loss would —
+/// volatile WAL tail gone, torn record at a mid-fsync edge, torn page
+/// at a mid-flush kill. Recover() rebuilds the trees from the
+/// checkpoint file plus the WAL redo records, verifies invariants,
+/// re-checkpoints, and re-opens for business.
+///
+/// Thread-safety: mutations, Checkpoint(), and Recover() are
+/// single-writer (external serialization); PinSnapshot(), epoch(),
+/// and the stats accessors are safe from any thread.
+class LiveColumnIndex {
+ public:
+  struct Config {
+    /// Commits batched per WAL fsync (1 = every commit durable
+    /// immediately; larger windows trade commit latency for fewer
+    /// fsyncs — ops stay unpublished until the batch syncs).
+    size_t group_commit_window = 1;
+  };
+
+  /// The frozen read view: one B+-tree snapshot per dimension plus the
+  /// epoch and live cardinality they represent.
+  struct ColumnSnapshot {
+    std::vector<BPlusTree::Snapshot> trees;
+    uint64_t epoch = 0;
+    size_t size = 0;
+    /// Exclusive upper bound on every pid in the trees. Erases make the
+    /// live pid space sparse, so this can exceed `size`; pass it to
+    /// SnapshotColumns so AD searches size their appearance tables for
+    /// the id range, not the cardinality.
+    size_t pid_bound = 0;
+  };
+
+  /// Fires after a batch of ops becomes durable and published — the
+  /// engine's hook for post-commit cache invalidation.
+  using CommitCallback = std::function<void(std::span<const RowOp>)>;
+
+  /// Builds the live index over `base` on `disk`: bulk loads one tree
+  /// per dimension, then writes the initial full checkpoint so every
+  /// tree is durably recoverable from the start. `base` is copied
+  /// (coordinates only); the simulator must outlive the index.
+  LiveColumnIndex(const Dataset& base, DiskSimulator* disk,
+                  Config config);
+  LiveColumnIndex(const Dataset& base, DiskSimulator* disk);
+
+  LiveColumnIndex(const LiveColumnIndex&) = delete;
+  LiveColumnIndex& operator=(const LiveColumnIndex&) = delete;
+
+  size_t dims() const { return trees_.size(); }
+  /// Committed live cardinality (base + inserts - erases, published).
+  size_t live_size() const;
+  /// Current published snapshot epoch (starts at 1).
+  uint64_t epoch() const;
+  /// True after a (simulated) crash: every mutation is refused with
+  /// kFailedPrecondition until Recover().
+  bool crashed() const { return crashed_; }
+
+  /// Inserts a point with explicit id `pid` (must not be live) into
+  /// all d trees as one WAL transaction. With a group-commit window
+  /// of 1 the op is durable and published on return; otherwise it is
+  /// applied but unpublished until the window fills or Flush().
+  Status Insert(PointId pid, std::span<const Value> coords);
+
+  /// Erases the live point `pid` from all d trees as one WAL
+  /// transaction; returns false (no transaction) when not live.
+  /// Durability semantics as Insert.
+  Result<bool> Erase(PointId pid);
+
+  /// Syncs and publishes any ops waiting on the group-commit window.
+  Status Flush();
+
+  /// Flush + flush dirty pages to the checkpoint file + truncate the
+  /// WAL. The recovery working set resets to (checkpoint file, empty
+  /// log).
+  Status Checkpoint();
+
+  /// Rebuilds the committed state from the durable surfaces after a
+  /// crash: checkpoint-file pages (torn ones skipped), then the WAL's
+  /// committed redo records in LSN order (idempotent — a later image
+  /// of the same page wins). Ends with a fresh full checkpoint and a
+  /// new published epoch. Also callable when healthy (it then simply
+  /// proves the durable state matches).
+  Status Recover();
+
+  /// The last durably published state. Thread-safe; cheap (shared_ptr
+  /// copy). The snapshot stays valid for as long as the caller holds
+  /// it, regardless of writer progress.
+  std::shared_ptr<const ColumnSnapshot> PinSnapshot() const;
+
+  /// Coordinates of a live point (committed or applied-but-pending),
+  /// or kNotFound.
+  Result<std::vector<Value>> CoordsOf(PointId pid) const;
+
+  /// Applied live point ids, sorted ascending. Equals the committed
+  /// live set whenever no ops are pending (e.g. right after Flush()).
+  std::vector<PointId> LivePids() const;
+
+  /// The committed (value, pid) column of dimension `dim`, sorted —
+  /// what a quiesced bulk load of the live rows would contain. For
+  /// differential tests; O(n log n).
+  std::vector<ColumnEntry> CommittedColumn(size_t dim) const;
+
+  /// All committed ops since construction, in commit order.
+  std::span<const RowOp> committed_ops() const { return ops_tail_; }
+
+  /// Post-commit hook (see CommitCallback). Single-writer state.
+  void set_commit_callback(CommitCallback cb) {
+    commit_callback_ = std::move(cb);
+  }
+
+  /// Registers the crash-point schedule source (nullptr to detach).
+  void set_fault_injector(FaultInjector* injector) {
+    injector_ = injector;
+  }
+
+  /// The dimension-`dim` tree (listener wiring and tests; mutations
+  /// remain the index's business).
+  BPlusTree& tree(size_t dim) { return *trees_[dim]; }
+  const BPlusTree& tree(size_t dim) const { return *trees_[dim]; }
+
+  const WriteAheadLog& wal() const { return wal_; }
+  /// Reusable node slots across all dimension trees.
+  size_t free_slots() const;
+  /// Pages in the checkpoint file.
+  size_t checkpoint_pages() const { return file_.num_pages(); }
+  /// Ops applied to the trees but not yet durable (group window).
+  size_t pending_ops() const { return pending_.size(); }
+
+ private:
+  /// Page-key space: tree node pages are dim * 2^32 + slot, each
+  /// tree's meta page is dim * 2^32 + 0xFFFFFFFF, and committed-op row
+  /// pages live under the top bit with an append-only sequence number.
+  static constexpr uint64_t kMetaSlot = 0xFFFFFFFFull;
+  static constexpr uint64_t kRowSpace = 0x8000000000000000ull;
+  static uint64_t NodeKey(size_t dim, uint32_t slot) {
+    return (static_cast<uint64_t>(dim) << 32) | slot;
+  }
+  static uint64_t MetaKey(size_t dim) {
+    return (static_cast<uint64_t>(dim) << 32) | kMetaSlot;
+  }
+
+  /// Consults the injector for a scheduled kill at `point`.
+  bool ShouldCrash(FaultInjector::CrashPoint point);
+  /// Failstop: refuse all further mutations until Recover().
+  Status Crashed(const char* where);
+
+  /// Steps 1+2 of the protocol for one op (trees already mutated by
+  /// the caller): WAL-log dirty page images + the row record + commit;
+  /// sync when the window fills.
+  Status LogAndMaybeSync(RowOp op);
+  /// Sync the WAL (kMidFsync / kAfterFsync kill points) and publish
+  /// every pending op.
+  Status SyncGroup();
+  /// Deliver buffered notifications, extend the committed tail, bump
+  /// the epoch, publish a fresh snapshot, fire the commit callback.
+  void Publish();
+  /// Rebuilds and publishes the snapshot from the current tree state.
+  void PublishSnapshot();
+
+  /// Writes `image` under `key` into the checkpoint file (kMidPageFlush
+  /// / kAfterPageFlush kill points honored unless `during_recovery`).
+  Status FlushPage(uint64_t key, std::span<const std::byte> image,
+                   bool during_recovery);
+  /// Flushes dirty tree pages + new row pages + checkpoint record.
+  Status CheckpointInternal(bool during_recovery);
+
+  /// Serialized row-op forms (WAL payloads and row-page rows).
+  static std::vector<std::byte> SerializeOp(const RowOp& op);
+  static Status ParseOp(std::span<const std::byte> in, size_t* offset,
+                        RowOp* out);
+
+  DiskSimulator* disk_;
+  Config config_;
+  size_t dims_ = 0;
+  std::vector<std::unique_ptr<BPlusTree>> trees_;
+  WriteAheadLog wal_;
+  PagedFile file_;
+  /// page key -> index in file_ (rebuilt on recovery).
+  std::unordered_map<uint64_t, size_t> page_index_;
+  /// Row pages are append-only; next sequence number.
+  uint64_t next_row_page_ = 0;
+
+  /// Base coordinates (flat, row-major) — the pre-ingest dataset.
+  std::vector<Value> base_flat_;
+  size_t base_size_ = 0;
+  /// Applied overlay (committed + pending): inserted coords / erased
+  /// pids. Single-writer state, read by the writer only.
+  std::unordered_map<PointId, std::vector<Value>> inserted_;
+  std::unordered_set<PointId> erased_;
+
+  /// Applied live cardinality (== committed at every publish point).
+  size_t live_count_ = 0;
+  /// Exclusive upper bound on every pid ever applied (monotonic within
+  /// an era; recomputed from committed state by Recover()).
+  size_t pid_bound_ = 0;
+  /// Next op sequence number (stamps RowOp::seq at log time; restored
+  /// to max committed seq + 1 by Recover()).
+  uint64_t next_op_seq_ = 1;
+  /// Committed ops in order; ops_flushed_ of them are in row pages.
+  std::vector<RowOp> ops_tail_;
+  size_t ops_flushed_ = 0;
+  /// Applied but not yet durable (awaiting the group window).
+  std::vector<RowOp> pending_;
+  /// Page keys dirtied since the last checkpoint (includes metas).
+  std::unordered_set<uint64_t> dirty_since_checkpoint_;
+
+  bool crashed_ = false;
+  FaultInjector* injector_ = nullptr;
+  CommitCallback commit_callback_;
+
+  /// The published snapshot; mu_ guards the pointer swap/read only.
+  mutable std::mutex mu_;
+  std::shared_ptr<const ColumnSnapshot> snapshot_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_STORAGE_INGEST_H_

@@ -14,19 +14,50 @@ PagedFile::PagedFile(DiskSimulator* disk)
 size_t PagedFile::AppendPage(std::span<const std::byte> payload) {
   assert(payload.size() <= payload_capacity() &&
          "payload exceeds the framed page capacity");
-  // Keep the file's pages contiguous in the global page space: allocate
-  // them from the simulator one at a time; because no other allocation
-  // interleaves during a build, the run stays contiguous. The first
-  // allocation records the base.
+  // Pages are allocated from the simulator one at a time. Bulk builds
+  // (nothing else allocating) get a contiguous run; a live-ingest file
+  // growing while other files allocate records each page's global id.
   const uint64_t global = disk_->AllocatePages(1);
   if (pages_.empty()) {
     first_global_page_ = global;
   }
-  assert(global == first_global_page_ + pages_.size() &&
-         "file pages must be contiguous; do not interleave builds");
   pages_.push_back(FrameChecksummedPage(payload, page_size_));
+  global_of_.push_back(global);
   verified_.push_back(false);
   return pages_.size() - 1;
+}
+
+void PagedFile::WritePage(size_t index,
+                          std::span<const std::byte> payload) {
+  assert(index < pages_.size());
+  assert(payload.size() <= payload_capacity() &&
+         "payload exceeds the framed page capacity");
+  pages_[index] = FrameChecksummedPage(payload, page_size_);
+  verified_[index] = false;
+  // The pool may hold the old image; the head position is untouched
+  // (writes are not I/O-modelled).
+  disk_->EvictPage(global_of_[index]);
+}
+
+void PagedFile::WritePageTorn(size_t index,
+                              std::span<const std::byte> payload,
+                              size_t valid_bytes) {
+  assert(payload.size() <= payload_capacity());
+  std::vector<std::byte> frame = FrameChecksummedPage(payload, page_size_);
+  if (valid_bytes >= frame.size()) valid_bytes = frame.size() - 1;
+  if (index == pages_.size()) {
+    const uint64_t global = disk_->AllocatePages(1);
+    if (pages_.empty()) first_global_page_ = global;
+    pages_.emplace_back(page_size_, std::byte{0});
+    global_of_.push_back(global);
+    verified_.push_back(false);
+  }
+  assert(index < pages_.size());
+  // Old image keeps its tail; only the first valid_bytes of the new
+  // frame landed before the crash.
+  std::memcpy(pages_[index].data(), frame.data(), valid_bytes);
+  verified_[index] = false;
+  disk_->EvictPage(global_of_[index]);
 }
 
 Result<std::span<const std::byte>> PagedFile::VerifyStored(
@@ -57,7 +88,7 @@ Result<std::span<const std::byte>> PagedFile::ReadPage(
                               " >= file size " +
                               std::to_string(pages_.size()));
   }
-  const uint64_t global = first_global_page_ + index;
+  const uint64_t global = global_of_[index];
   if (disk_->IsQuarantined(global)) {
     return Status::DataLoss("page " + std::to_string(global) +
                             " is quarantined");

@@ -50,11 +50,27 @@ class PagedFile {
   size_t num_pages() const { return pages_.size(); }
   /// Global page id of this file's first page.
   uint64_t first_global_page() const { return first_global_page_; }
+  /// Global page id of page `index`. Bulk-built files have contiguous
+  /// runs (first_global_page() + index); files that keep growing while
+  /// other files allocate (the live-ingest WAL era) may not.
+  uint64_t global_page(size_t index) const { return global_of_[index]; }
 
   /// Appends a page holding `payload` (at most payload_capacity()
   /// bytes; asserted). Returns the new page's index within this file.
   /// Writes are a build-time operation and are not I/O-accounted.
   size_t AppendPage(std::span<const std::byte> payload);
+
+  /// Overwrites page `index` in place with a freshly framed `payload`
+  /// (write-time I/O is not modelled, matching AppendPage). Clears the
+  /// cached verification verdict.
+  void WritePage(size_t index, std::span<const std::byte> payload);
+
+  /// Crash simulation: an overwrite (append when `index` ==
+  /// num_pages()) interrupted part-way. The stored image gets the
+  /// first `valid_bytes` of the new frame and keeps/zero-fills the
+  /// rest, so its CRC no longer matches — exactly a torn page write.
+  void WritePageTorn(size_t index, std::span<const std::byte> payload,
+                     size_t valid_bytes);
 
   /// Reads page `index`, charging the access to `stream`, and returns
   /// the verified payload (its exact appended length). Fails with
@@ -85,6 +101,9 @@ class PagedFile {
   size_t page_size_;
   uint64_t first_global_page_ = 0;
   std::vector<std::vector<std::byte>> pages_;
+  /// Per-page global ids (contiguous for bulk-built files, but live
+  /// ingest interleaves allocations across files).
+  std::vector<uint64_t> global_of_;
   /// Per-page memo of a passed at-rest verification.
   mutable std::vector<bool> verified_;
 };

@@ -1,0 +1,186 @@
+#ifndef KNMATCH_STORAGE_WAL_H_
+#define KNMATCH_STORAGE_WAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "knmatch/common/status.h"
+
+namespace knmatch {
+
+/// Write-ahead log for the live-ingest engine: redo-only, physical
+/// (full page images), with group-commit fsync batching.
+///
+/// One logical transaction covers a whole multi-dimension insert or
+/// erase — the page images of every B+-tree the mutation touched plus
+/// one row record — so after a crash either all 2d trees reflect the
+/// point or none does.
+///
+/// Record framing reuses the page_codec CRC32 convention so a torn
+/// tail (a crash mid-fsync) is detected the same way a torn page is:
+///
+///   +----------------+------------------------------------+----------+
+///   | body len (u32) | body                               | CRC32    |
+///   +----------------+------------------------------------+----------+
+///                    | type u8 | lsn u64 | txn u64 |
+///                    | page u64 | payload ...        |
+///   CRC32 (page_codec Crc32) covers the body only.
+///
+/// Durability model: the log is a byte vector; Sync() plays the role
+/// of fsync and advances the durable prefix to the current size.
+/// Everything past the durable prefix is the volatile tail a real OS
+/// would lose on power failure — crash simulation calls
+/// LoseVolatileTail() to drop it, and SyncPartial() models a crash
+/// mid-fsync by advancing the durable mark only part-way, leaving a
+/// torn record at the durable edge for recovery to detect.
+///
+/// Group commit: AppendCommit() does not sync; it reports when the
+/// configured window of unsynced commits is full and the caller
+/// should Sync() once for the whole batch. A transaction is committed
+/// *for recovery purposes* only when its commit record lies wholly
+/// inside the durable prefix.
+///
+/// Not thread-safe: owned by the single writer (LiveColumnIndex).
+class WriteAheadLog {
+ public:
+  struct Config {
+    /// Commits batched per fsync. 1 = sync every commit (no batching).
+    size_t group_commit_window = 1;
+    /// Upper bound on a record payload, used as a sanity bound when
+    /// scanning a possibly-torn log image.
+    size_t max_record_payload = 1 << 20;
+  };
+
+  enum class RecordType : uint8_t {
+    kBegin = 1,
+    kPageImage = 2,  // page = page key, payload = full page image
+    kRowInsert = 3,  // payload = serialized row
+    kRowErase = 4,   // payload = serialized row key
+    kCommit = 5,
+    kCheckpoint = 6,
+  };
+
+  struct Record {
+    RecordType type = RecordType::kBegin;
+    uint64_t lsn = 0;
+    uint64_t txn = 0;
+    uint64_t page = 0;
+    std::vector<std::byte> payload;
+  };
+
+  struct Stats {
+    uint64_t appends = 0;
+    uint64_t commits = 0;
+    uint64_t fsyncs = 0;
+    uint64_t bytes_appended = 0;
+    uint64_t checkpoints = 0;
+    uint64_t truncations = 0;
+    size_t log_bytes = 0;      // durable prefix + volatile tail
+    size_t durable_bytes = 0;  // fsynced prefix
+    size_t pending_commits = 0;
+    uint64_t next_lsn = 1;
+  };
+
+  struct CommitTicket {
+    uint64_t lsn = 0;
+    /// True when this commit filled the group-commit window: the
+    /// caller should Sync() now and publish the whole batch.
+    bool group_full = false;
+  };
+
+  /// Outcome of a recovery scan: the redo records of committed
+  /// transactions, in LSN order.
+  struct RecoveryResult {
+    std::vector<Record> committed;  // kPageImage / kRowInsert / kRowErase
+    uint64_t committed_txns = 0;
+    uint64_t discarded_txns = 0;  // begun but not durably committed
+    bool torn_tail = false;       // scan stopped at a damaged frame
+    uint64_t max_lsn = 0;
+  };
+
+  WriteAheadLog() = default;
+  explicit WriteAheadLog(Config config) : config_(config) {}
+
+  const Config& config() const { return config_; }
+
+  /// Starts a transaction: appends a kBegin record, returns the txn id.
+  uint64_t Begin();
+
+  /// Appends a full after-image of `page` (an opaque page key owned by
+  /// the caller) mutated by `txn`. Returns the record's LSN.
+  uint64_t AppendPageImage(uint64_t txn, uint64_t page,
+                           std::span<const std::byte> image);
+
+  /// Appends a logical row record (insert or erase) for `txn`.
+  uint64_t AppendRow(RecordType type, uint64_t txn,
+                     std::span<const std::byte> row);
+
+  /// Appends the commit record. Does NOT sync — see group commit above.
+  CommitTicket AppendCommit(uint64_t txn);
+
+  /// Appends a checkpoint marker (callers Sync() and then truncate).
+  uint64_t AppendCheckpoint();
+
+  /// fsync: everything appended so far becomes durable.
+  void Sync();
+
+  /// Crash simulation: a sync interrupted part-way. Advances the
+  /// durable mark by at most `bytes` into the volatile tail, tearing
+  /// whatever record straddles the new durable edge.
+  void SyncPartial(size_t bytes);
+
+  /// Crash simulation: drops the volatile (un-fsynced) tail, exactly
+  /// what power loss does to page-cache-buffered log writes.
+  void LoseVolatileTail();
+
+  /// Drops the durable prefix that precedes the last durable
+  /// checkpoint record (the record itself is kept as a marker).
+  /// No-op (kNotFound) when no checkpoint record is durable.
+  Status TruncateToLastCheckpoint();
+
+  /// Discards the whole log — durable prefix, volatile tail, torn
+  /// records — and starts a fresh LSN sequence. Only valid once the
+  /// caller has made every committed state durable elsewhere (the
+  /// post-recovery full checkpoint). Lifetime counters are kept.
+  void Reset();
+
+  /// Scans the durable image and returns the redo records of committed
+  /// transactions, in LSN order; stops at the first torn/corrupt frame.
+  RecoveryResult Recover() const;
+
+  std::span<const std::byte> DurableImage() const {
+    return std::span<const std::byte>(log_.data(), durable_size_);
+  }
+
+  size_t pending_commits() const { return pending_commits_; }
+  Stats stats() const;
+
+ private:
+  uint64_t Append(RecordType type, uint64_t txn, uint64_t page,
+                  std::span<const std::byte> payload);
+
+  /// Parses every intact frame in `image` (stopping at the first
+  /// damaged one) into `out`; returns whether the tail was torn.
+  bool ScanImage(std::span<const std::byte> image,
+                 std::vector<Record>* out) const;
+
+  Config config_;
+  std::vector<std::byte> log_;
+  size_t durable_size_ = 0;
+  uint64_t next_lsn_ = 1;
+  uint64_t next_txn_ = 1;
+  size_t pending_commits_ = 0;
+
+  uint64_t appends_ = 0;
+  uint64_t commits_ = 0;
+  uint64_t fsyncs_ = 0;
+  uint64_t bytes_appended_ = 0;
+  uint64_t checkpoints_ = 0;
+  uint64_t truncations_ = 0;
+};
+
+}  // namespace knmatch
+
+#endif  // KNMATCH_STORAGE_WAL_H_

@@ -1,0 +1,189 @@
+#include "knmatch/storage/wal.h"
+
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "knmatch/storage/free_space.h"
+#include "status_matchers.h"
+
+namespace knmatch {
+namespace {
+
+std::vector<std::byte> Bytes(std::string_view s) {
+  std::vector<std::byte> out(s.size());
+  for (size_t i = 0; i < s.size(); ++i) out[i] = std::byte(s[i]);
+  return out;
+}
+
+TEST(FreeSpaceTest, AcquireReturnsSmallestFirst) {
+  FreeSpaceManager fsm;
+  fsm.Free(7);
+  fsm.Free(2);
+  fsm.Free(11);
+  EXPECT_EQ(fsm.free_count(), 3u);
+  EXPECT_EQ(fsm.Acquire().value(), 2u);
+  EXPECT_EQ(fsm.Acquire().value(), 7u);
+  EXPECT_EQ(fsm.Acquire().value(), 11u);
+  EXPECT_FALSE(fsm.Acquire().has_value());
+}
+
+TEST(FreeSpaceTest, DoubleFreeIsIdempotent) {
+  FreeSpaceManager fsm;
+  fsm.Free(3);
+  fsm.Free(3);
+  EXPECT_EQ(fsm.free_count(), 1u);
+  EXPECT_TRUE(fsm.is_free(3));
+  EXPECT_FALSE(fsm.is_free(4));
+}
+
+TEST(FreeSpaceTest, RestoreRoundTripsSortedList) {
+  FreeSpaceManager fsm;
+  fsm.Free(9);
+  fsm.Free(1);
+  fsm.Free(5);
+  const std::vector<uint64_t> list = fsm.ToSortedList();
+  EXPECT_EQ(list, (std::vector<uint64_t>{1, 5, 9}));
+
+  FreeSpaceManager other;
+  other.Restore(list);
+  EXPECT_EQ(other.ToSortedList(), list);
+  EXPECT_EQ(other.Acquire().value(), 1u);
+}
+
+TEST(WalTest, EmptyLogRecoversNothing) {
+  WriteAheadLog wal;
+  const auto rr = wal.Recover();
+  EXPECT_TRUE(rr.committed.empty());
+  EXPECT_EQ(rr.committed_txns, 0u);
+  EXPECT_EQ(rr.discarded_txns, 0u);
+  EXPECT_FALSE(rr.torn_tail);
+}
+
+TEST(WalTest, CommittedTransactionRecoversInLsnOrder) {
+  WriteAheadLog wal;
+  const uint64_t txn = wal.Begin();
+  wal.AppendPageImage(txn, 42, Bytes("page-image"));
+  wal.AppendRow(WriteAheadLog::RecordType::kRowInsert, txn, Bytes("row"));
+  const auto ticket = wal.AppendCommit(txn);
+  EXPECT_TRUE(ticket.group_full);  // window defaults to 1
+  wal.Sync();
+
+  const auto rr = wal.Recover();
+  EXPECT_EQ(rr.committed_txns, 1u);
+  EXPECT_EQ(rr.discarded_txns, 0u);
+  ASSERT_EQ(rr.committed.size(), 2u);
+  EXPECT_EQ(rr.committed[0].type, WriteAheadLog::RecordType::kPageImage);
+  EXPECT_EQ(rr.committed[0].page, 42u);
+  EXPECT_EQ(rr.committed[0].payload, Bytes("page-image"));
+  EXPECT_EQ(rr.committed[1].type, WriteAheadLog::RecordType::kRowInsert);
+  EXPECT_LT(rr.committed[0].lsn, rr.committed[1].lsn);
+}
+
+TEST(WalTest, PowerLossDropsTheVolatileTail) {
+  WriteAheadLog wal;
+  const uint64_t t1 = wal.Begin();
+  wal.AppendPageImage(t1, 1, Bytes("a"));
+  wal.AppendCommit(t1);
+  wal.Sync();
+
+  // The second transaction's body is synced but its commit is not:
+  // recovery must discard it.
+  const uint64_t t2 = wal.Begin();
+  wal.AppendPageImage(t2, 2, Bytes("b"));
+  wal.Sync();
+  wal.AppendCommit(t2);
+  wal.LoseVolatileTail();
+
+  const auto rr = wal.Recover();
+  EXPECT_EQ(rr.committed_txns, 1u);
+  EXPECT_EQ(rr.discarded_txns, 1u);
+  ASSERT_EQ(rr.committed.size(), 1u);
+  EXPECT_EQ(rr.committed[0].page, 1u);
+}
+
+TEST(WalTest, MidFsyncTearsTheLastRecord) {
+  WriteAheadLog wal;
+  const uint64_t txn = wal.Begin();
+  wal.AppendPageImage(txn, 5, Bytes("image"));
+  wal.AppendCommit(txn);
+  const auto before = wal.stats();
+  // All but the final CRC word reaches the platter.
+  wal.SyncPartial(before.log_bytes - before.durable_bytes -
+                  sizeof(uint32_t));
+  wal.LoseVolatileTail();
+
+  const auto rr = wal.Recover();
+  EXPECT_TRUE(rr.torn_tail);
+  EXPECT_EQ(rr.committed_txns, 0u);
+  EXPECT_EQ(rr.discarded_txns, 1u);
+  EXPECT_TRUE(rr.committed.empty());
+}
+
+TEST(WalTest, GroupCommitWindowFillsOnTheNthCommit) {
+  WriteAheadLog wal(WriteAheadLog::Config{/*group_commit_window=*/3});
+  for (int i = 0; i < 2; ++i) {
+    const uint64_t txn = wal.Begin();
+    EXPECT_FALSE(wal.AppendCommit(txn).group_full);
+  }
+  EXPECT_EQ(wal.pending_commits(), 2u);
+  const uint64_t txn = wal.Begin();
+  EXPECT_TRUE(wal.AppendCommit(txn).group_full);
+  wal.Sync();
+  EXPECT_EQ(wal.pending_commits(), 0u);
+  EXPECT_EQ(wal.Recover().committed_txns, 3u);
+  EXPECT_EQ(wal.stats().fsyncs, 1u);
+}
+
+TEST(WalTest, TruncationDropsRecordsBeforeTheCheckpoint) {
+  WriteAheadLog wal;
+  const uint64_t t1 = wal.Begin();
+  wal.AppendPageImage(t1, 1, Bytes("old"));
+  wal.AppendCommit(t1);
+  wal.AppendCheckpoint();
+  wal.Sync();
+  ASSERT_TRUE(StatusIs(wal.TruncateToLastCheckpoint(), StatusCode::kOk));
+  EXPECT_EQ(wal.Recover().committed_txns, 0u);
+
+  const uint64_t t2 = wal.Begin();
+  wal.AppendPageImage(t2, 2, Bytes("new"));
+  wal.AppendCommit(t2);
+  wal.Sync();
+  const auto rr = wal.Recover();
+  EXPECT_EQ(rr.committed_txns, 1u);
+  ASSERT_EQ(rr.committed.size(), 1u);
+  EXPECT_EQ(rr.committed[0].page, 2u);
+}
+
+TEST(WalTest, TruncationWithoutDurableCheckpointIsRefused) {
+  WriteAheadLog wal;
+  EXPECT_TRUE(
+      StatusIs(wal.TruncateToLastCheckpoint(), StatusCode::kNotFound));
+  wal.AppendCheckpoint();  // appended but not synced
+  EXPECT_TRUE(
+      StatusIs(wal.TruncateToLastCheckpoint(), StatusCode::kNotFound));
+}
+
+TEST(WalTest, ResetRetiresTheLogButKeepsLifetimeCounters) {
+  WriteAheadLog wal;
+  const uint64_t txn = wal.Begin();
+  wal.AppendPageImage(txn, 3, Bytes("x"));
+  wal.AppendCommit(txn);
+  wal.Sync();
+  const auto before = wal.stats();
+  EXPECT_GT(before.log_bytes, 0u);
+
+  wal.Reset();
+  const auto after = wal.stats();
+  EXPECT_EQ(after.log_bytes, 0u);
+  EXPECT_EQ(after.durable_bytes, 0u);
+  EXPECT_EQ(after.pending_commits, 0u);
+  EXPECT_EQ(after.next_lsn, 1u);
+  EXPECT_EQ(after.appends, before.appends);
+  EXPECT_EQ(after.fsyncs, before.fsyncs);
+  EXPECT_TRUE(wal.Recover().committed.empty());
+}
+
+}  // namespace
+}  // namespace knmatch
