@@ -385,6 +385,94 @@ int main(int argc, char** argv) {
     }
   }
 
+  // sharded_scatter_gather: router QPS across shard counts with replica
+  // groups and hedging forced on (every warm dispatch duplicates to the
+  // second replica — the lane measures the policy's worst-case cost,
+  // not its latency win). Every pass is checksummed against the
+  // unsharded engine: the scatter-gather merge is exact by contract.
+  // Field names (sharded_qps / fanout_ms_mean / hedge_rate) keep the
+  // lane out of the sequential-drift gate; check_bench_drift.sh gates
+  // it on progress instead.
+  {
+    constexpr size_t kN = 8, kK = 10;
+    uint64_t reference = 0;
+    for (const auto& q : request.queries) {
+      auto r = engine.KnMatch(q, kN, kK);
+      for (const Neighbor& nb : r.value().matches) reference += nb.pid;
+    }
+
+    std::fprintf(json,
+                 ",\n    {\"name\": \"sharded_scatter_gather\", "
+                 "\"replicas\": 2, \"configs\": [");
+    const size_t shard_counts[] = {1, 4, 16};
+    bool first_config = true;
+    for (const size_t shards : shard_counts) {
+      shard::RouterOptions options;
+      options.shards = shards;
+      options.replicas = 2;
+      options.hedge_threshold_ms = 1e-6;
+      const shard::ShardRouter router(engine.dataset(), options);
+
+      auto run_router = [&router, &request]() {
+        uint64_t sum = 0;
+        for (const auto& q : request.queries) {
+          auto r = router.KnMatch(q, kN, kK);
+          for (const Neighbor& nb : r.value().matches) sum += nb.pid;
+        }
+        return sum;
+      };
+
+      if (run_router() != reference) {  // warm + bit-identity check
+        std::fprintf(stderr, "sharded answers diverge at S=%zu\n", shards);
+        return 1;
+      }
+      const auto dispatch_before =
+          obs::Cat().shard_dispatch_seconds->Snapshot();
+      double best_seconds = 0;
+      for (int pass = 0; pass < 3; ++pass) {
+        auto start = std::chrono::steady_clock::now();
+        const uint64_t sum = run_router();
+        const double elapsed = Seconds(start);
+        if (pass == 0 || elapsed < best_seconds) best_seconds = elapsed;
+        if (sum != reference) {
+          std::fprintf(stderr, "sharded checksum drift at S=%zu\n", shards);
+          return 1;
+        }
+      }
+      const auto dispatch_after =
+          obs::Cat().shard_dispatch_seconds->Snapshot();
+
+      const double qps = num_queries / best_seconds;
+      const uint64_t dispatch_count =
+          dispatch_after.count - dispatch_before.count;
+      const double fanout_ms_mean =
+          dispatch_count > 0
+              ? 1e3 * static_cast<double>(dispatch_after.sum_raw -
+                                          dispatch_before.sum_raw) *
+                    dispatch_after.scale / static_cast<double>(dispatch_count)
+              : 0.0;
+      const shard::RouterStats stats = router.Stats();
+      const double hedge_rate =
+          stats.dispatches > 0
+              ? static_cast<double>(stats.hedges) /
+                    static_cast<double>(stats.dispatches)
+              : 0.0;
+
+      std::printf("%-20s S=%-2zu R=2:  %8.1f q/s  (%.3f ms/shard "
+                  "dispatch, hedge rate %.2f, checksum ok)\n",
+                  first_config ? "sharded_scatter" : "", shards, qps,
+                  fanout_ms_mean, hedge_rate);
+      std::fprintf(json,
+                   "%s\n      {\"shards\": %zu, \"sharded_qps\": %.1f, "
+                   "\"fanout_ms_mean\": %.4f, \"hedge_rate\": %.3f}",
+                   first_config ? "" : ",", shards, qps, fanout_ms_mean,
+                   hedge_rate);
+      first_config = false;
+    }
+    std::fprintf(json, "\n    ]}");
+    std::printf("\n");
+  }
+
   std::fprintf(json, "\n  ]\n}\n");
   std::fclose(json);
   std::printf("wrote BENCH_throughput.json\n");

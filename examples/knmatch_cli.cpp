@@ -44,6 +44,15 @@
 //   govern budget attrs|pages|scratch <v>   per-query resource budgets
 //   govern off                        lift all governance limits
 //   govern status                     show the armed limits
+//   shard on [shards] [hash|range|kmeans] [replicas]
+//                                     build a scatter-gather ShardRouter
+//                                     over the current dataset
+//   shard query <n> <k> <pid>         sharded k-n-match (exact merge)
+//   shard fquery <n0> <n1> <k> <pid>  sharded frequent k-n-match
+//   shard stats                       dispatch/hedge/failover counters,
+//                                     per-shard loads and breaker states
+//   shard rebalance                   LPT rebalance under snapshot reads
+//   shard off                         back to the unsharded engine
 //   batch knmatch <n> <k> <q>         q sampled queries, fanned across workers
 //   batch fknmatch <n0> <n1> <k> <q>
 //   batch knn <k> <q>
@@ -59,6 +68,7 @@
 // --cache enables the query-result cache with defaults for the whole
 // session (equivalent to `cache on`); `cache stats` shows hit ratios
 // and invalidation counts as you insert points.
+// --shards/--partitioner/--replicas preset the `shard on` defaults.
 //
 // Try: printf 'gen coil\nknmatch 30 4 42\nknn 10 42\nquit\n' | ./knmatch_cli
 // Try: ./knmatch_cli --deadline-ms 2 --budget 100000
@@ -81,8 +91,10 @@ using namespace knmatch;
 class Cli {
  public:
   Cli(size_t threads, double deadline_ms, uint64_t attr_budget,
-      bool cache_on)
-      : threads_(threads), deadline_ms_(deadline_ms), cache_on_(cache_on) {
+      bool cache_on, size_t shards, shard::Partitioner partitioner,
+      size_t replicas)
+      : threads_(threads), deadline_ms_(deadline_ms), cache_on_(cache_on),
+        shards_(shards), replicas_(replicas), partitioner_(partitioner) {
     budgets_.max_attributes = attr_budget;
   }
 
@@ -121,6 +133,7 @@ class Cli {
   }
 
   void Adopt(Dataset db) {
+    router_.reset();  // built over the previous dataset
     engine_ = std::make_unique<SimilarityEngine>(std::move(db));
     if (injector_ != nullptr) engine_->SetFaultInjector(injector_.get());
     if (cache_on_) engine_->EnableCache(cache_config_);
@@ -199,6 +212,10 @@ class Cli {
           "trace on|off |\n"
           "govern deadline <ms> | govern budget attrs|pages|scratch <v> | "
           "govern off | govern status |\n"
+          "shard on [shards] [hash|range|kmeans] [replicas] | "
+          "shard query <n> <k> <pid> |\n"
+          "shard fquery <n0> <n1> <k> <pid> | shard stats | "
+          "shard rebalance | shard off |\n"
           "cache on [mib] [warm_radius] | cache off | cache stats | "
           "cache clear |\n"
           "batch knmatch <n> <k> <q> | batch fknmatch <n0> <n1> <k> <q> | "
@@ -558,6 +575,166 @@ class Cli {
       } else {
         std::printf(
             "usage: ingest begin|add|erase|flush|query|status|end ...\n");
+      }
+      return true;
+    }
+
+    if (cmd == "shard") {
+      std::string what;
+      in >> what;
+      if (what == "on") {
+        if (!RequireData()) return true;
+        shard::RouterOptions opts;
+        opts.shards = shards_;
+        opts.replicas = replicas_;
+        opts.partitioner = partitioner_;
+        size_t s = 0;
+        if (in >> s && s > 0) opts.shards = s;
+        std::string part;
+        if (in >> part) {
+          auto p = shard::ParsePartitioner(part);
+          if (!p.ok()) {
+            std::printf("%s\n", p.status().ToString().c_str());
+            return true;
+          }
+          opts.partitioner = p.value();
+        }
+        size_t r = 0;
+        if (in >> r && r > 0) opts.replicas = r;
+        opts.threads = threads_;
+        router_ = std::make_unique<shard::ShardRouter>(
+            engine_->dataset(), opts);
+        if (cache_on_) router_->EnableCache(cache_config_);
+        std::printf("sharded: %zu shard(s) x %zu replica(s), %s "
+                    "partitioner over %zu points\n",
+                    router_->num_shards(), router_->num_replicas(),
+                    shard::PartitionerName(opts.partitioner),
+                    engine_->dataset().size());
+        return true;
+      }
+      if (what == "off") {
+        router_.reset();
+        std::printf("sharding off: queries run on the unsharded engine\n");
+        return true;
+      }
+      if (router_ == nullptr) {
+        std::printf("no shard router; 'shard on [shards] "
+                    "[hash|range|kmeans] [replicas]' first\n");
+        return true;
+      }
+      if (what == "query" || what == "fquery") {
+        size_t n0, n1, k, pid;
+        if (what == "query") {
+          if (!(in >> n0 >> k >> pid)) {
+            std::printf("usage: shard query <n> <k> <pid>\n");
+            return true;
+          }
+          n1 = n0;
+        } else if (!(in >> n0 >> n1 >> k >> pid)) {
+          std::printf("usage: shard fquery <n0> <n1> <k> <pid>\n");
+          return true;
+        }
+        std::vector<Value> q;
+        if (!QueryOf(pid, &q)) return true;
+        QueryContext ctx;
+        QueryContext* pctx = ArmContext(&ctx);
+        FrequentKnMatchResult result;
+        if (what == "query") {
+          auto r = router_->KnMatch(q, n0, k, {}, pctx);
+          if (!r.ok()) {
+            PrintStatus(r.status(), pctx);
+            return true;
+          }
+          result.per_n_sets.push_back(std::move(r.value().matches));
+        } else {
+          auto r = router_->FrequentKnMatch(q, n0, n1, k, {}, pctx);
+          if (!r.ok()) {
+            PrintStatus(r.status(), pctx);
+            return true;
+          }
+          result = std::move(r.value());
+        }
+        for (size_t i = 0; i < result.per_n_sets.size(); ++i) {
+          if (result.per_n_sets.size() > 1) {
+            std::printf(" n=%zu:\n", n0 + i);
+          }
+          PrintMatches(result.per_n_sets[i]);
+        }
+        if (what == "fquery" && !result.matches.empty()) {
+          std::printf("  frequent:");
+          for (size_t i = 0; i < result.matches.size(); ++i) {
+            std::printf(" pid %u (x%u)", result.matches[i].pid,
+                        result.frequencies[i]);
+          }
+          std::printf("\n");
+        }
+        const shard::DispatchReport& d = router_->last_dispatch();
+        std::printf("  %zu shard(s) dispatched", d.shards_dispatched);
+        if (d.cache_hit) std::printf(", served from cache");
+        if (d.hedges > 0) {
+          std::printf(", %zu hedged (%zu won)", d.hedges, d.hedge_wins);
+        }
+        if (d.failovers > 0) std::printf(", %zu failover(s)", d.failovers);
+        if (d.breaker_skips > 0) {
+          std::printf(", %zu breaker skip(s)", d.breaker_skips);
+        }
+        std::printf("\n");
+        if (d.degradation.partial()) {
+          std::printf("  PARTIAL answer: %zu/%zu shards answered\n",
+                      d.degradation.shards_answered,
+                      d.degradation.shards_total);
+          for (const shard::ShardFailure& f : d.degradation.failed) {
+            std::printf("    shard %u: %s\n", f.shard,
+                        f.status.ToString().c_str());
+          }
+        }
+        MaybePrintTrace();
+      } else if (what == "stats") {
+        const shard::RouterStats st = router_->Stats();
+        std::printf(
+            "  queries %llu  dispatches %llu  hedges %llu (%llu won)\n"
+            "  failovers %llu  breaker skips %llu  partial answers %llu\n"
+            "  rebalances %llu (%llu partitions moved)  cache hits %llu\n",
+            static_cast<unsigned long long>(st.queries),
+            static_cast<unsigned long long>(st.dispatches),
+            static_cast<unsigned long long>(st.hedges),
+            static_cast<unsigned long long>(st.hedge_wins),
+            static_cast<unsigned long long>(st.failovers),
+            static_cast<unsigned long long>(st.breaker_skips),
+            static_cast<unsigned long long>(st.partial_answers),
+            static_cast<unsigned long long>(st.rebalances),
+            static_cast<unsigned long long>(st.partitions_moved),
+            static_cast<unsigned long long>(st.cache_hits));
+        for (size_t i = 0; i < st.shard_points.size(); ++i) {
+          const char* state = "closed";
+          switch (router_->breaker_state(i)) {
+            case exec::CircuitBreaker::State::kOpen: state = "OPEN"; break;
+            case exec::CircuitBreaker::State::kHalfOpen:
+              state = "half-open";
+              break;
+            default: break;
+          }
+          std::printf("  shard %zu: %llu point(s), breaker %s\n", i,
+                      static_cast<unsigned long long>(st.shard_points[i]),
+                      state);
+        }
+      } else if (what == "rebalance") {
+        auto r = router_->Rebalance();
+        if (!r.ok()) {
+          std::printf("%s\n", r.status().ToString().c_str());
+          return true;
+        }
+        std::printf("  moved %zu partition(s); max shard load %llu -> "
+                    "%llu point(s)\n",
+                    r.value().partitions_moved,
+                    static_cast<unsigned long long>(
+                        r.value().max_shard_points_before),
+                    static_cast<unsigned long long>(
+                        r.value().max_shard_points_after));
+      } else {
+        std::printf(
+            "usage: shard on [shards] [hash|range|kmeans] [replicas] | "
+            "shard query|fquery|stats|rebalance|off ...\n");
       }
       return true;
     }
@@ -979,6 +1156,12 @@ class Cli {
   // Session cache policy: re-applied to every engine Adopt() builds.
   bool cache_on_ = false;
   cache::CacheConfig cache_config_;
+  // Scatter-gather router over the current dataset ('shard on'); the
+  // flags below seed its defaults and Adopt() drops it.
+  std::unique_ptr<shard::ShardRouter> router_;
+  size_t shards_ = 4;
+  size_t replicas_ = 1;
+  shard::Partitioner partitioner_ = shard::Partitioner::kHash;
 };
 
 }  // namespace
@@ -988,6 +1171,10 @@ int main(int argc, char** argv) {
   double deadline_ms = 0;
   uint64_t attr_budget = 0;
   bool cache_on = false;
+  size_t shards = 4;
+  size_t replicas = 1;
+  knmatch::shard::Partitioner partitioner =
+      knmatch::shard::Partitioner::kHash;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
@@ -998,13 +1185,29 @@ int main(int argc, char** argv) {
       attr_budget = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--cache") {
       cache_on = true;
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (shards == 0) shards = 1;
+    } else if (arg == "--replicas" && i + 1 < argc) {
+      replicas = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (replicas == 0) replicas = 1;
+    } else if (arg == "--partitioner" && i + 1 < argc) {
+      auto p = knmatch::shard::ParsePartitioner(argv[++i]);
+      if (!p.ok()) {
+        std::fprintf(stderr, "%s\n", p.status().ToString().c_str());
+        return 1;
+      }
+      partitioner = p.value();
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads <t>] [--deadline-ms <ms>] "
-                   "[--budget <attrs>] [--cache]\n",
+                   "[--budget <attrs>] [--cache] [--shards <s>] "
+                   "[--partitioner hash|range|kmeans] [--replicas <r>]\n",
                    argv[0]);
       return 1;
     }
   }
-  return Cli(threads, deadline_ms, attr_budget, cache_on).Run();
+  return Cli(threads, deadline_ms, attr_budget, cache_on, shards,
+             partitioner, replicas)
+      .Run();
 }

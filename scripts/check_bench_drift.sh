@@ -119,6 +119,16 @@ if [[ "$have_baseline" == 1 ]]; then
            "(${drift}%, budget +/-${QPS_DRIFT}%)"
     fi
   done < <(sequential_qps "$baseline_json")
+  # A lane in the fresh run but absent from the recorded baseline is a
+  # newly added workload, not a regression: record it and pass with a
+  # warning — the refreshed BENCH_throughput.json becomes its baseline.
+  while read -r name new; do
+    if ! sequential_qps "$baseline_json" |
+        awk -v n="$name" '$1 == n {found=1} END{exit !found}'; then
+      echo "WARN [lane $name]: no recorded baseline; recording" \
+           "${new} q/s as the new baseline and passing"
+    fi
+  done < <(sequential_qps BENCH_throughput.json)
   if [[ "$drift_fail" != 0 ]]; then
     exit 1
   fi
@@ -163,6 +173,28 @@ if awk -v q="$ingest_qps" -v o="$ingest_ops" \
 fi
 echo "OK: ingest_under_load ${ingest_qps} q/s while ingesting" \
      "${ingest_ops} ops/s"
+
+# --- Gate: the sharded scatter-gather lane answered at every shard
+# count. bench_throughput checksums each router pass against the
+# unsharded engine (the merge is exact by contract), so the gate here
+# is progress: a zero or missing sharded_qps at any S means the fan-out
+# stalled. Its field names (sharded_qps / fanout_ms_mean / hedge_rate)
+# keep it out of the sequential-drift gate, like the ingest lane.
+if ! grep -q '"name": "sharded_scatter_gather"' BENCH_throughput.json; then
+  echo "FAIL [lane sharded_scatter_gather]: lane missing from" \
+       "BENCH_throughput.json" >&2
+  exit 1
+fi
+while read -r shards qps; do
+  if awk -v q="$qps" 'BEGIN{exit !(q <= 0)}'; then
+    echo "FAIL [lane sharded_scatter_gather]: no progress at" \
+         "S=${shards} (${qps} q/s)" >&2
+    exit 1
+  fi
+  echo "OK: sharded_scatter_gather S=${shards} answered at ${qps} q/s"
+done < <(grep -o '"shards": [0-9]*, "sharded_qps": [0-9.]*' \
+  BENCH_throughput.json |
+  sed 's/"shards": \([0-9]*\), "sharded_qps": \([0-9.]*\)/\1 \2/')
 
 # Both benchmarks drop their JSON in the current directory (the repo
 # root). Fold them into one history line.

@@ -20,6 +20,7 @@
 
 #include "knmatch/core/ad_algorithm.h"
 #include "knmatch/core/ad_stream.h"
+#include "knmatch/core/answer_merge.h"
 #include "knmatch/core/categorical.h"
 #include "knmatch/core/match_types.h"
 #include "knmatch/core/nmatch.h"
@@ -59,6 +60,7 @@
 
 #include "knmatch/exec/batch.h"
 #include "knmatch/exec/circuit_breaker.h"
+#include "knmatch/exec/ewma.h"
 #include "knmatch/exec/thread_pool.h"
 
 #include "knmatch/obs/catalog.h"
@@ -67,6 +69,9 @@
 #include "knmatch/obs/trace.h"
 
 #include "knmatch/engine.h"
+
+#include "knmatch/shard/partition.h"
+#include "knmatch/shard/shard_router.h"
 
 #include "knmatch/baselines/dpf.h"
 #include "knmatch/baselines/fagin.h"

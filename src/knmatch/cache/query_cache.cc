@@ -9,6 +9,11 @@
 
 namespace knmatch::cache {
 
+uint64_t NextResultEpoch() {
+  static std::atomic<uint64_t> next_epoch{1};
+  return next_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
 namespace {
 
 // FNV-1a, 64-bit.

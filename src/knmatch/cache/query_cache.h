@@ -51,6 +51,13 @@ struct CacheConfig {
   size_t warm_scan_limit = 128;
 };
 
+/// Allocates a process-unique result epoch. Every cache-binding owner
+/// — a SimilarityEngine instance (and each dataset generation within
+/// one: recovery, EndIngest) or a shard::ShardRouter — keys its entries
+/// under an epoch no entry has ever been written with, so answers can
+/// never alias across owners sharing a cache.
+uint64_t NextResultEpoch();
+
 /// A point-in-time snapshot of the cache's counters and occupancy.
 struct CacheStats {
   uint64_t hits = 0;

@@ -1,0 +1,99 @@
+#include "knmatch/core/answer_merge.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "knmatch/core/nmatch_naive.h"
+
+namespace knmatch::internal {
+
+namespace {
+
+/// Canonical answer order: ascending (difference, pid). Strict-weak.
+bool CanonicalLess(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.pid < b.pid;
+}
+
+/// One shard's read position in the k-way merge.
+struct Cursor {
+  const std::vector<Neighbor>* list;
+  size_t idx;
+
+  const Neighbor& head() const { return (*list)[idx]; }
+};
+
+/// Min-heap comparator over cursor heads (std::*_heap are max-heaps,
+/// so the comparison is inverted).
+bool CursorGreater(const Cursor& a, const Cursor& b) {
+  return CanonicalLess(b.head(), a.head());
+}
+
+}  // namespace
+
+std::vector<Neighbor> MergeAnswerLists(
+    std::span<const std::vector<Neighbor>* const> lists, size_t k) {
+  // The kernels emit completions in ascending difference order, but
+  // equal differences complete in pop order, not pid order. Canonical
+  // inputs make the merge's boundary selection deterministic; sorting
+  // an already-sorted list is one O(len) verification pass.
+  std::vector<std::vector<Neighbor>> resorted;
+  std::vector<Cursor> heap;
+  heap.reserve(lists.size());
+  for (const std::vector<Neighbor>* list : lists) {
+    if (list == nullptr || list->empty()) continue;
+    if (!std::is_sorted(list->begin(), list->end(), CanonicalLess)) {
+      resorted.reserve(lists.size());
+      resorted.push_back(*list);
+      std::sort(resorted.back().begin(), resorted.back().end(),
+                CanonicalLess);
+      list = &resorted.back();
+    }
+    heap.push_back(Cursor{list, 0});
+  }
+
+  // The global n-match-difference heap: one cursor per shard list,
+  // keyed by its head's (difference, pid); k pops yield the k globally
+  // smallest entries in canonical order.
+  std::make_heap(heap.begin(), heap.end(), CursorGreater);
+  std::vector<Neighbor> merged;
+  merged.reserve(k);
+  while (merged.size() < k && !heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), CursorGreater);
+    Cursor& top = heap.back();
+    merged.push_back(top.head());
+    if (++top.idx < top.list->size()) {
+      std::push_heap(heap.begin(), heap.end(), CursorGreater);
+    } else {
+      heap.pop_back();
+    }
+  }
+  return merged;
+}
+
+FrequentKnMatchResult MergeFrequentPartials(
+    std::span<const FrequentKnMatchResult* const> partials, size_t levels,
+    size_t k) {
+  FrequentKnMatchResult out;
+  out.per_n_sets.resize(levels);
+  std::vector<const std::vector<Neighbor>*> level_lists;
+  level_lists.reserve(partials.size());
+  for (size_t level = 0; level < levels; ++level) {
+    level_lists.clear();
+    for (const FrequentKnMatchResult* partial : partials) {
+      if (partial != nullptr && level < partial->per_n_sets.size()) {
+        level_lists.push_back(&partial->per_n_sets[level]);
+      }
+    }
+    out.per_n_sets[level] = MergeAnswerLists(level_lists, k);
+  }
+  for (const FrequentKnMatchResult* partial : partials) {
+    if (partial != nullptr) {
+      out.attributes_retrieved += partial->attributes_retrieved;
+    }
+  }
+  RankByFrequency(k, &out);
+  return out;
+}
+
+}  // namespace knmatch::internal

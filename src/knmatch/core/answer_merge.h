@@ -1,0 +1,42 @@
+#ifndef KNMATCH_CORE_ANSWER_MERGE_H_
+#define KNMATCH_CORE_ANSWER_MERGE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "knmatch/core/match_types.h"
+
+namespace knmatch::internal {
+
+/// Exact scatter-gather merge of per-shard k-n-match answer sets.
+///
+/// The n-match difference of a point (the n-th smallest per-dimension
+/// |q_i - p_i|, Definition 2 of the paper) depends only on the point
+/// and the query, never on the rest of the dataset. So for any
+/// partition of the dataset into shards, the global k-n-match answer
+/// set is contained in the union of the shard-local top-min(k, |shard|)
+/// sets, and a k-way merge of those lists under the canonical
+/// (difference, pid) order reproduces the global answer exactly — see
+/// docs/sharding.md for the proof sketch and the boundary-tie caveat.
+///
+/// `lists` are the shard-local answer lists (global pids, each
+/// ascending by difference). Returns the k globally smallest entries
+/// under (difference, pid), ascending.
+std::vector<Neighbor> MergeAnswerLists(
+    std::span<const std::vector<Neighbor>* const> lists, size_t k);
+
+/// Merges per-shard frequent k-n-match partials: each per-n level is
+/// merged with MergeAnswerLists, then the standard RankByFrequency pass
+/// (core/nmatch_naive.cc) rebuilds matches/frequencies from the merged
+/// sets — the same code path the unsharded engines use, so the ranking
+/// (count desc, best difference asc, pid asc) is reproduced exactly.
+/// `levels` is n1 - n0 + 1; every partial must have that many sets.
+/// attributes_retrieved is summed over the partials.
+FrequentKnMatchResult MergeFrequentPartials(
+    std::span<const FrequentKnMatchResult* const> partials, size_t levels,
+    size_t k);
+
+}  // namespace knmatch::internal
+
+#endif  // KNMATCH_CORE_ANSWER_MERGE_H_

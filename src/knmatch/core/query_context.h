@@ -109,6 +109,20 @@ class QueryContext {
   QueryBudgets& budgets() { return budgets_; }
   const QueryBudgets& budgets() const { return budgets_; }
 
+  /// True when a deadline (duration or absolute) is armed.
+  bool has_deadline() const { return has_deadline_; }
+
+  /// The armed absolute deadline; meaningful only when has_deadline().
+  /// The shard router reads it to carve per-shard deadline slices.
+  Clock::time_point deadline() const { return deadline_; }
+
+  /// The shared cancellation token (null when none). The shard router
+  /// re-arms each per-shard child context with it, so one cancel trips
+  /// every in-flight shard slice.
+  const std::shared_ptr<std::atomic<bool>>& cancel_token() const {
+    return cancel_;
+  }
+
   /// True when any limit is armed; engines take the plain ungoverned
   /// path otherwise.
   bool governed() const {

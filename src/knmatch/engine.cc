@@ -63,19 +63,11 @@ obs::Gauge* BreakerGauge(SimilarityEngine::DiskMethod m) {
   return nullptr;
 }
 
-/// Process-unique cache epochs: every engine instance — and every
-/// dataset generation within one engine (recovery, EndIngest) — gets an
-/// epoch no cached entry has ever been written under.
-uint64_t NextCacheEpoch() {
-  static std::atomic<uint64_t> next_epoch{1};
-  return next_epoch.fetch_add(1, std::memory_order_relaxed);
-}
-
 }  // namespace
 
 SimilarityEngine::SimilarityEngine(Dataset db, DiskConfig config)
     : db_(std::move(db)), config_(config) {
-  cache_epoch_ = NextCacheEpoch();
+  cache_epoch_ = cache::NextResultEpoch();
   ResetOnceFlags();
 }
 
@@ -317,7 +309,7 @@ Status SimilarityEngine::Recover() {
   // Entries cached before the crash may reflect transactions recovery
   // discarded (volatile WAL tail); a fresh epoch makes every one of
   // them unreachable, whatever recovery concluded.
-  cache_epoch_ = NextCacheEpoch();
+  cache_epoch_ = cache::NextResultEpoch();
   return s;
 }
 
@@ -350,7 +342,7 @@ Status SimilarityEngine::EndIngest() {
   // The id space changed wholesale, so precise invalidation cannot
   // help: a fresh epoch strands every cached entry, and every derived
   // structure rebuilds on next use.
-  cache_epoch_ = NextCacheEpoch();
+  cache_epoch_ = cache::NextResultEpoch();
   ad_.reset();
   igrid_.reset();
   disk_.reset();

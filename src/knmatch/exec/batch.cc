@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "knmatch/core/nmatch.h"
+#include "knmatch/exec/ewma.h"
 #include "knmatch/obs/catalog.h"
 
 namespace knmatch::exec {
@@ -97,7 +98,7 @@ class BatchExecutor::RunGuard {
       return Status::ResourceExhausted("batch attribute pool exhausted");
     }
     if (predictive_) {
-      const int64_t predicted = ewma_ns_.load(std::memory_order_relaxed);
+      const int64_t predicted = ewma_.ns();
       if (predicted > 0 &&
           now + std::chrono::nanoseconds(predicted) >= deadline_) {
         obs::Cat().batch_shed_predicted->Add();
@@ -132,15 +133,7 @@ class BatchExecutor::RunGuard {
     if (attribute_pool_ != 0 && attributes != 0) {
       pool_used_.fetch_add(attributes, std::memory_order_relaxed);
     }
-    if (predictive_ && latency_ns > 0) {
-      // Racy read-modify-write on purpose: the EWMA is a shedding
-      // heuristic, and a lost update under contention only delays its
-      // convergence by one sample.
-      const int64_t old = ewma_ns_.load(std::memory_order_relaxed);
-      const int64_t next =
-          old == 0 ? latency_ns : (3 * old + latency_ns) / 4;
-      ewma_ns_.store(next, std::memory_order_relaxed);
-    }
+    if (predictive_) ewma_.Record(latency_ns);
   }
 
  private:
@@ -151,7 +144,7 @@ class BatchExecutor::RunGuard {
   uint64_t attribute_pool_;
   bool predictive_;
   std::atomic<uint64_t> pool_used_{0};
-  std::atomic<int64_t> ewma_ns_{0};
+  EwmaLatency ewma_;
 };
 
 namespace {

@@ -286,6 +286,52 @@ Catalog BuildCatalog() {
   c.cache_hit_ratio = r.GetGauge(
       "knmatch_cache_hit_ratio_percent", "",
       "Lifetime cache hit percentage, hits / (hits + misses)");
+
+  c.shard_queries = r.GetCounter(
+      "knmatch_shard_queries_total", "",
+      "Scatter-gather queries routed across the shard set");
+  c.shard_dispatches = r.GetCounter(
+      "knmatch_shard_dispatches_total", "",
+      "Shards dispatched to (non-empty, breaker allowed), summed over "
+      "queries");
+  const char* kHedgeName = "knmatch_shard_hedges_total";
+  const char* kHedgeHelp =
+      "Hedged duplicate dispatches to a second replica, by outcome "
+      "(dispatched counts every hedge; won counts hedges that supplied "
+      "the answer)";
+  c.shard_hedges = r.GetCounter(kHedgeName, "outcome=\"dispatched\"",
+                                kHedgeHelp);
+  c.shard_hedge_wins = r.GetCounter(kHedgeName, "outcome=\"won\"",
+                                    kHedgeHelp);
+  c.shard_failovers = r.GetCounter(
+      "knmatch_shard_failovers_total", "",
+      "Replica failover re-dispatches after kDataLoss/kUnavailable");
+  c.shard_breaker_skips = r.GetCounter(
+      "knmatch_shard_breaker_skipped_total", "",
+      "Shards skipped because their circuit breaker was open");
+  c.shard_partial_answers = r.GetCounter(
+      "knmatch_shard_partial_answers_total", "",
+      "Queries answered from surviving shards with coverage missing");
+  c.shard_rebalances = r.GetCounter(
+      "knmatch_shard_rebalances_total", "",
+      "Rebalance() runs (counted whether or not partitions moved)");
+  c.shard_partitions_moved = r.GetCounter(
+      "knmatch_shard_partitions_moved_total", "",
+      "Partitions reassigned to a different shard by rebalances");
+  c.shard_cache_hits = r.GetCounter(
+      "knmatch_shard_cache_hits_total", "",
+      "Router queries served from the router-level result cache");
+  c.shard_count = r.GetGauge("knmatch_shard_count", "",
+                             "Shards in the current router layout");
+  c.shard_replicas = r.GetGauge("knmatch_shard_replicas", "",
+                                "Replica group size per shard");
+  c.shard_fanout_seconds = r.GetHistogram(
+      "knmatch_shard_fanout_seconds", "",
+      "Whole scatter+gather wall time per router query", 1e-9);
+  c.shard_dispatch_seconds = r.GetHistogram(
+      "knmatch_shard_dispatch_seconds", "",
+      "One shard's dispatch wall time (primary, hedge, and failover "
+      "attempts included)", 1e-9);
   return c;
 }
 
@@ -302,6 +348,13 @@ Histogram* BatchWorkerLatency(size_t worker) {
       "worker=\"" + std::to_string(worker) + "\"",
       "Per-query latency inside the batch executor, by worker",
       1e-9);
+}
+
+Gauge* ShardPointsGauge(size_t shard) {
+  return MetricsRegistry::Global().GetGauge(
+      "knmatch_shard_points",
+      "shard=\"" + std::to_string(shard) + "\"",
+      "Points currently placed on the shard");
 }
 
 }  // namespace knmatch::obs

@@ -113,6 +113,23 @@ struct Catalog {
   Gauge* cache_entries;
   Gauge* cache_bytes;
   Gauge* cache_hit_ratio;  // percent, hits / (hits + misses)
+
+  // --- Sharded scatter-gather router (shard/shard_router.h). Mirrors
+  // RouterStats 1:1; the equality tests hold them to each other. ---
+  Counter* shard_queries;          // router-level scatter-gather queries
+  Counter* shard_dispatches;       // shards dispatched (breaker allowed)
+  Counter* shard_hedges;           // hedged duplicate dispatches issued
+  Counter* shard_hedge_wins;       // hedges that supplied the answer
+  Counter* shard_failovers;        // failover re-dispatches to replicas
+  Counter* shard_breaker_skips;    // shards skipped on an open breaker
+  Counter* shard_partial_answers;  // answers with shards missing
+  Counter* shard_rebalances;       // Rebalance() runs that moved data
+  Counter* shard_partitions_moved;
+  Counter* shard_cache_hits;       // router-level result-cache hits
+  Gauge* shard_count;              // shards in the current layout
+  Gauge* shard_replicas;           // replica group size
+  Histogram* shard_fanout_seconds;    // whole scatter+gather wall time
+  Histogram* shard_dispatch_seconds;  // one shard's dispatch wall time
 };
 
 /// The catalog over MetricsRegistry::Global(), built on first use
@@ -123,6 +140,11 @@ const Catalog& Cat();
 /// knmatch_batch_query_seconds{worker="<worker>"}, registered in the
 /// global registry on first use for that worker index.
 Histogram* BatchWorkerLatency(size_t worker);
+
+/// Per-shard point-count gauge knmatch_shard_points{shard="<shard>"},
+/// registered in the global registry on first use for that shard index
+/// and republished by the router after construction and rebalances.
+Gauge* ShardPointsGauge(size_t shard);
 
 }  // namespace knmatch::obs
 

@@ -1,0 +1,120 @@
+#include "knmatch/shard/partition.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+#include "knmatch/common/kmeans.h"
+
+namespace knmatch::shard {
+
+namespace {
+
+/// SplitMix64 finalizer — the same mix common/random.h seeds with.
+/// Hashing the pid (not the coordinates) keeps the hash partitioner
+/// placement-oblivious and O(1) per point.
+uint64_t MixPid(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* PartitionerName(Partitioner partitioner) {
+  switch (partitioner) {
+    case Partitioner::kHash:
+      return "hash";
+    case Partitioner::kRange:
+      return "range";
+    case Partitioner::kKMeans:
+      return "kmeans";
+  }
+  return "unknown";
+}
+
+Result<Partitioner> ParsePartitioner(std::string_view name) {
+  if (name == "hash") return Partitioner::kHash;
+  if (name == "range") return Partitioner::kRange;
+  if (name == "kmeans") return Partitioner::kKMeans;
+  return Status::InvalidArgument("unknown partitioner '" +
+                                 std::string(name) +
+                                 "' (expected hash, range, or kmeans)");
+}
+
+std::vector<uint64_t> PartitionPlan::ShardPoints() const {
+  std::vector<uint64_t> points(num_shards, 0);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    points[shard_of_partition[p]] += partition_points[p];
+  }
+  return points;
+}
+
+PartitionPlan BuildPartitionPlan(const Dataset& db, Partitioner partitioner,
+                                 size_t shards, size_t partitions_per_shard,
+                                 uint64_t seed) {
+  PartitionPlan plan;
+  plan.partitioner = partitioner;
+  plan.num_shards = shards;
+  const size_t c = db.size();
+  size_t partitions = shards * std::max<size_t>(partitions_per_shard, 1);
+  if (partitions > c && c > 0) partitions = c;
+  if (partitions == 0) partitions = 1;
+  plan.num_partitions = partitions;
+  plan.partition_of.resize(c);
+
+  switch (partitioner) {
+    case Partitioner::kHash:
+      for (PointId pid = 0; pid < c; ++pid) {
+        plan.partition_of[pid] =
+            static_cast<uint32_t>(MixPid(pid) % partitions);
+      }
+      break;
+    case Partitioner::kRange: {
+      const size_t chunk = (c + partitions - 1) / partitions;
+      for (PointId pid = 0; pid < c; ++pid) {
+        plan.partition_of[pid] = static_cast<uint32_t>(pid / chunk);
+      }
+      break;
+    }
+    case Partitioner::kKMeans: {
+      const KMeansResult clusters = KMeans(db, partitions, seed);
+      plan.partition_of = clusters.assignment;
+      break;
+    }
+  }
+
+  plan.partition_points.assign(partitions, 0);
+  for (PointId pid = 0; pid < c; ++pid) {
+    ++plan.partition_points[plan.partition_of[pid]];
+  }
+  plan.shard_of_partition.resize(partitions);
+  for (size_t p = 0; p < partitions; ++p) {
+    plan.shard_of_partition[p] = static_cast<uint32_t>(p % shards);
+  }
+  return plan;
+}
+
+std::vector<uint32_t> BalanceAssignment(
+    const std::vector<uint64_t>& partition_points, size_t shards) {
+  std::vector<uint32_t> order(partition_points.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     return partition_points[a] > partition_points[b];
+                   });
+  std::vector<uint64_t> load(shards, 0);
+  std::vector<uint32_t> assignment(partition_points.size(), 0);
+  for (const uint32_t p : order) {
+    size_t lightest = 0;
+    for (size_t s = 1; s < shards; ++s) {
+      if (load[s] < load[lightest]) lightest = s;
+    }
+    assignment[p] = static_cast<uint32_t>(lightest);
+    load[lightest] += partition_points[p];
+  }
+  return assignment;
+}
+
+}  // namespace knmatch::shard

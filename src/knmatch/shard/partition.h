@@ -1,0 +1,82 @@
+#ifndef KNMATCH_SHARD_PARTITION_H_
+#define KNMATCH_SHARD_PARTITION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "knmatch/common/dataset.h"
+#include "knmatch/common/status.h"
+#include "knmatch/common/types.h"
+
+namespace knmatch::shard {
+
+/// How points are assigned to partitions (the unit of placement; see
+/// PartitionPlan). Answers are bit-identical under every strategy —
+/// partitioning only shifts where work and data live (docs/sharding.md
+/// compares the trade-offs).
+enum class Partitioner {
+  /// SplitMix64 of the pid. Size-uniform, placement-oblivious.
+  kHash,
+  /// Contiguous pid ranges. Preserves insertion locality.
+  kRange,
+  /// Data-aware: k-means clusters (common/kmeans.h) become partitions,
+  /// so co-located points are similar. Cluster sizes are skewed by
+  /// nature — the rebalance path exists for exactly this strategy.
+  kKMeans,
+};
+
+/// The partitioner's CLI/bench name ("hash" / "range" / "kmeans").
+const char* PartitionerName(Partitioner partitioner);
+
+/// Parses a CLI name; InvalidArgument on anything unknown.
+Result<Partitioner> ParsePartitioner(std::string_view name);
+
+/// The two-level placement map of a sharded dataset: every point maps
+/// to one of `num_partitions` virtual partitions (fixed at build time),
+/// and every partition maps to a shard. Rebalancing moves whole
+/// partitions between shards — the point->partition map never changes,
+/// so a rebalance is a pure reassignment plus data movement, never a
+/// repartition.
+struct PartitionPlan {
+  Partitioner partitioner = Partitioner::kHash;
+  size_t num_shards = 0;
+  size_t num_partitions = 0;
+  /// Partition of each point; size = cardinality.
+  std::vector<uint32_t> partition_of;
+  /// Owning shard of each partition; size = num_partitions.
+  std::vector<uint32_t> shard_of_partition;
+  /// Points per partition; size = num_partitions.
+  std::vector<uint64_t> partition_points;
+
+  uint32_t shard_of(PointId pid) const {
+    return shard_of_partition[partition_of[pid]];
+  }
+
+  /// Points per shard under the current assignment.
+  std::vector<uint64_t> ShardPoints() const;
+};
+
+/// Builds the point->partition map for `db` with num_partitions =
+/// min(shards * partitions_per_shard, cardinality) and assigns
+/// partitions to shards round-robin (partition p -> shard p % S).
+/// Round-robin is deliberately placement-naive: with skewed partition
+/// sizes (k-means) it leaves shards unbalanced, which is what
+/// BalanceAssignment and the router's rebalance path then repair.
+/// `seed` feeds the k-means partitioner; hash and range ignore it.
+/// Deterministic: same inputs, same plan.
+PartitionPlan BuildPartitionPlan(const Dataset& db, Partitioner partitioner,
+                                 size_t shards, size_t partitions_per_shard,
+                                 uint64_t seed);
+
+/// Balanced partition->shard assignment by longest-processing-time
+/// greedy: partitions in descending point count onto the currently
+/// lightest shard (ties: lower partition index first, lower shard index
+/// wins). Deterministic; returns the new shard_of_partition vector.
+std::vector<uint32_t> BalanceAssignment(
+    const std::vector<uint64_t>& partition_points, size_t shards);
+
+}  // namespace knmatch::shard
+
+#endif  // KNMATCH_SHARD_PARTITION_H_
